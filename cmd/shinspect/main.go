@@ -1,0 +1,138 @@
+// Command shinspect makes the write-ahead log's anatomy visible: it runs a
+// small scripted scenario — transactions, an abort, stability tracking, a
+// volatile collection's moves, an incremental stable collection, a
+// checkpoint — and dumps every log record with its role, so the record
+// taxonomy of the paper (update/CLR, base/complete, V2SCopy/SFix,
+// flip/copy/scan/GCEnd, checkpoint) can be read off a real run.
+//
+// Usage: shinspect [-n maxRecords]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stableheap"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+func main() {
+	maxRecords := flag.Int("n", 200, "maximum records to print")
+	flag.Parse()
+
+	cfg := stableheap.DefaultConfig()
+	cfg.StableWords = 4 * 1024
+	cfg.VolatileWords = 2 * 1024
+	h := stableheap.Open(cfg)
+
+	// Scripted scenario.
+	tx := h.Begin()
+	a, err := tx.Alloc(1, 1, 1)
+	check(err)
+	b, err := tx.Alloc(1, 0, 1)
+	check(err)
+	check(tx.SetData(a, 0, 111))
+	check(tx.SetData(b, 0, 222))
+	check(tx.SetPtr(a, 0, b))
+	check(tx.SetRoot(0, a)) // a and b become stable at commit
+	check(tx.Commit())
+
+	tx2 := h.Begin()
+	ra, err := tx2.Root(0)
+	check(err)
+	check(tx2.SetData(ra, 0, 999))
+	check(tx2.Abort()) // CLRs
+
+	if _, err := h.CollectVolatile(); err != nil { // V2SCopy + SFix + VFlip
+		log.Fatal(err)
+	}
+	h.StartStableCollection() // flip + copy/scan records
+	for h.StepStable() {
+	}
+	h.Checkpoint()
+
+	fmt.Println("log records (LSN order):")
+	n := 0
+	h.Internal().Log().Scan(1, false, func(lsn word.LSN, r wal.Record) bool {
+		n++
+		if n > *maxRecords {
+			fmt.Println("  … (truncated; use -n to see more)")
+			return false
+		}
+		fmt.Printf("  %6d  %s\n", lsn, describe(r))
+		return true
+	})
+	dev := h.Internal().Log().Device()
+	fmt.Printf("\n%d records, %d bytes appended, %d bytes stable, %d synchronous forces\n",
+		dev.Stats().Appends, dev.Stats().BytesAppended, dev.Stats().BytesStable, dev.Stats().Forces)
+}
+
+func describe(r wal.Record) string {
+	switch rec := r.(type) {
+	case wal.BeginRec:
+		return fmt.Sprintf("begin        tx=%d", rec.TxID)
+	case wal.UpdateRec:
+		kind := "data"
+		if rec.Flags&wal.UFPtrSlot != 0 {
+			kind = "ptr"
+		}
+		return fmt.Sprintf("update       tx=%d addr=%v %s redo=%x undo=%x", rec.TxID, rec.Addr, kind, rec.Redo, rec.Undo)
+	case wal.LogicalRec:
+		return fmt.Sprintf("logical      tx=%d addr=%v delta=%+d (no before-image)", rec.TxID, rec.Addr, int64(rec.Delta))
+	case wal.CLRRec:
+		return fmt.Sprintf("CLR          tx=%d addr=%v restores=%x undoNext=%d", rec.TxID, rec.Addr, rec.Redo, rec.UndoNext)
+	case wal.AllocRec:
+		return fmt.Sprintf("alloc        tx=%d addr=%v size=%dw", rec.TxID, rec.Addr, rec.SizeWords)
+	case wal.PrepareRec:
+		return fmt.Sprintf("PREPARE      tx=%d (forced; in-doubt across crashes)", rec.TxID)
+	case wal.CommitRec:
+		return fmt.Sprintf("COMMIT       tx=%d (log forced through here)", rec.TxID)
+	case wal.AbortRec:
+		return fmt.Sprintf("abort        tx=%d (CLRs follow)", rec.TxID)
+	case wal.EndRec:
+		return fmt.Sprintf("end          tx=%d", rec.TxID)
+	case wal.BaseRec:
+		return fmt.Sprintf("base         tx=%d addr=%v %dB initial value (newly stable)", rec.TxID, rec.Addr, len(rec.Object))
+	case wal.CompleteRec:
+		return fmt.Sprintf("complete     tx=%d batch of %d newly stable objects", rec.TxID, rec.Count)
+	case wal.V2SCopyRec:
+		return fmt.Sprintf("v2scopy      %v → %v (%dB, volatile→stable move)", rec.From, rec.To, len(rec.Object))
+	case wal.SFixRec:
+		return fmt.Sprintf("sfix         page=%d %d stable slots rewired (S4VScan)", rec.Page, len(rec.Fixes))
+	case wal.VFlipRec:
+		return fmt.Sprintf("vflip        volatile collection %d moved %d objects", rec.Epoch, rec.Moved)
+	case wal.FlipRec:
+		return fmt.Sprintf("FLIP         epoch=%d from=[%v,%v) to=[%v,%v) root %v→%v", rec.Epoch, rec.FromLo, rec.FromHi, rec.ToLo, rec.ToHi, rec.RootObjFrom, rec.RootObjTo)
+	case wal.CopyRec:
+		return fmt.Sprintf("copy         %v → %v %dw desc=%#x (copy step)", rec.From, rec.To, rec.SizeWords, rec.Descriptor)
+	case wal.ScanRec:
+		src := "trap"
+		if !rec.Full {
+			src = "sweep"
+		} else if rec.ScanPtr != word.NilAddr {
+			src = "sweep-full"
+		}
+		return fmt.Sprintf("scan         page=%d %d slots fixed (%s)", rec.Page, len(rec.Fixes), src)
+	case wal.GCEndRec:
+		return fmt.Sprintf("GCEND        epoch=%d (to-space written back, from-space freed)", rec.Epoch)
+	case wal.PageFetchRec:
+		return fmt.Sprintf("page-fetch   page=%d", rec.Page)
+	case wal.EndWriteRec:
+		return fmt.Sprintf("end-write    page=%d pageLSN=%d", rec.Page, rec.PageLSN)
+	case wal.CheckpointRec:
+		return fmt.Sprintf("CHECKPOINT   %d dirty pages, %d active txs, GC active=%v, %d LS, %d SRem",
+			len(rec.Dirty), len(rec.Txs), rec.GC.Active, len(rec.LS), len(rec.SRem))
+	default:
+		return fmt.Sprintf("%v", r.Type())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shinspect:", err)
+		os.Exit(1)
+	}
+}

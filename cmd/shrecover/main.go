@@ -1,0 +1,66 @@
+// Command shrecover is the crash-and-recover demonstration driver: it runs
+// a model-checked random workload, crashes the heap at a chosen (or
+// random) point — optionally in the middle of a collection and with an
+// arbitrary fraction of dirty pages flushed — recovers, verifies every
+// committed value against the model, and reports what recovery did.
+//
+// Usage:
+//
+//	shrecover [-seed n] [-steps n] [-flush f] [-midgc] [-rounds n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"stableheap"
+	"stableheap/internal/core"
+	"stableheap/internal/crashtest"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "workload seed")
+	steps := flag.Int("steps", 150, "workload operations before each crash")
+	flush := flag.Float64("flush", 0.5, "fraction of dirty pages flushed before the crash")
+	midGC := flag.Bool("midgc", false, "crash in the middle of a stable collection")
+	rounds := flag.Int("rounds", 3, "crash/recover rounds")
+	flag.Parse()
+
+	cfg := core.Config{
+		PageSize:      1024,
+		StableWords:   32 * 1024,
+		VolatileWords: 8 * 1024,
+		Divided:       true,
+		Barrier:       stableheap.Ellis,
+		Incremental:   true,
+	}
+	d := crashtest.New(cfg, *seed)
+
+	for round := 1; round <= *rounds; round++ {
+		for i := 0; i < *steps; i++ {
+			if err := d.Step(); err != nil {
+				log.Fatalf("round %d step %d: %v", round, i, err)
+			}
+		}
+		if *midGC {
+			d.Heap().StartStableCollection()
+			d.Heap().StepStable()
+		}
+		gcActive := d.Heap().StableCollector().Active()
+		start := time.Now()
+		if err := d.CrashAndRecover(*flush, true); err != nil {
+			log.Fatalf("round %d: VIOLATION: %v", round, err)
+		}
+		res := d.Heap().LastRecovery()
+		fmt.Printf("round %d: crash (gc-active=%v, %.0f%% flushed) → recovered in %s\n",
+			round, gcActive, *flush*100, time.Since(start).Round(time.Microsecond))
+		fmt.Printf("  redo from LSN %d: %d records scanned, %d applied; %d losers rolled back\n",
+			res.RedoStart, res.RedoScanned, res.RedoApplied, len(res.Losers))
+		fmt.Printf("  model verified twice (primary + independent twin recovery)\n")
+	}
+	s := d.Stats()
+	fmt.Printf("\ntotal: %d operations, %d commits, %d aborts, %d crashes, 0 violations\n",
+		s.Steps, s.Commits, s.Aborts, s.Crashes)
+}

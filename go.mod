@@ -1,0 +1,3 @@
+module stableheap
+
+go 1.22

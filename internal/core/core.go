@@ -1,0 +1,1001 @@
+// Package core assembles the stable heap (Ch. 2, 5, 7): one virtual
+// address space divided into a stable area — collected by the atomic
+// incremental copying collector and protected by write-ahead logging — and
+// a volatile area — collected by a plain unlogged copying collector — with
+// transactions, concurrent stability tracking, checkpointing, crash
+// simulation, and recovery wired together.
+//
+// Address space layout (page 0 is reserved so that address 0 is never
+// valid):
+//
+//	[page 1 …                )  stable semispace 0
+//	[… , …                   )  stable semispace 1
+//	[… , …                   )  volatile semispace 0
+//	[… , …                   )  volatile semispace 1
+//
+// All low-level actions run under a single action latch, matching the
+// paper's model in which read and update actions are indivisible and
+// context switches happen only at action boundaries (§2.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stableheap/internal/gc"
+	"stableheap/internal/heap"
+	"stableheap/internal/lock"
+	"stableheap/internal/recovery"
+	"stableheap/internal/stability"
+	"stableheap/internal/storage"
+	"stableheap/internal/tx"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Errors returned by heap operations.
+var (
+	// ErrConflict is returned when a lock cannot be acquired; the caller
+	// should abort and retry the transaction.
+	ErrConflict = errors.New("core: lock conflict")
+	// ErrHeapFull is returned when an allocation cannot be satisfied
+	// even after collection.
+	ErrHeapFull = errors.New("core: heap full")
+	// ErrTxDone is returned for operations on a finished transaction.
+	ErrTxDone = errors.New("core: transaction already finished")
+)
+
+// Config sizes and parameterizes a stable heap.
+type Config struct {
+	// PageSize in bytes (default 1024).
+	PageSize int
+	// StableWords is the size of each stable semispace in words
+	// (default 64Ki words = 512 KiB).
+	StableWords int
+	// VolatileWords is the size of each volatile semispace in words
+	// (default 16Ki words). Ignored when Divided is false.
+	VolatileWords int
+	// Divided enables the stable/volatile split of Chapter 5. When
+	// false, every object lives in the stable area and every update is
+	// logged (the Chapters 3–4 configuration, used as the E9 baseline).
+	Divided bool
+	// Barrier selects the stable collector's read barrier (Ellis
+	// default; Baker for the §3.8 variant; NoBarrier with
+	// Incremental=false for the stop-the-world baseline).
+	Barrier gc.Barrier
+	// Incremental interleaves stable collections with mutation.
+	Incremental bool
+	// StepPages / StepWords are the incremental quanta.
+	StepPages int
+	StepWords int
+	// GCTriggerFraction starts a stable collection when free space in
+	// the current semispace drops below this fraction (default 0.25).
+	GCTriggerFraction float64
+	// CachePages caps the page cache (0 = unlimited).
+	CachePages int
+	// LogSegBytes is the log device's segment size.
+	LogSegBytes int
+	// LockWait bounds lock waits before a conflict error (0 = fail
+	// fast; deadlock victims time out).
+	LockWait time.Duration
+	// NumRoots is the size of the stable root array (default 32).
+	NumRoots int
+	// DisableOpPacing stops heap operations from donating incremental
+	// collection quanta; the collection then advances only through
+	// read-barrier traps and explicit StepStable calls (the purely
+	// trap-driven Ellis flavor; used by the barrier experiments).
+	DisableOpPacing bool
+	// GroupCommitWindow enables group commit (§2.2.1 footnote): commits
+	// park up to this long so one log force covers the batch. Zero
+	// disables (every commit forces individually).
+	GroupCommitWindow time.Duration
+	// GroupCommitBatch forces early once this many committers are
+	// parked (default 16).
+	GroupCommitBatch int
+	// CopyContents makes the collector's copy records carry full object
+	// images (the E14 ablation of the paper's content-free records).
+	CopyContents bool
+	// Measure records pause durations in the collectors.
+	Measure bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 1024
+	}
+	if c.StableWords == 0 {
+		c.StableWords = 64 * 1024
+	}
+	if c.VolatileWords == 0 {
+		c.VolatileWords = 16 * 1024
+	}
+	if c.NumRoots == 0 {
+		c.NumRoots = 32
+	}
+	if c.GCTriggerFraction == 0 {
+		c.GCTriggerFraction = 0.25
+	}
+	if c.StepPages == 0 {
+		c.StepPages = 1
+	}
+	if c.StepWords == 0 {
+		c.StepWords = 128
+	}
+	return c
+}
+
+// DefaultConfig is a small divided heap with the Ellis incremental
+// collector — the paper's recommended configuration.
+func DefaultConfig() Config {
+	return Config{Divided: true, Barrier: gc.Ellis, Incremental: true}.withDefaults()
+}
+
+// Ref is a stable reference to a heap object: a registered mutator root
+// the collectors keep current as objects move. Refs belong to the
+// transaction that created them.
+type Ref = tx.Handle
+
+// Heap is a stable heap instance.
+type Heap struct {
+	cfg    Config
+	disk   *storage.Disk
+	logDev *storage.Log
+	log    *wal.Manager
+	mem    *vm.Store
+	h      *heap.Heap
+	locks  *lock.Manager
+	txm    *tx.Manager
+	sgc    *gc.Collector
+	vgc    *gc.VolatileCollector // nil when !Divided
+	ckpt   *recovery.Checkpointer
+	track  *stability.Tracker
+
+	// mu is the action latch: low-level actions are indivisible.
+	mu sync.Mutex
+
+	// rootObj is the current address of the stable root object (an
+	// object with NumRoots pointer fields living in the stable area).
+	rootObj word.Addr
+	// volRootObj is the volatile root object; it does not survive
+	// crashes. NilAddr when !Divided.
+	volRootObj word.Addr
+
+	// ls is the LS set: newly stable objects still at volatile
+	// addresses. srem is the stable→volatile remembered set: stable-area
+	// slots holding volatile pointers.
+	ls   map[word.Addr]bool
+	srem map[word.Addr]bool
+
+	// candidates collects, per transaction, the targets of pointer
+	// stores into stable state, for commit-time stability tracking.
+	candidates map[word.TxID][]*tx.Handle
+
+	// group batches commit forces when Config.GroupCommitWindow > 0.
+	group *groupCommitter
+
+	// area bounds
+	stableLo, stableHi word.Addr
+	volLo, volHi       word.Addr
+
+	lastRecovery *recovery.Result
+}
+
+// Tx is an open transaction on a Heap.
+type Tx struct {
+	hp  *Heap
+	t   *tx.Tx
+	err error // sticky failure (conflict): only Abort is allowed
+}
+
+// Open creates a freshly formatted stable heap on new simulated devices.
+func Open(cfg Config) *Heap {
+	cfg = cfg.withDefaults()
+	disk := storage.NewDisk(cfg.PageSize)
+	logDev := storage.NewLog(cfg.LogSegBytes)
+	hp := build(cfg, disk, logDev)
+	hp.format()
+	return hp
+}
+
+// build wires the subsystems over existing devices (no formatting).
+func build(cfg Config, disk *storage.Disk, logDev *storage.Log) *Heap {
+	log := wal.NewManager(logDev)
+	mem := vm.New(vm.Config{PageSize: cfg.PageSize, CachePages: cfg.CachePages, LogFetches: true}, disk, log)
+	h := heap.New(mem)
+	locks := lock.NewManager(cfg.LockWait)
+
+	hp := &Heap{
+		cfg: cfg, disk: disk, logDev: logDev, log: log, mem: mem, h: h, locks: locks,
+		ls:         make(map[word.Addr]bool),
+		srem:       make(map[word.Addr]bool),
+		candidates: make(map[word.TxID][]*tx.Handle),
+	}
+
+	ps := word.Addr(cfg.PageSize)
+	hp.stableLo = ps
+	hp.stableHi = hp.stableLo + word.Addr(word.WordsToBytes(2*cfg.StableWords))
+	if cfg.Divided {
+		// Keep areas page aligned.
+		hp.volLo = alignUp(hp.stableHi, cfg.PageSize)
+		hp.volHi = hp.volLo + word.Addr(word.WordsToBytes(2*cfg.VolatileWords))
+	}
+
+	hp.txm = tx.NewManager(log, mem, h, locks, tx.Env{
+		VolatilePred:      hp.inVolatile,
+		OnStableSlotWrite: hp.onStableSlotWrite,
+	})
+
+	hp.sgc = gc.New(gc.Config{
+		Barrier:      cfg.Barrier,
+		Incremental:  cfg.Incremental,
+		Atomic:       true,
+		StepPages:    cfg.StepPages,
+		StepWords:    cfg.StepWords,
+		Measure:      cfg.Measure,
+		CopyContents: cfg.CopyContents,
+	}, mem, h, log, hp.stableLo, hp.stableHi)
+
+	hp.ckpt = recovery.NewCheckpointer(log, mem, word.NilLSN)
+
+	hp.sgc.SetHooks(gc.Hooks{
+		ForEachRoot: hp.forEachStableRoot,
+		OnCopy:      hp.onCopy,
+	})
+	mem.SetTrapHandler(hp.sgc.Trap)
+
+	if cfg.Divided {
+		hp.vgc = gc.NewVolatile(mem, h, log, hp.volLo, hp.volHi, cfg.Measure)
+		hp.vgc.SetHooks(gc.VolatileHooks{
+			ForEachRoot:       hp.forEachVolatileRoot,
+			StableSlots:       hp.stableSlots,
+			AllocStable:       hp.allocStableForMove,
+			OnCopy:            hp.onCopy,
+			OnMoveStable:      hp.onMoveStable,
+			OnStableSlotFixed: hp.onStableSlotFixed,
+		})
+		hp.track = stability.New(h, hp.txm, locks, stability.Env{
+			InVolatile: hp.inVolatile,
+			AddLS:      func(a word.Addr) { hp.ls[a] = true },
+		})
+	}
+	if cfg.GroupCommitWindow > 0 {
+		hp.group = newGroupCommitter(hp, cfg.GroupCommitWindow, cfg.GroupCommitBatch)
+	}
+	return hp
+}
+
+func alignUp(a word.Addr, ps int) word.Addr {
+	r := uint64(a) % uint64(ps)
+	if r == 0 {
+		return a
+	}
+	return a + word.Addr(uint64(ps)-r)
+}
+
+// format bootstraps a fresh heap: the stable root object is created by a
+// system bootstrap transaction, then the first checkpoint is taken and the
+// master block initialized.
+func (hp *Heap) format() {
+	recovery.InitMaster(hp.disk)
+	d := heap.NewDescriptor(0, hp.cfg.NumRoots, 0)
+	addr, ok := hp.sgc.Alloc(d.SizeWords())
+	if !ok {
+		panic("core: stable area too small for the root object")
+	}
+	t := hp.txm.Begin()
+	lsn := hp.txm.LogAlloc(t, addr, d)
+	hp.h.SetDescriptor(addr, d, lsn)
+	hp.rootObj = addr
+	hp.txm.Commit(t)
+	if hp.cfg.Divided {
+		hp.volRootObj = hp.allocVolRootObj()
+	}
+	hp.Checkpoint()
+	hp.ckpt.ForcePromote()
+}
+
+// allocVolRootObj creates the (crash-transient) volatile root object.
+func (hp *Heap) allocVolRootObj() word.Addr {
+	d := heap.NewDescriptor(0, hp.cfg.NumRoots, 0)
+	a, ok := hp.vgc.Alloc(d.SizeWords())
+	if !ok {
+		panic("core: volatile area too small for the root object")
+	}
+	hp.h.SetDescriptor(a, d, word.NilLSN)
+	return a
+}
+
+// --- area predicates and hooks -----------------------------------------
+
+func (hp *Heap) inVolatile(a word.Addr) bool {
+	return hp.cfg.Divided && a >= hp.volLo && a < hp.volHi
+}
+
+func (hp *Heap) inStableArea(a word.Addr) bool {
+	return a >= hp.stableLo && a < hp.stableHi
+}
+
+// isStableObject reports whether updates to the object at a must follow
+// the WAL protocol: it lives in the stable area, or it is a newly stable
+// (AS) object still at a volatile address.
+func (hp *Heap) isStableObject(a word.Addr, d heap.Descriptor) bool {
+	if hp.inStableArea(a) {
+		return true
+	}
+	return d.AS()
+}
+
+// onStableSlotWrite maintains the remembered set for pointer stores into
+// stable slots (wired into the transaction manager's env). Only slots that
+// physically live in the stable area belong in SRem; slots inside AS
+// objects still at volatile addresses are covered by the move scan.
+func (hp *Heap) onStableSlotWrite(slot word.Addr, ptrToVolatile bool) {
+	if !hp.inStableArea(slot) {
+		return
+	}
+	if ptrToVolatile {
+		hp.srem[slot] = true
+	} else {
+		delete(hp.srem, slot)
+	}
+}
+
+// onCopy is every collector's copy hook: undo translations, lock rekeys,
+// and remembered-slot rebasing follow the object.
+func (hp *Heap) onCopy(from, to word.Addr, sizeWords int) {
+	hp.txm.OnCopy(from, to, sizeWords)
+	hp.locks.Rekey(from, to)
+	hi := from.Add(sizeWords)
+	for slot := range hp.srem {
+		if slot >= from && slot < hi {
+			delete(hp.srem, slot)
+			hp.srem[to+(slot-from)] = true
+		}
+	}
+}
+
+// onMoveStable handles a newly stable object leaving the volatile area.
+func (hp *Heap) onMoveStable(from, to word.Addr, sizeWords int) {
+	delete(hp.ls, from)
+	hp.onCopy(from, to, sizeWords)
+}
+
+// onStableSlotFixed maintains SRem membership for slots the volatile
+// collector rewrote.
+func (hp *Heap) onStableSlotFixed(slot, newPtr word.Addr, stillVolatile bool) {
+	if stillVolatile {
+		hp.srem[slot] = true
+	} else {
+		delete(hp.srem, slot)
+	}
+}
+
+// stableSlots returns the remembered set sorted (volatile-GC roots).
+func (hp *Heap) stableSlots() []word.Addr {
+	out := make([]word.Addr, 0, len(hp.srem))
+	for a := range hp.srem {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// allocStableForMove reserves stable space for an evacuated object; the
+// caller (volatile collection) verified capacity beforehand.
+func (hp *Heap) allocStableForMove(sizeWords int) word.Addr {
+	a, ok := hp.sgc.AllocForMove(sizeWords)
+	if !ok {
+		panic("core: stable area exhausted during evacuation (ensureStableSpace bug)")
+	}
+	return a
+}
+
+// forEachStableRoot enumerates the stable collector's roots at a flip:
+// transaction handles, undo-information pointer values, locked objects,
+// the volatile root object's slots and every volatile-area slot that
+// points into the stable area (the paper's stated cost of dividing the
+// heap: the volatile area is scanned as a root set).
+func (hp *Heap) forEachStableRoot(visit func(get func() word.Addr, set func(word.Addr))) {
+	hp.txm.ForEachHandle(visit)
+	hp.txm.ForEachUndoRoot(visit)
+	for _, a := range hp.locks.LockedAddrs() {
+		a := a
+		// Locked objects are copied so their lock-table keys stay
+		// valid; the rekey itself happens in the OnCopy hook.
+		visit(func() word.Addr { return a }, func(word.Addr) {})
+	}
+	if hp.cfg.Divided {
+		hp.forEachVolatileSlot(visit)
+	}
+}
+
+// forEachVolatileSlot walks every object in the current volatile semispace
+// and visits its pointer slots (unlogged rewrites: volatile state).
+func (hp *Heap) forEachVolatileSlot(visit func(get func() word.Addr, set func(word.Addr))) {
+	sp := hp.vgc.Current()
+	for a := sp.Lo; a < sp.CopyPtr; {
+		d := hp.h.Descriptor(a)
+		for i := 0; i < d.NPtrs(); i++ {
+			slot := a + word.Addr(heap.PtrOffset(i))
+			visit(
+				func() word.Addr { return word.Addr(hp.mem.ReadWord(slot)) },
+				func(na word.Addr) { hp.mem.WriteWord(slot, uint64(na), word.NilLSN) },
+			)
+		}
+		a = a.Add(d.SizeWords())
+	}
+}
+
+// forEachVolatileRoot enumerates the volatile collector's roots: the
+// volatile root object pointer, transaction handles, and undo-information
+// pointer values.
+func (hp *Heap) forEachVolatileRoot(visit func(get func() word.Addr, set func(word.Addr))) {
+	visit(func() word.Addr { return hp.volRootObj }, func(a word.Addr) { hp.volRootObj = a })
+	hp.txm.ForEachHandle(visit)
+	hp.txm.ForEachUndoRoot(visit)
+}
+
+// --- collection scheduling ----------------------------------------------
+
+// maybeStartStableGC flips when free stable space runs low.
+func (hp *Heap) maybeStartStableGC() {
+	if hp.sgc.Active() {
+		return
+	}
+	if float64(hp.sgc.FreeWords()) >= hp.cfg.GCTriggerFraction*float64(hp.cfg.StableWords) {
+		return
+	}
+	hp.startStableGC()
+}
+
+func (hp *Heap) startStableGC() {
+	hp.rootObj = hp.sgc.StartCollection(hp.rootObj)
+}
+
+// stepStableGC advances an active incremental collection by one quantum
+// (called from heap operations: the paper's "the mutator calls the
+// collector to do some work", §3.2).
+func (hp *Heap) stepStableGC() {
+	if !hp.cfg.DisableOpPacing && hp.sgc.Active() {
+		hp.sgc.Step()
+	}
+}
+
+// lsWords sums the sizes of pending newly stable objects.
+func (hp *Heap) lsWords() int {
+	total := 0
+	for a := range hp.ls {
+		total += hp.h.Descriptor(a).SizeWords()
+	}
+	return total
+}
+
+// ensureStableSpace guarantees the stable allocator can absorb needWords
+// (finishing or running a collection if necessary).
+func (hp *Heap) ensureStableSpace(needWords int) error {
+	if hp.sgc.FreeWords() >= needWords {
+		return nil
+	}
+	if hp.sgc.Active() {
+		hp.sgc.Finish()
+	} else {
+		hp.startStableGC()
+		hp.sgc.Finish()
+	}
+	if hp.sgc.FreeWords() < needWords {
+		return ErrHeapFull
+	}
+	return nil
+}
+
+// collectVolatile runs a volatile collection, first guaranteeing stable
+// space for the pending LS moves; the LS set is cleared afterwards (dead
+// entries died with the collection).
+func (hp *Heap) collectVolatile() error {
+	if err := hp.ensureStableSpace(hp.lsWords()); err != nil {
+		return err
+	}
+	if hp.sgc.Active() {
+		// Policy: the stable area is quiescent during a volatile
+		// collection (moves allocate at the stable copy frontier).
+		hp.sgc.Finish()
+	}
+	hp.vgc.Collect()
+	hp.ls = make(map[word.Addr]bool)
+	// Evacuations consumed stable space; if it is running low, start an
+	// incremental stable collection now so it finishes before the space
+	// is needed (rather than a forced stop-the-world later).
+	hp.maybeStartStableGC()
+	return nil
+}
+
+// --- public transaction API ----------------------------------------------
+
+// Begin starts a transaction.
+func (hp *Heap) Begin() *Tx {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return &Tx{hp: hp, t: hp.txm.Begin()}
+}
+
+// fail records a sticky conflict error.
+func (t *Tx) fail(err error) error {
+	t.err = err
+	return err
+}
+
+// ok verifies the transaction can run another action.
+func (t *Tx) ok() error {
+	if t.t.Status() != tx.Active {
+		return ErrTxDone
+	}
+	return t.err
+}
+
+// Err returns the sticky error, if any.
+func (t *Tx) Err() error { return t.err }
+
+// ID returns the transaction id.
+func (t *Tx) ID() word.TxID { return t.t.ID() }
+
+// lockAddr acquires a lock on the object named by read(), mapping
+// timeouts to ErrConflict. The address is read and the lock try-acquired
+// atomically under the action latch (so the lock table only ever names
+// current addresses and a flip's Rekey never collides with a stale
+// optimistic entry); on contention the transaction waits for availability
+// *outside* the latch — without holding anything — and retries, because
+// the holder needs the latch to finish its work. A lock held when the
+// object later moves follows it automatically: the collector rekeys the
+// table on every copy.
+func (t *Tx) lockAddr(read func() word.Addr, m lock.Mode) error {
+	hp := t.hp
+	var deadline time.Time
+	for {
+		hp.mu.Lock()
+		a := read()
+		err := hp.locks.TryAcquire(t.t.ID(), a, m)
+		hp.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		if hp.cfg.LockWait == 0 {
+			return t.fail(ErrConflict)
+		}
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(hp.cfg.LockWait)
+		} else if now.After(deadline) {
+			return t.fail(ErrConflict)
+		}
+		if !hp.locks.WaitFree(t.t.ID(), a, m, deadline.Sub(now)) {
+			return t.fail(ErrConflict)
+		}
+	}
+}
+
+// lockRef is lockAddr over a registered handle.
+func (t *Tx) lockRef(r *Ref, m lock.Mode) error {
+	return t.lockAddr(r.Addr, m)
+}
+
+// Alloc creates an object with nptrs pointer fields (nil) and ndata zero
+// data words, returning a registered reference. New objects are volatile
+// (divided mode) or stable (all-stable mode).
+func (t *Tx) Alloc(typeID uint16, nptrs, ndata int) (*Ref, error) {
+	if err := t.ok(); err != nil {
+		return nil, err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	d := heap.NewDescriptor(typeID, nptrs, ndata)
+	size := d.SizeWords()
+	var addr word.Addr
+	if hp.cfg.Divided {
+		a, ok := hp.vgc.Alloc(size)
+		if !ok {
+			if err := hp.collectVolatile(); err != nil {
+				return nil, t.fail(err)
+			}
+			if a, ok = hp.vgc.Alloc(size); !ok {
+				return nil, t.fail(ErrHeapFull)
+			}
+		}
+		addr = a
+		hp.h.SetDescriptor(addr, d, word.NilLSN)
+		hp.zeroObject(addr, d, word.NilLSN)
+	} else {
+		hp.maybeStartStableGC()
+		a, ok := hp.sgc.Alloc(size)
+		if !ok {
+			if err := hp.ensureStableSpace(size); err != nil {
+				return nil, t.fail(err)
+			}
+			if a, ok = hp.sgc.Alloc(size); !ok {
+				return nil, t.fail(ErrHeapFull)
+			}
+		}
+		addr = a
+		lsn := hp.txm.LogAlloc(t.t, addr, d)
+		hp.h.SetDescriptor(addr, d, lsn)
+		hp.zeroObject(addr, d, lsn)
+	}
+	hp.stepStableGC()
+	return hp.txm.Register(t.t, addr), nil
+}
+
+// zeroObject clears an object's fields (allocation initializes to
+// nil/zero).
+func (hp *Heap) zeroObject(addr word.Addr, d heap.Descriptor, lsn word.LSN) {
+	n := word.WordsToBytes(d.SizeWords() - 1)
+	if n > 0 {
+		hp.mem.WriteBytes(addr.Add(1), make([]byte, n), lsn)
+	}
+}
+
+// descriptorOf reads an object's descriptor through the read barrier.
+func (hp *Heap) descriptorOf(a word.Addr) heap.Descriptor {
+	hp.mem.EnsureAccessible(a, word.WordSize)
+	return hp.h.Descriptor(a)
+}
+
+// Ptr reads pointer field i of the referenced object, returning a new
+// registered reference (nil Ref for a nil pointer).
+func (t *Tx) Ptr(r *Ref, i int) (*Ref, error) {
+	if err := t.ok(); err != nil {
+		return nil, err
+	}
+	if err := t.lockRef(r, lock.Read); err != nil {
+		return nil, err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	a := r.Addr()
+	d := hp.descriptorOf(a)
+	if i < 0 || i >= d.NPtrs() {
+		return nil, fmt.Errorf("core: pointer index %d out of range [0,%d)", i, d.NPtrs())
+	}
+	slot := a + word.Addr(heap.PtrOffset(i))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	p := word.Addr(hp.mem.ReadWord(slot))
+	p = hp.sgc.BarrierLoad(p) // Baker-mode transport
+	hp.stepStableGC()
+	if p.IsNil() {
+		return nil, nil
+	}
+	return hp.txm.Register(t.t, p), nil
+}
+
+// Data reads data word j of the referenced object.
+func (t *Tx) Data(r *Ref, j int) (uint64, error) {
+	if err := t.ok(); err != nil {
+		return 0, err
+	}
+	if err := t.lockRef(r, lock.Read); err != nil {
+		return 0, err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	a := r.Addr()
+	d := hp.descriptorOf(a)
+	if j < 0 || j >= d.NData() {
+		return 0, fmt.Errorf("core: data index %d out of range [0,%d)", j, d.NData())
+	}
+	slot := a + word.Addr(heap.DataOffset(d.NPtrs(), j))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	v := hp.mem.ReadWord(slot)
+	hp.stepStableGC()
+	return v, nil
+}
+
+// SetPtr stores val (which may be nil) into pointer field i.
+func (t *Tx) SetPtr(r *Ref, i int, val *Ref) error {
+	if err := t.ok(); err != nil {
+		return err
+	}
+	if err := t.lockRef(r, lock.Write); err != nil {
+		return err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	a := r.Addr()
+	d := hp.descriptorOf(a)
+	if i < 0 || i >= d.NPtrs() {
+		return fmt.Errorf("core: pointer index %d out of range [0,%d)", i, d.NPtrs())
+	}
+	var v word.Addr
+	if val != nil {
+		v = val.Addr()
+	}
+	slot := a + word.Addr(heap.PtrOffset(i))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	hp.writeWordAction(t, a, d, slot, uint64(v), true)
+	// A volatile target stored into stable state is a stability
+	// candidate for commit-time tracking.
+	if hp.cfg.Divided && val != nil && hp.isStableObject(a, d) && hp.inVolatile(v) {
+		hp.candidates[t.t.ID()] = append(hp.candidates[t.t.ID()], hp.txm.Register(t.t, v))
+	}
+	hp.stepStableGC()
+	return nil
+}
+
+// SetData stores v into data word j.
+func (t *Tx) SetData(r *Ref, j int, v uint64) error {
+	if err := t.ok(); err != nil {
+		return err
+	}
+	if err := t.lockRef(r, lock.Write); err != nil {
+		return err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	a := r.Addr()
+	d := hp.descriptorOf(a)
+	if j < 0 || j >= d.NData() {
+		return fmt.Errorf("core: data index %d out of range [0,%d)", j, d.NData())
+	}
+	slot := a + word.Addr(heap.DataOffset(d.NPtrs(), j))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	hp.writeWordAction(t, a, d, slot, v, false)
+	hp.stepStableGC()
+	return nil
+}
+
+// writeWordAction dispatches a word store to the logged or unlogged path.
+func (hp *Heap) writeWordAction(t *Tx, obj word.Addr, d heap.Descriptor, slot word.Addr, v uint64, isPtr bool) {
+	buf := make([]byte, word.WordSize)
+	word.PutWord(buf, 0, v)
+	if hp.isStableObject(obj, d) {
+		hp.txm.Update(t.t, obj, slot, buf, isPtr)
+	} else {
+		hp.txm.VolatileWrite(t.t, slot, buf, isPtr)
+	}
+}
+
+// AddData atomically adds delta (wrapping) to data word j — the logical
+// update of §2.2.4: no before-image is logged, and its undo is the negated
+// delta applied wherever the object lives, so counters and balances cost a
+// third of a physical update's log traffic. Volatile objects fall back to
+// the ordinary in-memory-undo path.
+func (t *Tx) AddData(r *Ref, j int, delta uint64) error {
+	if err := t.ok(); err != nil {
+		return err
+	}
+	if err := t.lockRef(r, lock.Write); err != nil {
+		return err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	a := r.Addr()
+	d := hp.descriptorOf(a)
+	if j < 0 || j >= d.NData() {
+		return fmt.Errorf("core: data index %d out of range [0,%d)", j, d.NData())
+	}
+	slot := a + word.Addr(heap.DataOffset(d.NPtrs(), j))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	if hp.isStableObject(a, d) {
+		hp.txm.UpdateLogical(t.t, a, slot, delta)
+	} else {
+		cur := hp.mem.ReadWord(slot)
+		buf := make([]byte, word.WordSize)
+		word.PutWord(buf, 0, cur+delta)
+		hp.txm.VolatileWrite(t.t, slot, buf, false)
+	}
+	hp.stepStableGC()
+	return nil
+}
+
+// Shape returns the referenced object's type id, pointer count and data
+// count.
+func (t *Tx) Shape(r *Ref) (typeID uint16, nptrs, ndata int, err error) {
+	if err := t.ok(); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := t.lockRef(r, lock.Read); err != nil {
+		return 0, 0, 0, err
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	d := hp.descriptorOf(r.Addr())
+	return d.TypeID(), d.NPtrs(), d.NData(), nil
+}
+
+// Root returns stable root slot i (nil Ref if unset).
+func (t *Tx) Root(i int) (*Ref, error) {
+	if err := t.ok(); err != nil {
+		return nil, err
+	}
+	hp := t.hp
+	if err := t.lockAddr(func() word.Addr { return hp.rootObj }, lock.Read); err != nil {
+		return nil, err
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if i < 0 || i >= hp.cfg.NumRoots {
+		return nil, fmt.Errorf("core: root index %d out of range", i)
+	}
+	slot := hp.rootObj + word.Addr(heap.PtrOffset(i))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	p := word.Addr(hp.mem.ReadWord(slot))
+	p = hp.sgc.BarrierLoad(p)
+	hp.stepStableGC()
+	if p.IsNil() {
+		return nil, nil
+	}
+	return hp.txm.Register(t.t, p), nil
+}
+
+// SetRoot stores val into stable root slot i: this is how objects become
+// reachable from stable state.
+func (t *Tx) SetRoot(i int, val *Ref) error {
+	if err := t.ok(); err != nil {
+		return err
+	}
+	hp := t.hp
+	if err := t.lockAddr(func() word.Addr { return hp.rootObj }, lock.Write); err != nil {
+		return err
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if i < 0 || i >= hp.cfg.NumRoots {
+		return fmt.Errorf("core: root index %d out of range", i)
+	}
+	var v word.Addr
+	if val != nil {
+		v = val.Addr()
+	}
+	d := hp.h.Descriptor(hp.rootObj)
+	slot := hp.rootObj + word.Addr(heap.PtrOffset(i))
+	hp.mem.EnsureAccessible(slot, word.WordSize)
+	hp.writeWordAction(t, hp.rootObj, d, slot, uint64(v), true)
+	if hp.cfg.Divided && val != nil && hp.inVolatile(v) {
+		hp.candidates[t.t.ID()] = append(hp.candidates[t.t.ID()], hp.txm.Register(t.t, v))
+	}
+	hp.stepStableGC()
+	return nil
+}
+
+// VolRoot returns volatile root slot i. Volatile roots do not survive
+// crashes.
+func (t *Tx) VolRoot(i int) (*Ref, error) {
+	if err := t.ok(); err != nil {
+		return nil, err
+	}
+	hp := t.hp
+	if !hp.cfg.Divided {
+		return nil, errors.New("core: volatile roots need a divided heap")
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if i < 0 || i >= hp.cfg.NumRoots {
+		return nil, fmt.Errorf("core: root index %d out of range", i)
+	}
+	p := word.Addr(hp.mem.ReadWord(hp.volRootObj + word.Addr(heap.PtrOffset(i))))
+	if p.IsNil() {
+		return nil, nil
+	}
+	return hp.txm.Register(t.t, p), nil
+}
+
+// SetVolRoot stores val into volatile root slot i (unlogged; undone on
+// abort).
+func (t *Tx) SetVolRoot(i int, val *Ref) error {
+	if err := t.ok(); err != nil {
+		return err
+	}
+	hp := t.hp
+	if !hp.cfg.Divided {
+		return errors.New("core: volatile roots need a divided heap")
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if i < 0 || i >= hp.cfg.NumRoots {
+		return fmt.Errorf("core: root index %d out of range", i)
+	}
+	var v word.Addr
+	if val != nil {
+		v = val.Addr()
+	}
+	buf := make([]byte, word.WordSize)
+	word.PutWord(buf, 0, uint64(v))
+	hp.txm.VolatileWrite(t.t, hp.volRootObj+word.Addr(heap.PtrOffset(i)), buf, true)
+	return nil
+}
+
+// Commit runs stability tracking for the transaction's newly reachable
+// volatile objects, then writes and forces the commit record (through the
+// group committer when enabled, so one force covers a batch). On a
+// tracking conflict the transaction is aborted and ErrConflict returned.
+func (t *Tx) Commit() error {
+	if t.t.Status() != tx.Active {
+		return ErrTxDone
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	if t.err == nil && hp.track != nil && !t.t.Prepared() {
+		if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
+			delete(hp.candidates, t.t.ID())
+			hp.txm.Abort(t.t)
+			hp.mu.Unlock()
+			return t.fail(ErrConflict)
+		}
+	}
+	delete(hp.candidates, t.t.ID())
+	if t.err != nil {
+		hp.txm.Abort(t.t)
+		hp.mu.Unlock()
+		return t.err
+	}
+	if hp.group == nil {
+		hp.txm.Commit(t.t)
+		hp.ckpt.Promote()
+		hp.mu.Unlock()
+		return nil
+	}
+	// Group commit: append the commit record, park outside the latch
+	// until a shared force covers it, then finish. Locks stay held
+	// throughout, so isolation is unchanged.
+	lsn := hp.txm.PrepareCommit(t.t)
+	hp.mu.Unlock()
+	hp.group.waitDurable(lsn)
+	hp.mu.Lock()
+	hp.txm.FinishCommit(t.t)
+	hp.mu.Unlock()
+	return nil
+}
+
+// Prepare runs stability tracking and writes a forced prepare record: the
+// participant side of two-phase commit. The transaction's effects are then
+// durable but undecided — locks stay held, and if the system crashes the
+// transaction is restored in-doubt at recovery, awaiting ResolveCommit or
+// ResolveAbort (the coordinator's decision). After Prepare only Commit or
+// Abort are legal.
+func (t *Tx) Prepare() error {
+	if t.t.Status() != tx.Active {
+		return ErrTxDone
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if t.err == nil && hp.track != nil {
+		if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
+			delete(hp.candidates, t.t.ID())
+			hp.txm.Abort(t.t)
+			return t.fail(ErrConflict)
+		}
+	}
+	delete(hp.candidates, t.t.ID())
+	if t.err != nil {
+		hp.txm.Abort(t.t)
+		return t.err
+	}
+	hp.txm.Prepare(t.t)
+	hp.ckpt.Promote()
+	return nil
+}
+
+// Abort rolls the transaction back.
+func (t *Tx) Abort() error {
+	if t.t.Status() != tx.Active {
+		return ErrTxDone
+	}
+	hp := t.hp
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	delete(hp.candidates, t.t.ID())
+	hp.txm.Abort(t.t)
+	return nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"stableheap/internal/word"
+)
+
+// groupCommitter implements group commit (§2.2.1, footnote 1): instead of
+// forcing the log once per transaction, committers park until either the
+// group fills or the window elapses, and a single synchronous write makes
+// the whole batch durable. Locks are held until the force completes, so
+// isolation is unchanged; only the force is shared.
+type groupCommitter struct {
+	hp     *Heap
+	window time.Duration
+	batch  int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int      // committers waiting on the next force
+	highLSN word.LSN // highest commit LSN awaiting durability
+	stable  word.LSN // everything below is known durable
+	closed  bool
+
+	flusherWake chan struct{}
+	flusherDone chan struct{}
+
+	stats GroupCommitStats
+}
+
+// GroupCommitStats counts group-commit behaviour.
+type GroupCommitStats struct {
+	Commits int64 // committers that went through the group path
+	Forces  int64 // synchronous writes performed on their behalf
+	MaxWait int64 // largest batch released by one force
+}
+
+func newGroupCommitter(hp *Heap, window time.Duration, batch int) *groupCommitter {
+	if batch <= 0 {
+		batch = 16
+	}
+	g := &groupCommitter{
+		hp: hp, window: window, batch: batch,
+		flusherWake: make(chan struct{}, 1),
+		flusherDone: make(chan struct{}),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	go g.flusher()
+	return g
+}
+
+// waitDurable parks the caller until the commit record at lsn is on stable
+// storage. The caller must NOT hold the heap latch (the flusher needs it
+// to force).
+func (g *groupCommitter) waitDurable(lsn word.LSN) {
+	g.mu.Lock()
+	if g.closed {
+		// Shutdown path: force directly.
+		g.mu.Unlock()
+		g.hp.mu.Lock()
+		g.hp.log.Force(lsn)
+		g.hp.mu.Unlock()
+		return
+	}
+	g.stats.Commits++
+	g.pending++
+	if lsn > g.highLSN {
+		g.highLSN = lsn
+	}
+	if g.pending >= g.batch {
+		select {
+		case g.flusherWake <- struct{}{}:
+		default:
+		}
+	}
+	for g.stable <= lsn && !g.closed {
+		g.cond.Wait()
+	}
+	if g.closed && g.stable <= lsn {
+		g.mu.Unlock()
+		g.hp.mu.Lock()
+		g.hp.log.Force(lsn)
+		g.hp.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+}
+
+// flusher wakes every window (or when a batch fills) and forces the log
+// through the highest pending commit.
+func (g *groupCommitter) flusher() {
+	defer close(g.flusherDone)
+	timer := time.NewTimer(g.window)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+		case <-g.flusherWake:
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			return
+		}
+		target := g.highLSN
+		released := g.pending
+		g.mu.Unlock()
+
+		if released > 0 {
+			g.hp.mu.Lock()
+			g.hp.log.Force(target)
+			stable := g.hp.log.StableLSN()
+			g.hp.ckpt.Promote()
+			g.hp.mu.Unlock()
+
+			g.mu.Lock()
+			g.stable = stable
+			g.pending = 0
+			g.stats.Forces++
+			if int64(released) > g.stats.MaxWait {
+				g.stats.MaxWait = int64(released)
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		}
+		timer.Reset(g.window)
+	}
+}
+
+// close stops the flusher; parked committers fall back to direct forces.
+func (g *groupCommitter) close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	select {
+	case g.flusherWake <- struct{}{}:
+	default:
+	}
+	<-g.flusherDone
+}
+
+// Stats returns group-commit counters.
+func (g *groupCommitter) Stats() GroupCommitStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func groupCfg() Config {
+	c := smallCfg()
+	c.LockWait = 250 * time.Millisecond
+	c.GroupCommitWindow = 2 * time.Millisecond
+	c.GroupCommitBatch = 8
+	return c
+}
+
+// TestGroupCommitAmortizesForces runs concurrent committers and checks the
+// force count is well below the commit count, while every commit remains
+// durable across a crash.
+func TestGroupCommitAmortizesForces(t *testing.T) {
+	hp := Open(groupCfg())
+	const workers = 8
+	const perWorker = 10
+
+	forcesBefore := hp.log.Device().Stats().Forces
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := func() error {
+					tr := hp.Begin()
+					n, err := tr.Alloc(1, 0, 1)
+					if err != nil {
+						tr.Abort()
+						return err
+					}
+					if err := tr.SetData(n, 0, uint64(w*100+i)); err != nil {
+						tr.Abort()
+						return err
+					}
+					if err := tr.SetRoot(w, n); err != nil {
+						tr.Abort()
+						return err
+					}
+					return tr.Commit()
+				}()
+				if err != nil && !errors.Is(err, ErrConflict) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	forces := hp.log.Device().Stats().Forces - forcesBefore
+	commits := hp.TxStats().Committed
+	if forces >= commits {
+		t.Fatalf("group commit did not amortize: %d forces for %d commits", forces, commits)
+	}
+	gs := hp.GroupCommitStats()
+	if gs.Commits == 0 || gs.Forces == 0 {
+		t.Fatalf("group stats empty: %+v", gs)
+	}
+
+	// Durability: crash and verify the last committed value per slot.
+	disk, logDev := hp.Crash()
+	hp2, err := Recover(groupCfg(), disk, logDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := hp2.Begin()
+	defer tr.Abort()
+	for w := 0; w < workers; w++ {
+		r, err := tr.Root(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == nil {
+			t.Fatalf("slot %d lost a committed store", w)
+		}
+		v, err := tr.Data(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v/100 != uint64(w) {
+			t.Fatalf("slot %d holds foreign value %d", w, v)
+		}
+	}
+}
+
+// TestGroupCommitSingleCommitter verifies a lone committer still becomes
+// durable within the window (no lost wakeups).
+func TestGroupCommitSingleCommitter(t *testing.T) {
+	hp := Open(groupCfg())
+	tr := hp.Begin()
+	n, _ := tr.Alloc(1, 0, 1)
+	tr.SetData(n, 0, 5)
+	tr.SetRoot(0, n)
+	start := time.Now()
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("commit took far longer than the window")
+	}
+	disk, logDev := hp.Crash()
+	hp2, err := Recover(groupCfg(), disk, logDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := hp2.Begin()
+	defer tr2.Abort()
+	r, _ := tr2.Root(0)
+	if v, _ := tr2.Data(r, 0); v != 5 {
+		t.Fatal("lone group commit not durable")
+	}
+}
+
+// TestGroupCommitCloseReleasesWaiters verifies shutdown while committers
+// are parked falls back to direct forces instead of hanging.
+func TestGroupCommitCloseReleasesWaiters(t *testing.T) {
+	c := groupCfg()
+	c.GroupCommitWindow = time.Hour // the flusher will never fire on its own
+	c.GroupCommitBatch = 1000
+	hp := Open(c)
+	done := make(chan error, 1)
+	go func() {
+		tr := hp.Begin()
+		n, _ := tr.Alloc(1, 0, 1)
+		tr.SetRoot(0, n)
+		done <- tr.Commit()
+	}()
+	time.Sleep(20 * time.Millisecond) // let it park
+	hp.group.close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked committer not released by close")
+	}
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stableheap/internal/gc"
+	"stableheap/internal/lock"
+	"stableheap/internal/recovery"
+	"stableheap/internal/stability"
+	"stableheap/internal/storage"
+	"stableheap/internal/tx"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Checkpoint takes a fuzzy checkpoint (§2.2.4): the system is quiesced at
+// a low-level action boundary (the latch), one record is spooled, and the
+// master block is updated lazily once ordinary log traffic makes the
+// record stable. No synchronous writes.
+func (hp *Heap) Checkpoint() word.LSN {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return hp.checkpointLocked()
+}
+
+func (hp *Heap) checkpointLocked() word.LSN {
+	cp := wal.CheckpointRec{
+		Txs:         hp.txm.TableEntries(),
+		StableCur:   hp.sgc.CurrentIndex(),
+		RootObj:     hp.rootObj,
+		StableAlloc: hp.sgc.Current().CopyPtr,
+		GC:          hp.sgc.State(),
+		VolatileLo:  hp.volLo,
+		VolatileHi:  hp.volHi,
+		NextTx:      hp.txm.NextTxID(),
+	}
+	if hp.cfg.Divided {
+		cp.VolatileCur = hp.vgc.CurrentIndex()
+		cp.NextEpoch = hp.vgc.Epoch() + 1
+		for a := range hp.ls {
+			cp.LS = append(cp.LS, a)
+		}
+		cp.SRem = hp.stableSlots()
+	}
+	return hp.ckpt.Take(cp)
+}
+
+// TruncateLog frees reclaimable log space (callable any time; policy is
+// the caller's).
+func (hp *Heap) TruncateLog() {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	hp.ckpt.TruncateLog()
+}
+
+// Close shuts the heap down cleanly: active transactions abort, dirty
+// pages flush, and a final checkpoint is forced.
+func (hp *Heap) Close() {
+	if hp.group != nil {
+		hp.group.close()
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	hp.txm.AbortAll()
+	if hp.sgc.Active() {
+		hp.sgc.Finish()
+	}
+	hp.mem.FlushAll()
+	hp.checkpointLocked()
+	hp.ckpt.ForcePromote()
+}
+
+// Crash simulates a system failure (§2.2.2): main memory, the volatile
+// log tail, the lock table and the transaction table vanish; the disk and
+// the stable log survive. The heap is unusable afterwards; call Recover
+// with the surviving devices.
+func (hp *Heap) Crash() (*storage.Disk, *storage.Log) {
+	if hp.group != nil {
+		hp.group.close()
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	hp.logDev.Crash()
+	hp.mem.Crash()
+	hp.locks.Reset()
+	hp.txm.Crash()
+	return hp.disk, hp.logDev
+}
+
+// Devices exposes the simulated devices (for the crash harness, which
+// controls which pages reach disk before a crash).
+func (hp *Heap) Devices() (*storage.Disk, *storage.Log) { return hp.disk, hp.logDev }
+
+// Recover rebuilds a stable heap from surviving devices: repeating
+// history, loser rollback, collector-state restoration, and the
+// post-recovery evacuation of recovered newly stable objects out of the
+// volatile area. Recovery work is bounded by the log written since the
+// last checkpoint — independent of heap size (Ch. 4) — even if the crash
+// interrupted a collection (§3.5.3).
+func Recover(cfg Config, disk *storage.Disk, logDev *storage.Log) (*Heap, error) {
+	return recoverCommon(cfg, disk, logDev, false)
+}
+
+func recoverCommon(cfg Config, disk *storage.Disk, logDev *storage.Log, media bool) (*Heap, error) {
+	cfg = cfg.withDefaults()
+	hp := build(cfg, disk, logDev)
+	var res *recovery.Result
+	var err error
+	if media {
+		res, err = recovery.RecoverFromArchive(hp.mem, hp.log)
+	} else {
+		res, err = recovery.Recover(hp.mem, hp.log)
+	}
+	if err != nil {
+		return nil, err
+	}
+	hp.lastRecovery = res
+	cp := res.CP
+
+	hp.rootObj = cp.RootObj
+	hp.txm.SetNextTxID(cp.NextTx)
+
+	// Restore in-doubt (prepared) transactions before anything can move
+	// objects: their translation maps then track every later copy, and
+	// their object write locks are reacquired so no one reads undecided
+	// state.
+	for _, idt := range res.InDoubt {
+		id := idt.ID
+		_, objs := hp.txm.RestoreInDoubt(id, idt.LastLSN, func(a word.Addr) word.Addr {
+			return res.Translate(id, a)
+		})
+		for _, obj := range objs {
+			if err := hp.locks.TryAcquire(id, obj, lock.Write); err != nil {
+				return nil, fmt.Errorf("core: cannot relock in-doubt tx %d on %v: %w", id, obj, err)
+			}
+		}
+	}
+
+	// Restore the stable collector. When a collection was in progress it
+	// resumes incrementally; otherwise only the space choice and the
+	// allocation frontier are reinstated.
+	hp.sgc.Restore(cp.GC, cp.StableCur)
+	if !cp.GC.Active {
+		hp.sgc.SetAllocFrontier(cp.StableAlloc)
+		// The idle semispace's replayed pages are dead (it was a freed
+		// from-space); drop them.
+		idle := hp.sgc.CurrentIndex() ^ 1
+		lo := hp.stableLo
+		hi := hp.stableLo + word.Addr(word.WordsToBytes(cfg.StableWords))
+		if idle == 1 {
+			lo, hi = hi, hp.stableHi
+		}
+		hp.mem.DiscardRange(lo, hi)
+	}
+
+	if cfg.Divided {
+		hp.vgc.SetCurrentIndex(cp.VolatileCur)
+		for _, a := range cp.LS {
+			hp.ls[a] = true
+		}
+		for _, a := range cp.SRem {
+			hp.srem[a] = true
+		}
+		// Evacuate recovered newly stable objects into the stable area;
+		// everything else in the volatile area died with the crash.
+		if len(hp.ls) > 0 {
+			if err := hp.ensureStableSpaceRecovered(); err != nil {
+				return nil, err
+			}
+			hp.vgc.CollectRecovered()
+		}
+		hp.ls = make(map[word.Addr]bool)
+		hp.volRootObj = hp.allocVolRootObj()
+	}
+
+	// A fresh checkpoint bounds the next recovery; forced so the master
+	// advances before the heap is used.
+	hp.checkpointLocked()
+	hp.ckpt.ForcePromote()
+	hp.ckpt.TruncateLog()
+	return hp, nil
+}
+
+// ensureStableSpaceRecovered makes room for the post-recovery evacuation.
+// A stable collection cannot run yet (the volatile area still holds the
+// recovered objects and they are unreachable through normal roots), so
+// space must already exist; the sizing invariant (semispace ≥ live set)
+// guarantees it except for pathological configurations.
+func (hp *Heap) ensureStableSpaceRecovered() error {
+	if hp.sgc.Active() {
+		hp.sgc.Finish()
+	}
+	if hp.sgc.FreeWords() < hp.lsWords() {
+		return ErrHeapFull
+	}
+	return nil
+}
+
+// LastRecovery returns diagnostics from the most recent Recover (nil for a
+// freshly created heap).
+func (hp *Heap) LastRecovery() *recovery.Result { return hp.lastRecovery }
+
+// InDoubt lists prepared transactions restored by recovery and still
+// awaiting the coordinator's decision.
+func (hp *Heap) InDoubt() []word.TxID {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	var out []word.TxID
+	if hp.lastRecovery != nil {
+		for _, idt := range hp.lastRecovery.InDoubt {
+			if hp.txm.Lookup(idt.ID) != nil {
+				out = append(out, idt.ID)
+			}
+		}
+	}
+	return out
+}
+
+// ResolveCommit applies the coordinator's commit decision to an in-doubt
+// transaction.
+func (hp *Heap) ResolveCommit(id word.TxID) error {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	t := hp.txm.Lookup(id)
+	if t == nil || !t.Prepared() {
+		return fmt.Errorf("core: no in-doubt transaction %d", id)
+	}
+	hp.txm.Commit(t)
+	hp.ckpt.Promote()
+	return nil
+}
+
+// ResolveAbort applies the coordinator's abort decision to an in-doubt
+// transaction: its effects are rolled back in place, through any object
+// moves since the updates were logged.
+func (hp *Heap) ResolveAbort(id word.TxID) error {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	t := hp.txm.Lookup(id)
+	if t == nil || !t.Prepared() {
+		return fmt.Errorf("core: no in-doubt transaction %d", id)
+	}
+	hp.txm.Abort(t)
+	return nil
+}
+
+// --- introspection -------------------------------------------------------
+
+// Config returns the heap's configuration.
+func (hp *Heap) Config() Config { return hp.cfg }
+
+// Log returns the log manager (read-only use: stats, inspection).
+func (hp *Heap) Log() *wal.Manager { return hp.log }
+
+// StableCollector exposes the stable-area collector (stats, policy).
+func (hp *Heap) StableCollector() interface {
+	Active() bool
+	Epoch() uint64
+} {
+	return hp.sgc
+}
+
+// CollectStable runs (or finishes) a full stable-area collection.
+func (hp *Heap) CollectStable() {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if !hp.sgc.Active() {
+		hp.startStableGC()
+	}
+	hp.sgc.Finish()
+}
+
+// StepStable advances an active stable collection by one quantum (the
+// benchmark harness paces collections explicitly).
+func (hp *Heap) StepStable() bool {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if !hp.sgc.Active() {
+		return false
+	}
+	return hp.sgc.Step()
+}
+
+// StartStableCollection flips without finishing (incremental mode).
+func (hp *Heap) StartStableCollection() {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if !hp.sgc.Active() {
+		hp.startStableGC()
+	}
+}
+
+// CollectVolatile runs one volatile-area collection (divided mode),
+// returning the number of newly stable objects moved to the stable area.
+func (hp *Heap) CollectVolatile() (int, error) {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if !hp.cfg.Divided {
+		return 0, nil
+	}
+	before := hp.vgc.Stats().MovedObjs
+	if err := hp.collectVolatile(); err != nil {
+		return 0, err
+	}
+	return int(hp.vgc.Stats().MovedObjs - before), nil
+}
+
+// LSCount returns the number of newly stable objects awaiting evacuation.
+func (hp *Heap) LSCount() int {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return len(hp.ls)
+}
+
+// SRemCount returns the size of the stable→volatile remembered set.
+func (hp *Heap) SRemCount() int {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	return len(hp.srem)
+}
+
+// Mem exposes the one-level store (crash harness and benchmarks).
+func (hp *Heap) Mem() *vm.Store { return hp.mem }
+
+// TxStats returns transaction-manager counters.
+func (hp *Heap) TxStats() tx.Stats { return hp.txm.Stats() }
+
+// GCStats returns stable-collector counters.
+func (hp *Heap) GCStats() gc.Stats { return hp.sgc.Stats() }
+
+// VGCStats returns volatile-collector counters (zero when !Divided).
+func (hp *Heap) VGCStats() gc.VolatileStats {
+	if hp.vgc == nil {
+		return gc.VolatileStats{}
+	}
+	return hp.vgc.Stats()
+}
+
+// TrackerStats returns stability-tracker counters (zero when !Divided).
+func (hp *Heap) TrackerStats() stability.Stats {
+	if hp.track == nil {
+		return stability.Stats{}
+	}
+	return hp.track.Stats()
+}
+
+// CheckpointStats returns checkpointer counters.
+func (hp *Heap) CheckpointStats() recovery.CheckpointStats { return hp.ckpt.Stats() }
+
+// LockStats returns lock-manager counters.
+func (hp *Heap) LockStats() lock.Stats { return hp.locks.Stats() }
+
+// GroupCommitStats returns group-commit counters (zero when disabled).
+func (hp *Heap) GroupCommitStats() GroupCommitStats {
+	if hp.group == nil {
+		return GroupCommitStats{}
+	}
+	return hp.group.Stats()
+}
+
+// RecoverFromLog rebuilds the entire stable heap from the log alone — the
+// total-media-failure case of §2.2.2: the disk is gone, but "our recovery
+// system writes enough information to the log to recover from a total
+// media failure". It requires the log to be untruncated back to its first
+// checkpoint (the archive discipline); repeating history then reconstructs
+// every page from scratch.
+func RecoverFromLog(cfg Config, logDev *storage.Log) (*Heap, error) {
+	cfg = cfg.withDefaults()
+	if logDev.TruncLSN() > 1 {
+		// A truncated log cannot rebuild a lost disk: later checkpoints
+		// assume flushed pages that no longer exist. The archive
+		// discipline keeps the full log (or pairs truncation with disk
+		// archives, which this reproduction does not model).
+		return nil, errors.New("core: log is truncated; media recovery needs the full log from format time")
+	}
+	// Synthesize the lost master block: find the first retained
+	// checkpoint and recover from there — everything after it replays.
+	var firstCP word.LSN
+	probe := wal.NewManager(logDev)
+	probe.Scan(logDev.TruncLSN(), true, func(lsn word.LSN, r wal.Record) bool {
+		if r.Type() == wal.TCheckpoint {
+			firstCP = lsn
+			return false
+		}
+		return true
+	})
+	if firstCP == word.NilLSN {
+		return nil, errors.New("core: no checkpoint retained in the log (archive requires an untruncated log)")
+	}
+	disk := storage.NewDisk(cfg.PageSize)
+	disk.SetMaster(storage.Master{Formatted: true, CheckpointLSN: firstCP, PageSize: cfg.PageSize})
+	return recoverCommon(cfg, disk, logDev, true)
+}

@@ -1,0 +1,472 @@
+// Package crashtest is the failure-injection harness: it drives a stable
+// heap with a seeded, model-checked random workload, crashes it at
+// arbitrary points — with an arbitrary subset of dirty pages flushed, and
+// optionally in the middle of a collection — recovers, and verifies the
+// paper's correctness obligations:
+//
+//	I4  committed durability / aborted invisibility after any crash point,
+//	I6  exactly the committed stable state is reachable after recovery,
+//	     and walking it never encounters a forwarding pointer or a
+//	     malformed object,
+//	     plus recovery determinism: recovering two copies of the same
+//	     crash image yields the same committed state.
+//
+// This is the executable counterpart of the thesis's Chapter 6 invariants
+// and Appendix A proof sketch, and the engine behind experiment E12.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"stableheap/internal/core"
+	"stableheap/internal/storage"
+	"stableheap/internal/word"
+)
+
+// Stats counts harness activity.
+type Stats struct {
+	Steps       int
+	Commits     int
+	Aborts      int
+	Crashes     int
+	Recoveries  int
+	VolGCs      int
+	StableGCs   int
+	Checkpoints int
+	PagesKept   int // dirty pages flushed before crashes
+}
+
+// Driver runs the model-checked workload.
+type Driver struct {
+	cfg   core.Config
+	hp    *core.Heap
+	rng   *rand.Rand
+	model map[int][]uint64 // committed list contents per root slot
+	slots int
+	stats Stats
+	// pending is the outstanding prepared (in-doubt) transaction, if
+	// any: its slot stays locked until the "coordinator" (the harness)
+	// resolves it — possibly only after a crash. decided remembers past
+	// decisions: a resolution's commit/abort records can be lost in a
+	// crash, reverting the transaction to in-doubt, and two-phase commit
+	// requires the coordinator to repeat the same answer.
+	pending *pendingPrepared
+	decided map[word.TxID]pendingPrepared
+}
+
+// pendingPrepared records what the model becomes if the coordinator says
+// commit; commit is the recorded decision once one is made.
+type pendingPrepared struct {
+	id       word.TxID
+	slot     int
+	ifCommit []uint64
+	commit   bool
+}
+
+// New creates a driver over a fresh heap.
+func New(cfg core.Config, seed int64) *Driver {
+	d := &Driver{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		model:   make(map[int][]uint64),
+		slots:   8,
+		decided: make(map[word.TxID]pendingPrepared),
+	}
+	d.hp = core.Open(cfg)
+	return d
+}
+
+// Heap returns the current heap instance.
+func (d *Driver) Heap() *core.Heap { return d.hp }
+
+// Stats returns accumulated counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// Step performs one random operation against the heap and the model.
+// Operations that hit the in-doubt transaction's locks are skipped (the
+// conflict is the correct behaviour, not a failure).
+func (d *Driver) Step() error {
+	d.stats.Steps++
+	switch r := d.rng.Intn(100); {
+	case r < 5:
+		return d.prepareOrResolve()
+	case r < 35:
+		return benign(d.rebuildSlot())
+	case r < 60:
+		return benign(d.mutateSlot())
+	case r < 70:
+		return d.churn()
+	case r < 80:
+		d.stats.VolGCs++
+		_, err := d.hp.CollectVolatile()
+		return err
+	case r < 88:
+		// Incremental stable-collection progress (may start one).
+		if d.rng.Intn(3) == 0 {
+			d.hp.StartStableCollection()
+			d.stats.StableGCs++
+		}
+		d.hp.StepStable()
+		return nil
+	case r < 94:
+		d.stats.Checkpoints++
+		d.hp.Checkpoint()
+		return nil
+	default:
+		d.hp.CollectStable()
+		d.stats.StableGCs++
+		return nil
+	}
+}
+
+// benign swallows lock conflicts: with an in-doubt transaction holding
+// locks, conflicting operations are supposed to fail.
+func benign(err error) error {
+	if errors.Is(err, core.ErrConflict) {
+		return nil
+	}
+	return err
+}
+
+// prepareOrResolve either prepares a new two-phase transaction (if none is
+// outstanding) or delivers the coordinator's decision for the pending one.
+func (d *Driver) prepareOrResolve() error {
+	if d.pending != nil {
+		return d.resolvePending()
+	}
+	slot := d.rng.Intn(d.slots)
+	n := 1 + d.rng.Intn(4)
+	base := d.rng.Uint64() % 1_000_000
+	tr := d.hp.Begin()
+	var head *core.Ref
+	for i := n - 1; i >= 0; i-- {
+		node, err := tr.Alloc(1, 1, 1)
+		if err != nil {
+			tr.Abort()
+			return benign(err)
+		}
+		if err := tr.SetData(node, 0, base+uint64(i)); err != nil {
+			tr.Abort()
+			return benign(err)
+		}
+		if err := tr.SetPtr(node, 0, head); err != nil {
+			tr.Abort()
+			return benign(err)
+		}
+		head = node
+	}
+	if err := tr.SetRoot(slot, head); err != nil {
+		tr.Abort()
+		return benign(err)
+	}
+	if err := tr.Prepare(); err != nil {
+		return benign(err)
+	}
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = base + uint64(i)
+	}
+	d.pending = &pendingPrepared{id: word.TxID(tr.ID()), slot: slot, ifCommit: vals}
+	return nil
+}
+
+// resolvePending plays the coordinator: flip a coin, record the decision
+// durably (the coordinator's log), and apply it.
+func (d *Driver) resolvePending() error {
+	p := *d.pending
+	d.pending = nil
+	p.commit = d.rng.Intn(2) == 0
+	d.decided[p.id] = p
+	return d.applyDecision(d.hp, p)
+}
+
+// applyDecision delivers a recorded decision to a heap (idempotent: the
+// model is keyed by the decision, not by how many times it is delivered).
+func (d *Driver) applyDecision(hp *core.Heap, p pendingPrepared) error {
+	if p.commit {
+		if err := hp.ResolveCommit(p.id); err != nil {
+			return err
+		}
+		if hp == d.hp {
+			d.model[p.slot] = p.ifCommit
+			d.stats.Commits++
+		}
+		return nil
+	}
+	if err := hp.ResolveAbort(p.id); err != nil {
+		return err
+	}
+	if hp == d.hp {
+		d.stats.Aborts++
+	}
+	return nil
+}
+
+// resolveInDoubt applies the coordinator's answer for every transaction a
+// recovery restored in-doubt: a remembered decision is repeated; an
+// undecided one is decided now.
+func (d *Driver) resolveInDoubt(hp *core.Heap) error {
+	for _, id := range hp.InDoubt() {
+		if p, ok := d.decided[id]; ok {
+			if err := d.applyDecision(hp, p); err != nil {
+				return fmt.Errorf("repeating decision for %d: %w", id, err)
+			}
+			continue
+		}
+		if d.pending == nil || d.pending.id != id {
+			return fmt.Errorf("in-doubt transaction %d unknown to the coordinator", id)
+		}
+		if hp != d.hp {
+			return fmt.Errorf("twin recovered an undecided transaction before the primary resolved it")
+		}
+		if err := d.resolvePending(); err != nil {
+			return err
+		}
+	}
+	// A pending transaction that did NOT come back in-doubt lost its
+	// (unforced) prepare record in the crash and was rolled back as an
+	// ordinary loser: the decision never happened.
+	if d.pending != nil && hp == d.hp {
+		if d.hp.InDoubt() == nil {
+			d.pending = nil
+		}
+	}
+	return nil
+}
+
+// rebuildSlot replaces one root slot's list in a transaction; half the
+// time the transaction aborts instead (and the model is untouched).
+func (d *Driver) rebuildSlot() error {
+	slot := d.rng.Intn(d.slots)
+	n := 1 + d.rng.Intn(6)
+	base := d.rng.Uint64() % 1_000_000
+	commit := d.rng.Intn(4) != 0
+
+	tr := d.hp.Begin()
+	var head *core.Ref
+	for i := n - 1; i >= 0; i-- {
+		node, err := tr.Alloc(1, 1, 1)
+		if err != nil {
+			tr.Abort()
+			return err
+		}
+		if err := tr.SetData(node, 0, base+uint64(i)); err != nil {
+			tr.Abort()
+			return err
+		}
+		if err := tr.SetPtr(node, 0, head); err != nil {
+			tr.Abort()
+			return err
+		}
+		head = node
+	}
+	if err := tr.SetRoot(slot, head); err != nil {
+		tr.Abort()
+		return err
+	}
+	if !commit {
+		d.stats.Aborts++
+		return tr.Abort()
+	}
+	if err := tr.Commit(); err != nil {
+		return err
+	}
+	d.stats.Commits++
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = base + uint64(i)
+	}
+	d.model[slot] = vals
+	return nil
+}
+
+// mutateSlot updates one value in an existing committed list.
+func (d *Driver) mutateSlot() error {
+	slot := d.rng.Intn(d.slots)
+	vals := d.model[slot]
+	if len(vals) == 0 {
+		return d.rebuildSlot()
+	}
+	idx := d.rng.Intn(len(vals))
+	newVal := d.rng.Uint64() % 1_000_000
+	commit := d.rng.Intn(3) != 0
+
+	tr := d.hp.Begin()
+	node, err := tr.Root(slot)
+	if err != nil {
+		tr.Abort()
+		return err
+	}
+	for i := 0; i < idx; i++ {
+		if node, err = tr.Ptr(node, 0); err != nil {
+			tr.Abort()
+			return err
+		}
+	}
+	if err := tr.SetData(node, 0, newVal); err != nil {
+		tr.Abort()
+		return err
+	}
+	if !commit {
+		d.stats.Aborts++
+		return tr.Abort()
+	}
+	if err := tr.Commit(); err != nil {
+		return err
+	}
+	d.stats.Commits++
+	fresh := append([]uint64(nil), vals...)
+	fresh[idx] = newVal
+	d.model[slot] = fresh
+	return nil
+}
+
+// churn allocates short-lived garbage (committed so it isn't undone —
+// garbage is the collector's job, not abort's).
+func (d *Driver) churn() error {
+	tr := d.hp.Begin()
+	for i := 0; i < 5+d.rng.Intn(20); i++ {
+		if _, err := tr.Alloc(1, 0, 1+d.rng.Intn(4)); err != nil {
+			tr.Abort()
+			return err
+		}
+	}
+	if err := tr.Commit(); err != nil {
+		return err
+	}
+	d.stats.Commits++
+	return nil
+}
+
+// Verify checks the heap against the model: every committed list is intact
+// and nothing else is visible. An outstanding prepared transaction is
+// resolved first (the audit cannot read through its locks).
+func (d *Driver) Verify() error {
+	if d.pending != nil {
+		if err := d.resolvePending(); err != nil {
+			return err
+		}
+	}
+	tr := d.hp.Begin()
+	defer tr.Abort()
+	for slot := 0; slot < d.slots; slot++ {
+		want := d.model[slot]
+		node, err := tr.Root(slot)
+		if err != nil {
+			return fmt.Errorf("slot %d: root: %w", slot, err)
+		}
+		for i, w := range want {
+			if node == nil {
+				return fmt.Errorf("slot %d: list ends at %d, want %d values", slot, i, len(want))
+			}
+			v, err := tr.Data(node, 0)
+			if err != nil {
+				return fmt.Errorf("slot %d[%d]: %w", slot, i, err)
+			}
+			if v != w {
+				return fmt.Errorf("slot %d[%d] = %d, want %d", slot, i, v, w)
+			}
+			if node, err = tr.Ptr(node, 0); err != nil {
+				return fmt.Errorf("slot %d[%d].next: %w", slot, i, err)
+			}
+		}
+		if node != nil {
+			return fmt.Errorf("slot %d: list longer than the %d committed values", slot, len(want))
+		}
+	}
+	return nil
+}
+
+// CrashAndRecover flushes a random subset of resident pages (flushFrac in
+// [0,1]), crashes, recovers, and verifies the model. With checkTwin it
+// also recovers an independent copy of the crash image and verifies it too
+// (recovery determinism).
+func (d *Driver) CrashAndRecover(flushFrac float64, checkTwin bool) error {
+	mem := d.hp.Mem()
+	for _, pg := range mem.ResidentPages() {
+		if d.rng.Float64() < flushFrac {
+			mem.FlushPage(pg)
+			d.stats.PagesKept++
+		}
+	}
+	disk, logDev := d.hp.Crash()
+	d.stats.Crashes++
+
+	var twinDisk *storage.Disk
+	var twinLog *storage.Log
+	if checkTwin {
+		twinDisk = disk.Snapshot()
+		twinLog = logDev.Snapshot()
+	}
+
+	hp, err := core.Recover(d.cfg, disk, logDev)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	d.hp = hp
+	d.stats.Recoveries++
+	// The coordinator resolves every transaction restored in-doubt
+	// before the audit (it holds locks the audit would trip over),
+	// repeating remembered decisions exactly.
+	if err := d.resolveInDoubt(hp); err != nil {
+		return err
+	}
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("post-recovery verify: %w", err)
+	}
+
+	if checkTwin {
+		twin, err := core.Recover(d.cfg, twinDisk, twinLog)
+		if err != nil {
+			return fmt.Errorf("twin recover: %w", err)
+		}
+		// Deliver the same decisions to the twin.
+		if err := d.resolveInDoubt(twin); err != nil {
+			return fmt.Errorf("twin resolution: %w", err)
+		}
+		saved := d.hp
+		d.hp = twin
+		err = d.Verify()
+		d.hp = saved
+		if err != nil {
+			return fmt.Errorf("twin verify (recovery not deterministic): %w", err)
+		}
+	}
+	return nil
+}
+
+// Run executes steps operations, crashing with probability crashProb after
+// each (each crash followed by recovery and verification).
+func (d *Driver) Run(steps int, crashProb, flushFrac float64, checkTwin bool) error {
+	for i := 0; i < steps; i++ {
+		if err := d.Step(); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+		if d.rng.Float64() < crashProb {
+			if err := d.CrashAndRecover(flushFrac, checkTwin); err != nil {
+				return fmt.Errorf("crash after step %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// MediaRecover simulates a total media failure: the disk is destroyed and
+// the heap is rebuilt from the log alone (which must be untruncated), then
+// verified against the model.
+func (d *Driver) MediaRecover() error {
+	_, logDev := d.hp.Crash()
+	d.stats.Crashes++
+	hp, err := core.RecoverFromLog(d.cfg, logDev)
+	if err != nil {
+		return fmt.Errorf("media recover: %w", err)
+	}
+	d.hp = hp
+	d.stats.Recoveries++
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("post-media-recovery verify: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package crashtest
+
+import (
+	"testing"
+
+	"stableheap/internal/core"
+	"stableheap/internal/gc"
+)
+
+func cfg() core.Config {
+	return core.Config{
+		PageSize:      256,
+		StableWords:   16 * 1024,
+		VolatileWords: 4 * 1024,
+		Divided:       true,
+		Barrier:       gc.Ellis,
+		Incremental:   true,
+	}
+}
+
+func TestWorkloadWithoutCrashes(t *testing.T) {
+	d := New(cfg(), 1)
+	for i := 0; i < 200; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Commits == 0 || d.Stats().VolGCs == 0 {
+		t.Fatalf("workload too tame: %+v", d.Stats())
+	}
+}
+
+func TestCrashMatrixRandom(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		d := New(cfg(), seed)
+		if err := d.Run(120, 0.08, 0.5, false); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d.Stats().Crashes == 0 {
+			t.Fatalf("seed %d: no crashes exercised", seed)
+		}
+	}
+}
+
+func TestCrashMatrixNothingFlushed(t *testing.T) {
+	d := New(cfg(), 42)
+	if err := d.Run(80, 0.1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashMatrixEverythingFlushed(t *testing.T) {
+	d := New(cfg(), 43)
+	if err := d.Run(80, 0.1, 1.0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryDeterminismTwin(t *testing.T) {
+	d := New(cfg(), 7)
+	if err := d.Run(60, 0.1, 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashAfterEveryStepExhaustive(t *testing.T) {
+	// For each prefix length k of a fixed script, run the script to step
+	// k, crash with a flush pattern derived from k, recover, verify.
+	const script = 50
+	for k := 1; k <= script; k++ {
+		d := New(cfg(), 99) // same seed → same op sequence
+		for i := 0; i < k; i++ {
+			if err := d.Step(); err != nil {
+				t.Fatalf("k=%d step %d: %v", k, i, err)
+			}
+		}
+		frac := float64(k%4) / 3.0
+		if err := d.CrashAndRecover(frac, false); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestCrashDuringCollectionHeavy(t *testing.T) {
+	// Force mid-collection crashes explicitly.
+	for seed := int64(1); seed <= 4; seed++ {
+		d := New(cfg(), seed)
+		for i := 0; i < 40; i++ {
+			if err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Heap().StartStableCollection()
+		d.Heap().StepStable()
+		if err := d.CrashAndRecover(0.5, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Keep going after the resumed collection.
+		for i := 0; i < 20; i++ {
+			if err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRepeatedCrashesBackToBack(t *testing.T) {
+	d := New(cfg(), 5)
+	for i := 0; i < 10; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CrashAndRecover(0.3, false); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}
+
+func TestAllStableModeCrashMatrix(t *testing.T) {
+	c := cfg()
+	c.Divided = false
+	d := New(c, 11)
+	if err := d.Run(80, 0.1, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBakerModeCrashMatrix(t *testing.T) {
+	c := cfg()
+	c.Barrier = gc.Baker
+	d := New(c, 12)
+	if err := d.Run(80, 0.1, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopTheWorldModeCrashMatrix(t *testing.T) {
+	c := cfg()
+	c.Barrier = gc.NoBarrier
+	c.Incremental = false
+	d := New(c, 13)
+	if err := d.Run(80, 0.1, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyContentsModeCrashMatrix(t *testing.T) {
+	c := cfg()
+	c.CopyContents = true // E14 ablation: self-contained copy records
+	d := New(c, 21)
+	if err := d.Run(100, 0.1, 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Crashes == 0 {
+		t.Fatal("no crashes exercised")
+	}
+}
+
+func TestMediaRecoveryMatrix(t *testing.T) {
+	// Run a workload, destroy the disk, rebuild from the log archive,
+	// verify the model.
+	d := New(cfg(), 31)
+	for i := 0; i < 80; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.MediaRecover(); err != nil {
+		t.Fatal(err)
+	}
+	// Keep working on the rebuilt heap, then crash-recover normally.
+	for i := 0; i < 30; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CrashAndRecover(0.5, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakLongRun is the endurance check: thousands of operations with
+// periodic crashes, truncation, and media recovery mixed in. Skipped in
+// -short mode.
+func TestSoakLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for seed := int64(100); seed < 103; seed++ {
+		d := New(cfg(), seed)
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 150; i++ {
+				if err := d.Step(); err != nil {
+					t.Fatalf("seed %d round %d step %d: %v", seed, round, i, err)
+				}
+			}
+			switch round % 3 {
+			case 0:
+				if err := d.CrashAndRecover(0.5, round%2 == 0); err != nil {
+					t.Fatalf("seed %d round %d: %v", seed, round, err)
+				}
+			case 1:
+				d.Heap().StartStableCollection()
+				d.Heap().StepStable()
+				if err := d.CrashAndRecover(0.25, false); err != nil {
+					t.Fatalf("seed %d round %d midgc: %v", seed, round, err)
+				}
+			case 2:
+				d.Heap().Checkpoint()
+				if err := d.Step(); err != nil {
+					t.Fatal(err)
+				}
+				d.Heap().TruncateLog()
+				if err := d.Verify(); err != nil {
+					t.Fatalf("seed %d round %d post-truncate: %v", seed, round, err)
+				}
+			}
+		}
+	}
+}

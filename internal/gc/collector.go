@@ -1,0 +1,717 @@
+// Package gc implements the paper's garbage collectors:
+//
+//   - the atomic incremental copying collector of Chapter 3, based on the
+//     Ellis/Li/Appel page-protection read barrier, whose copy steps and
+//     scan steps follow the write-ahead log protocol so that a crash at any
+//     instant — including mid-collection — is recoverable;
+//   - the Baker-style variant of §3.8, which replaces the page-protection
+//     barrier with a per-reference check and slot-granular scanning;
+//   - the stop-the-world atomic collector of the author's earlier work,
+//     used as the pause-time baseline (E3);
+//   - a plain, unlogged copying collector for the volatile area of the
+//     divided heap (Ch. 5), including the evacuation of newly stable
+//     objects into the stable area (volatile.go).
+//
+// The collector does not know about transactions or the stable/volatile
+// division; it is parameterized by Hooks that the stable-heap core wires to
+// the transaction manager (root handles, undo-address translation) and the
+// lock manager (rekeying).
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Barrier selects the read-barrier implementation.
+type Barrier uint8
+
+// Barrier kinds.
+const (
+	// Ellis protects unscanned to-space pages; a trapped access scans the
+	// whole page (§3.2.1).
+	Ellis Barrier = iota
+	// Baker checks every pointer the mutator loads and transports the
+	// target if it is in from-space (§3.8).
+	Baker
+	// NoBarrier is used by the stop-the-world collector: collections run
+	// to completion inside one pause, so the mutator never observes an
+	// in-progress collection.
+	NoBarrier
+)
+
+// FillerType is the descriptor type id of gap-filler pseudo-objects the
+// Ellis collector plants when it rounds the copy pointer up to a page
+// boundary (so to-space stays parseable).
+const FillerType uint16 = 0xffff
+
+// Config parameterizes a collector.
+type Config struct {
+	// Barrier selects the read-barrier implementation.
+	Barrier Barrier
+	// Incremental interleaves collection with mutation; when false every
+	// collection runs to completion inside StartCollection (stop the
+	// world).
+	Incremental bool
+	// Atomic coordinates the collector with recovery by logging flip,
+	// copy and scan records. The volatile area runs with Atomic false.
+	Atomic bool
+	// StepPages is the incremental quantum: how many unscanned pages a
+	// Step call processes (Ellis). Must be >= 1.
+	StepPages int
+	// StepWords is the Baker-mode quantum: how many to-space words a
+	// Step call scans.
+	StepWords int
+	// Measure records pause durations (flip, scan step, trap) for the
+	// pause-time experiments.
+	Measure bool
+	// CopyContents makes copy records carry the full object image (the
+	// E14 ablation of the paper's content-free copy records): replay
+	// becomes self-contained — no from-space reads, no GCEnd write-back
+	// — at the price of logging every copied byte.
+	CopyContents bool
+}
+
+// Hooks connect the collector to the rest of the system.
+type Hooks struct {
+	// ForEachRoot visits every root slot at a flip: registered
+	// transaction handles, the global root object pointer, locked-object
+	// addresses, and (for the divided heap) volatile-area slots that
+	// point into the stable area. visit reads a slot with get and, if
+	// the collector moved the target, rewrites it with set.
+	ForEachRoot func(visit func(get func() word.Addr, set func(word.Addr)))
+	// OnCopy is called after every copy step with the object's old and
+	// new addresses; the core rekeys locks, updates per-transaction undo
+	// translations, and rebases remembered-set entries.
+	OnCopy func(from, to word.Addr, sizeWords int)
+}
+
+// Pauses aggregates collector pause times (only when Config.Measure).
+type Pauses struct {
+	Flips     int
+	FlipMax   time.Duration
+	FlipTotal time.Duration
+	Steps     int
+	StepMax   time.Duration
+	StepTotal time.Duration
+	Traps     int
+	TrapMax   time.Duration
+	TrapTotal time.Duration
+}
+
+// Stats counts collector work.
+type Stats struct {
+	Collections  int
+	CopiedObjs   int64
+	CopiedWords  int64
+	ScannedPages int64
+	ScannedSlots int64
+	FillerWords  int64
+	GCEndFlushes int64 // to-space pages written back at collection ends
+	Pauses       Pauses
+}
+
+// Collector manages one area of the heap with two semispaces.
+type Collector struct {
+	cfg   Config
+	mem   *vm.Store
+	h     *heap.Heap
+	log   *wal.Manager
+	hooks Hooks
+
+	spaces [2]*heap.Space
+	cur    int // index of the space holding live data / receiving copies
+
+	active  bool
+	epoch   uint64
+	flipLSN word.LSN
+	from    *heap.Space
+	to      *heap.Space
+	scanned []bool // per to-space page (Ellis / stop-the-world)
+	scanPtr word.Addr
+	// marked is the low-water page index below which the sweep has
+	// already marked/unprotected everything (resume point for
+	// markThrough).
+	marked int
+	lot    *heap.LastObjTable
+
+	stats Stats
+}
+
+// New creates a collector for the area [lo, mid) ∪ [mid, hi) split into two
+// equal semispaces.
+func New(cfg Config, mem *vm.Store, h *heap.Heap, log *wal.Manager, lo, hi word.Addr) *Collector {
+	if (hi-lo)%2 != 0 {
+		panic("gc: area not splittable into equal semispaces")
+	}
+	if cfg.StepPages <= 0 {
+		cfg.StepPages = 1
+	}
+	if cfg.StepWords <= 0 {
+		cfg.StepWords = 64
+	}
+	mid := lo + (hi-lo)/2
+	c := &Collector{cfg: cfg, mem: mem, h: h, log: log}
+	c.spaces[0] = heap.NewSpace(lo, mid)
+	c.spaces[1] = heap.NewSpace(mid, hi)
+	return c
+}
+
+// SetHooks installs the environment callbacks (done once by the core).
+func (c *Collector) SetHooks(h Hooks) { c.hooks = h }
+
+// Config returns the collector's configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Stats returns accumulated counters.
+func (c *Collector) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Collector) ResetStats() { c.stats = Stats{} }
+
+// Active reports whether a collection is in progress.
+func (c *Collector) Active() bool { return c.active }
+
+// Epoch returns the current (or last) collection epoch.
+func (c *Collector) Epoch() uint64 { return c.epoch }
+
+// Current returns the space holding live data.
+func (c *Collector) Current() *heap.Space { return c.spaces[c.cur] }
+
+// CurrentIndex returns which semispace is current (for checkpoints).
+func (c *Collector) CurrentIndex() int { return c.cur }
+
+// InFromSpace reports whether a falls in the from-space of the active
+// collection.
+func (c *Collector) InFromSpace(a word.Addr) bool {
+	return c.active && c.from.Contains(a)
+}
+
+// InArea reports whether a falls anywhere in the collector's area.
+func (c *Collector) InArea(a word.Addr) bool {
+	return c.spaces[0].Contains(a) || c.spaces[1].Contains(a)
+}
+
+// Alloc reserves an object of sizeWords for the mutator: at the low end of
+// the current space between collections, at the high end of to-space during
+// a collection (Fig. 3.3, so new objects are never scanned). ok is false
+// when the space is exhausted; the caller then starts or finishes a
+// collection and retries.
+func (c *Collector) Alloc(sizeWords int) (word.Addr, bool) {
+	if c.active {
+		return c.to.AllocHigh(sizeWords)
+	}
+	return c.Current().AllocLow(sizeWords)
+}
+
+// AllocForMove reserves space at the low end of the current space for an
+// object evacuated from the volatile area (Ch. 5). It must not be called
+// during an active collection of this area.
+func (c *Collector) AllocForMove(sizeWords int) (word.Addr, bool) {
+	if c.active {
+		panic("gc: AllocForMove during active collection")
+	}
+	return c.Current().AllocLow(sizeWords)
+}
+
+// FreeWords returns the free words in the allocation space.
+func (c *Collector) FreeWords() int {
+	if c.active {
+		return c.to.FreeWords()
+	}
+	return c.Current().FreeWords()
+}
+
+// pageSize is shorthand.
+func (c *Collector) pageSize() int { return c.mem.PageSize() }
+
+// toPageIndex maps a to-space address to its scanned[]/LOT index.
+func (c *Collector) toPageIndex(a word.Addr) int {
+	return int(a-c.to.Lo) / c.pageSize()
+}
+
+// StartCollection flips (§3.2): swaps semispaces, translates every root,
+// logs the flip record, and protects to-space. rootObj is the current
+// address of the global stable-root object; the translated address is
+// returned (the caller stores it and the flip record carries it). With
+// Config.Incremental false the collection also runs to completion here.
+func (c *Collector) StartCollection(rootObj word.Addr) word.Addr {
+	if c.active {
+		panic("gc: flip during active collection")
+	}
+	var start time.Time
+	if c.cfg.Measure {
+		start = time.Now()
+	}
+	c.epoch++
+	c.active = true
+	c.from = c.spaces[c.cur]
+	c.cur = 1 - c.cur
+	c.to = c.spaces[c.cur]
+	c.to.Reset()
+	c.scanPtr = c.to.Lo
+	c.marked = 0
+	nPages := int((c.to.Hi - c.to.Lo + word.Addr(c.pageSize()) - 1) / word.Addr(c.pageSize()))
+	c.scanned = make([]bool, nPages)
+	c.lot = heap.NewLastObjTable(c.to.Lo, c.to.Hi, c.pageSize())
+	c.stats.Collections++
+
+	// The flip record precedes the root copy records so that recovery
+	// replays the space swap before the copies.
+	newRoot := rootObj
+	var flipLSN word.LSN
+	if c.cfg.Atomic {
+		// Reserve the record now; root translation below emits copy
+		// records after it. RootObjTo is known only after copying, so
+		// compute it first: copy the root object eagerly.
+		if c.from.Contains(rootObj) {
+			// Emit flip record with the *predicted* target: the first
+			// copy lands at to.Lo.
+			predicted := c.to.Lo
+			flipLSN = c.log.Append(wal.FlipRec{
+				Epoch: c.epoch, FromLo: c.from.Lo, FromHi: c.from.Hi,
+				ToLo: c.to.Lo, ToHi: c.to.Hi,
+				RootObjFrom: rootObj, RootObjTo: predicted,
+			})
+			c.flipLSN = flipLSN
+			newRoot = c.forward(rootObj)
+			if newRoot != predicted {
+				panic("gc: root object did not land at the predicted address")
+			}
+		} else {
+			flipLSN = c.log.Append(wal.FlipRec{
+				Epoch: c.epoch, FromLo: c.from.Lo, FromHi: c.from.Hi,
+				ToLo: c.to.Lo, ToHi: c.to.Hi,
+				RootObjFrom: rootObj, RootObjTo: rootObj,
+			})
+			c.flipLSN = flipLSN
+		}
+	} else if c.from.Contains(rootObj) {
+		newRoot = c.forward(rootObj)
+	}
+
+	// Translate the remaining roots: transaction handles, locked
+	// objects, cross-area slots.
+	if c.hooks.ForEachRoot != nil {
+		c.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
+			p := get()
+			if !p.IsNil() && c.from.Contains(p) {
+				set(c.forward(p))
+			}
+		})
+	}
+
+	// Arm the read barrier: protect all of to-space (Ellis). Baker mode
+	// needs no protection; the per-load check stands guard.
+	if c.cfg.Barrier == Ellis {
+		for pg := c.to.Lo.Page(c.pageSize()); pg.Base(c.pageSize()) < c.to.Hi; pg++ {
+			c.mem.Protect(pg)
+		}
+	}
+	if !c.cfg.Incremental {
+		// Stop the world: the whole collection is this one pause.
+		c.Finish()
+	}
+	if c.cfg.Measure {
+		d := time.Since(start)
+		c.stats.Pauses.Flips++
+		c.stats.Pauses.FlipTotal += d
+		if d > c.stats.Pauses.FlipMax {
+			c.stats.Pauses.FlipMax = d
+		}
+	}
+	return newRoot
+}
+
+// forward returns the to-space address of the object at from, copying it if
+// it has not been transported yet (the copy step, §3.4.1).
+func (c *Collector) forward(from word.Addr) word.Addr {
+	d := c.h.Descriptor(from)
+	if d.Forwarded() {
+		return d.ForwardAddr()
+	}
+	size := d.SizeWords()
+	to, ok := c.to.AllocLow(size)
+	if !ok {
+		panic(fmt.Sprintf("gc: to-space exhausted copying %d words (live set exceeds semispace)", size))
+	}
+	img := c.mem.ReadBytes(from, word.WordsToBytes(size))
+	var lsn word.LSN
+	if c.cfg.Atomic {
+		// The copy record carries the descriptor word the forwarding
+		// pointer is about to destroy (Fig. 3.5's lost-descriptor crash)
+		// but not the object contents: repeating history reconstructs
+		// the from-space image (§3.4.1). The E14 ablation includes the
+		// contents instead.
+		rec := wal.CopyRec{
+			Epoch: c.epoch, From: from, To: to, SizeWords: size, Descriptor: uint64(d),
+		}
+		if c.cfg.CopyContents {
+			rec.Contents = img
+		}
+		lsn = c.log.Append(rec)
+	}
+	c.mem.WriteBytes(to, img, lsn)
+	c.mem.WriteWord(from, uint64(heap.ForwardingDescriptor(to)), lsn)
+	c.lot.Record(to)
+	c.stats.CopiedObjs++
+	c.stats.CopiedWords += int64(size)
+	if c.hooks.OnCopy != nil {
+		c.hooks.OnCopy(from, to, size)
+	}
+	return to
+}
+
+// Step performs one increment of collection work: the background scanner
+// sweeps up to one quantum of to-space words from the scan pointer
+// (StepPages pages' worth in Ellis mode, StepWords in Baker mode),
+// unprotecting pages as the sweep passes them. It returns true while the
+// collection is still active.
+func (c *Collector) Step() bool {
+	if !c.active {
+		return false
+	}
+	var start time.Time
+	if c.cfg.Measure {
+		start = time.Now()
+	}
+	quantum := c.cfg.StepWords
+	if c.cfg.Barrier != Baker {
+		quantum = c.cfg.StepPages * word.BytesToWords(c.pageSize())
+	}
+	c.sequentialScan(quantum)
+	if c.cfg.Measure {
+		// Collection-end work (the GCEnd write-back) is asynchronous
+		// disk traffic, not a mutator pause; it is excluded here and
+		// reported separately.
+		d := time.Since(start)
+		c.stats.Pauses.Steps++
+		c.stats.Pauses.StepTotal += d
+		if d > c.stats.Pauses.StepMax {
+			c.stats.Pauses.StepMax = d
+		}
+	}
+	c.maybeFinish()
+	return c.active
+}
+
+// Finish drives the collection to completion (used by the stop-the-world
+// configuration, by checkpoint-time policies, and before a volatile-area
+// collection needs the stable area quiescent).
+func (c *Collector) Finish() {
+	for c.active {
+		c.sequentialScan(1 << 20)
+		c.maybeFinish()
+	}
+}
+
+// maybeFinish completes the collection when nothing is left to scan.
+func (c *Collector) maybeFinish() {
+	if !c.active {
+		return
+	}
+	if c.scanPtr < c.to.CopyPtr {
+		return
+	}
+	if c.cfg.Atomic {
+		c.log.Append(wal.GCEndRec{Epoch: c.epoch})
+		// Write the collection's results back before freeing from-space:
+		// replaying this epoch's copy steps reads the from-space image,
+		// so once the space is freed its content must never be needed —
+		// flushed to-space pages condition those replays away, and the
+		// space's later contributions (updates, moves) are self-contained
+		// records. This is the paper's constraint that copy and scan
+		// records before the last completed flip drop out of recovery
+		// (Fig. 4.6); the write-back happens once per collection, off the
+		// mutator's critical path. Content-carrying copy records (E14)
+		// are self-contained, so they skip it.
+		if !c.cfg.CopyContents {
+			c.stats.GCEndFlushes += int64(c.mem.FlushRange(c.to.Lo, c.to.Hi))
+		}
+	}
+	// Free from-space: drop its pages without writing them back. Their
+	// dirty entries (forwarding-pointer writes) are discarded too — redo
+	// never needs a freed space.
+	c.mem.DiscardRange(c.from.Lo, c.from.Hi)
+	c.from.Reset()
+	// Disarm any leftover protection (pages in the gap or the mutator
+	// allocation region that were never touched).
+	if c.cfg.Barrier == Ellis {
+		for pg := c.to.Lo.Page(c.pageSize()); pg.Base(c.pageSize()) < c.to.Hi; pg++ {
+			c.mem.Unprotect(pg)
+		}
+	}
+	c.active = false
+	c.from = nil
+	c.scanned = nil
+	c.lot = nil
+}
+
+// Trap is the Ellis read-barrier trap handler: the mutator touched a
+// protected page; scan it and unprotect (§3.2.1). The core installs it as
+// the store's trap handler.
+func (c *Collector) Trap(pg word.PageID) {
+	var start time.Time
+	if c.cfg.Measure {
+		start = time.Now()
+	}
+	if !c.active || !c.to.Contains(pg.Base(c.pageSize())) {
+		// A stale protection (e.g. page of another area) — nothing to
+		// scan.
+		c.mem.Unprotect(pg)
+		return
+	}
+	c.scanPage(pg)
+	// Scan-ahead: amortize the trap with one background quantum, so a
+	// pointer-chasing mutator does not take a trap (and plant a filler)
+	// on every page — the sweep catches up and unprotects ahead of it.
+	c.sequentialScan(c.cfg.StepPages * word.BytesToWords(c.pageSize()))
+	if c.cfg.Measure {
+		d := time.Since(start)
+		c.stats.Pauses.Traps++
+		c.stats.Pauses.TrapTotal += d
+		if d > c.stats.Pauses.TrapMax {
+			c.stats.Pauses.TrapMax = d
+		}
+	}
+	c.maybeFinish()
+}
+
+// scanPage is the scan step (§3.4.2): translate every from-space pointer on
+// one to-space page, transporting targets as needed, then log one scan
+// record and unprotect the page. Only the slots on this page are fixed;
+// an object spanning pages is finished when its other pages are scanned.
+func (c *Collector) scanPage(pg word.PageID) {
+	ps := c.pageSize()
+	base := pg.Base(ps)
+	idx := c.toPageIndex(base)
+	if c.scanned[idx] {
+		c.mem.Unprotect(pg)
+		return
+	}
+	pageEnd := base + word.Addr(ps)
+
+	// If the copy pointer is inside this page, round it up to the page
+	// end (planting a parseable filler) so no later copy step lands on a
+	// page the mutator can already see.
+	if c.to.CopyPtr > base && c.to.CopyPtr < pageEnd {
+		c.plantFiller(pageEnd)
+	}
+
+	limit := c.to.CopyPtr
+	if limit > pageEnd {
+		limit = pageEnd
+	}
+	var fixes []wal.PtrFix
+	if base < limit {
+		sizeAt := func(a word.Addr) int { return c.h.Descriptor(a).SizeWords() }
+		for obj := c.lot.FirstOverlapping(base, c.to.CopyPtr, sizeAt); !obj.IsNil() && obj < limit; {
+			fixes = append(fixes, c.scanObjectSlots(obj, base, pageEnd, nil)...)
+			obj = obj.Add(c.h.Descriptor(obj).SizeWords())
+		}
+	}
+	var lsn word.LSN
+	if c.cfg.Atomic && len(fixes) > 0 {
+		lsn = c.log.Append(wal.ScanRec{Epoch: c.epoch, Page: pg, Full: true, Fixes: fixes})
+	}
+	for _, f := range fixes {
+		c.mem.WriteWord(f.Addr, uint64(f.NewPtr), lsn)
+	}
+	c.scanned[idx] = true
+	c.mem.Unprotect(pg)
+	c.stats.ScannedPages++
+	c.stats.ScannedSlots += int64(len(fixes))
+}
+
+// scanObjectSlots computes the pointer fixes for the slots of the object at
+// obj that fall inside [lo, hi), transporting from-space targets. Fixes are
+// returned rather than applied so the scan record precedes the writes.
+func (c *Collector) scanObjectSlots(obj word.Addr, lo, hi word.Addr, out []wal.PtrFix) []wal.PtrFix {
+	d := c.h.Descriptor(obj)
+	if d.TypeID() == FillerType {
+		return out
+	}
+	for i := 0; i < d.NPtrs(); i++ {
+		slot := obj + word.Addr(heap.PtrOffset(i))
+		if slot < lo || slot >= hi {
+			continue
+		}
+		p := word.Addr(c.mem.ReadWord(slot))
+		if p.IsNil() || !c.from.Contains(p) {
+			continue
+		}
+		out = append(out, wal.PtrFix{Addr: slot, NewPtr: c.forward(p)})
+	}
+	return out
+}
+
+// plantFiller fills [CopyPtr, end) with a pseudo-object so parsing stays
+// possible, logging its descriptor (an Alloc record by the system
+// transaction) so the to-space image is reconstructible after a crash.
+func (c *Collector) plantFiller(end word.Addr) {
+	gap := word.BytesToWords(int(end - c.to.CopyPtr))
+	if gap <= 0 {
+		return
+	}
+	a, ok := c.to.AllocLow(gap)
+	if !ok {
+		panic("gc: to-space exhausted while padding a scanned page")
+	}
+	d := heap.NewDescriptor(FillerType, 0, gap-1)
+	var lsn word.LSN
+	if c.cfg.Atomic {
+		lsn = c.log.Append(wal.AllocRec{Addr: a, Descriptor: uint64(d), SizeWords: gap})
+	}
+	c.h.SetDescriptor(a, d, lsn)
+	c.lot.Record(a)
+	c.stats.FillerWords += int64(gap)
+}
+
+// sequentialScan is the background scanner: it sweeps objects from the
+// scan pointer, translating from-space pointers (slot-granular scan steps;
+// in Baker mode this is §3.8's whole story, in Ellis mode it complements
+// the trap handler). Slots on pages a trap already scanned are skipped.
+// Scan records are batched per page; a page is marked scanned — and
+// unprotected — once the sweep passes its end, at which point the copy
+// pointer is beyond it, so it can never receive another unscanned object.
+func (c *Collector) sequentialScan(quantum int) {
+	budget := quantum
+	ps := c.pageSize()
+	var fixes []wal.PtrFix
+	curPage := word.PageID(0)
+	flush := func(full bool) {
+		if len(fixes) == 0 {
+			return
+		}
+		var lsn word.LSN
+		if c.cfg.Atomic {
+			lsn = c.log.Append(wal.ScanRec{
+				Epoch: c.epoch, Page: curPage, Full: full, ScanPtr: c.scanPtr, Fixes: fixes,
+			})
+		}
+		for _, f := range fixes {
+			c.mem.WriteWord(f.Addr, uint64(f.NewPtr), lsn)
+		}
+		c.stats.ScannedSlots += int64(len(fixes))
+		fixes = nil
+	}
+	markThrough := func(limit word.Addr) {
+		// Every page wholly behind limit is scanned; unprotect it.
+		// c.marked remembers where previous sweeps stopped.
+		for ; c.marked < len(c.scanned); c.marked++ {
+			base := c.to.Lo + word.Addr(c.marked*ps)
+			if base+word.Addr(ps) > limit {
+				break
+			}
+			if !c.scanned[c.marked] {
+				c.scanned[c.marked] = true
+				c.mem.Unprotect(base.Page(ps))
+				c.stats.ScannedPages++
+			}
+		}
+	}
+	for budget > 0 && c.scanPtr < c.to.CopyPtr {
+		d := c.h.Descriptor(c.scanPtr)
+		size := d.SizeWords()
+		if d.TypeID() != FillerType {
+			for i := 0; i < d.NPtrs(); i++ {
+				slot := c.scanPtr + word.Addr(heap.PtrOffset(i))
+				if c.scanned[c.toPageIndex(slot)] {
+					continue // a trap already fixed this page's slots
+				}
+				pg := slot.Page(ps)
+				if pg != curPage {
+					flush(false)
+					curPage = pg
+				}
+				p := word.Addr(c.mem.ReadWord(slot))
+				if !p.IsNil() && c.from.Contains(p) {
+					fixes = append(fixes, wal.PtrFix{Addr: slot, NewPtr: c.forward(p)})
+				}
+			}
+		}
+		prevPage := c.scanPtr.Page(ps)
+		c.scanPtr = c.scanPtr.Add(size)
+		budget -= size
+		if c.scanPtr.Page(ps) != prevPage {
+			flush(true)
+			markThrough(c.scanPtr)
+		}
+	}
+	flush(c.scanPtr >= c.to.CopyPtr)
+	markThrough(c.scanPtr)
+}
+
+// BarrierLoad implements the Baker read barrier: the mutator loaded
+// pointer p; if it refers to from-space, transport the object and return
+// the to-space address. In Ellis mode loads never see from-space pointers
+// (the page trap rewrote them), so p is returned unchanged.
+func (c *Collector) BarrierLoad(p word.Addr) word.Addr {
+	if c.cfg.Barrier != Baker || !c.active || p.IsNil() || !c.from.Contains(p) {
+		return p
+	}
+	return c.forward(p)
+}
+
+// State snapshots the collector for a checkpoint record.
+func (c *Collector) State() wal.GCState {
+	st := wal.GCState{Active: c.active, Epoch: c.epoch}
+	if !c.active {
+		return st
+	}
+	st.FlipLSN = c.flipLSN
+	st.FromLo, st.FromHi = c.from.Lo, c.from.Hi
+	st.ToLo, st.ToHi = c.to.Lo, c.to.Hi
+	st.CopyPtr = c.to.CopyPtr
+	st.ScanPtr = c.scanPtr
+	st.AllocPtr = c.to.AllocPtr
+	st.Scanned = append([]bool(nil), c.scanned...)
+	st.LastObj = append([]word.Addr(nil), c.lot.Entries()...)
+	return st
+}
+
+// Restore reinstates a collection from a checkpointed (and redo-advanced)
+// state after a crash: spaces, pointers, scanned set and Last Object Table
+// are installed, and — in Ellis mode — every unscanned to-space page is
+// re-protected, so the interrupted collection simply continues after
+// recovery (§3.5.3: recovery never traverses the heap).
+func (c *Collector) Restore(st wal.GCState, cur int) {
+	c.cur = cur
+	c.epoch = st.Epoch
+	c.active = st.Active
+	if !st.Active {
+		return
+	}
+	c.flipLSN = st.FlipLSN
+	if c.spaces[c.cur].Lo != st.ToLo {
+		panic("gc: restore space mismatch")
+	}
+	c.to = c.spaces[c.cur]
+	c.from = c.spaces[1-c.cur]
+	c.to.CopyPtr = st.CopyPtr
+	c.to.AllocPtr = st.AllocPtr
+	c.scanPtr = st.ScanPtr
+	c.marked = 0
+	c.scanned = append([]bool(nil), st.Scanned...)
+	c.lot = heap.NewLastObjTable(c.to.Lo, c.to.Hi, c.pageSize())
+	c.lot.Restore(st.LastObj)
+	if c.cfg.Barrier == Ellis {
+		ps := word.Addr(c.pageSize())
+		for i, done := range c.scanned {
+			if !done {
+				c.mem.Protect((c.to.Lo + word.Addr(i)*ps).Page(c.pageSize()))
+			}
+		}
+	}
+}
+
+// SetAllocFrontier restores the idle-space allocation pointer (from a
+// checkpoint) when no collection is active.
+func (c *Collector) SetAllocFrontier(copyPtr word.Addr) {
+	c.Current().CopyPtr = copyPtr
+}

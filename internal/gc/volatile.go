@@ -1,0 +1,341 @@
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// VolatileHooks connect the volatile-area collector to the stable-heap
+// core.
+type VolatileHooks struct {
+	// ForEachRoot visits the volatile root slots: the global volatile
+	// root pointer and every registered transaction handle.
+	ForEachRoot func(visit func(get func() word.Addr, set func(word.Addr)))
+	// StableSlots returns the stable→volatile remembered set: every
+	// stable-area slot currently holding a pointer into the volatile
+	// area. These slots are roots of the volatile collection.
+	StableSlots func() []word.Addr
+	// AllocStable reserves stable-area space for a newly stable object
+	// being evacuated (Ch. 5's "move at the next volatile collection").
+	AllocStable func(sizeWords int) word.Addr
+	// OnCopy is called for an ordinary volatile-area copy.
+	OnCopy func(from, to word.Addr, sizeWords int)
+	// OnMoveStable is called after a newly stable object moved into the
+	// stable area (its V2SCopy record is already in the log); the core
+	// clears its LS entry and rebases lock and translation state.
+	OnMoveStable func(from, to word.Addr, sizeWords int)
+	// OnStableSlotFixed reports that a stable-area slot was rewritten;
+	// stillVolatile says whether the new target remains in the volatile
+	// area (the slot stays in the remembered set) or not (it leaves).
+	OnStableSlotFixed func(slot, newPtr word.Addr, stillVolatile bool)
+}
+
+// VolatileStats counts volatile-area collections.
+type VolatileStats struct {
+	Collections int
+	CopiedObjs  int64
+	CopiedWords int64
+	MovedObjs   int64 // evacuated into the stable area
+	MovedWords  int64
+	PauseMax    time.Duration
+	PauseTotal  time.Duration
+}
+
+// VolatileCollector is the plain, unlogged stop-the-world Cheney collector
+// of the volatile area (Ch. 5). Ordinary volatile objects are copied
+// without any logging — this is precisely how the divided heap avoids the
+// costs of atomic collection for volatile state. Newly stable objects
+// (AS bit set) are instead evacuated into the stable area with logged
+// V2SCopy records, and stable-area slots that pointed at them are fixed
+// with logged, redo-only SFix records (the paper's "S4vscan").
+type VolatileCollector struct {
+	mem   *vm.Store
+	h     *heap.Heap
+	log   *wal.Manager
+	hooks VolatileHooks
+
+	spaces  [2]*heap.Space
+	cur     int
+	epoch   uint64
+	measure bool
+
+	// collection-local state
+	from, to *heap.Space
+	movedQ   []word.Addr // stable-area addresses of moved objects to scan
+	stats    VolatileStats
+}
+
+// NewVolatile creates the volatile-area collector over [lo, hi), split into
+// two equal semispaces.
+func NewVolatile(mem *vm.Store, h *heap.Heap, log *wal.Manager, lo, hi word.Addr, measure bool) *VolatileCollector {
+	if (hi-lo)%2 != 0 {
+		panic("gc: volatile area not splittable")
+	}
+	mid := lo + (hi-lo)/2
+	v := &VolatileCollector{mem: mem, h: h, log: log, measure: measure}
+	v.spaces[0] = heap.NewSpace(lo, mid)
+	v.spaces[1] = heap.NewSpace(mid, hi)
+	return v
+}
+
+// SetHooks installs the environment callbacks.
+func (v *VolatileCollector) SetHooks(h VolatileHooks) { v.hooks = h }
+
+// Stats returns accumulated counters.
+func (v *VolatileCollector) Stats() VolatileStats { return v.stats }
+
+// Epoch returns the number of volatile collections performed.
+func (v *VolatileCollector) Epoch() uint64 { return v.epoch }
+
+// Current returns the space receiving allocations.
+func (v *VolatileCollector) Current() *heap.Space { return v.spaces[v.cur] }
+
+// CurrentIndex returns which semispace is current (for checkpoints).
+func (v *VolatileCollector) CurrentIndex() int { return v.cur }
+
+// SetCurrentIndex restores the current-semispace choice (recovery).
+func (v *VolatileCollector) SetCurrentIndex(i int) { v.cur = i }
+
+// InArea reports whether a falls in the volatile area.
+func (v *VolatileCollector) InArea(a word.Addr) bool {
+	return v.spaces[0].Contains(a) || v.spaces[1].Contains(a)
+}
+
+// Alloc reserves a new object in the volatile area; ok is false when full
+// (the caller collects and retries).
+func (v *VolatileCollector) Alloc(sizeWords int) (word.Addr, bool) {
+	return v.Current().AllocLow(sizeWords)
+}
+
+// FreeWords returns free space in the current volatile semispace.
+func (v *VolatileCollector) FreeWords() int { return v.Current().FreeWords() }
+
+// Reset empties the volatile area (after recovery: volatile contents do not
+// survive a crash; recovered newly-stable objects are re-materialized by
+// redo and then evacuated, see the recovery manager).
+func (v *VolatileCollector) Reset() {
+	v.spaces[0].Reset()
+	v.spaces[1].Reset()
+}
+
+// Collect runs one stop-the-world volatile collection, returning the number
+// of newly stable objects moved into the stable area.
+func (v *VolatileCollector) Collect() int {
+	var start time.Time
+	if v.measure {
+		start = time.Now()
+	}
+	v.epoch++
+	v.stats.Collections++
+	v.from = v.spaces[v.cur]
+	v.cur = 1 - v.cur
+	v.to = v.spaces[v.cur]
+	v.to.Reset()
+	v.movedQ = nil
+	moved := 0
+
+	// Roots: volatile globals and transaction handles…
+	if v.hooks.ForEachRoot != nil {
+		v.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
+			p := get()
+			if !p.IsNil() && v.from.Contains(p) {
+				set(v.evacuate(p))
+			}
+		})
+	}
+	// …and the stable→volatile remembered slots, whose rewrites are
+	// stable-area modifications and follow the WAL protocol.
+	if v.hooks.StableSlots != nil {
+		v.fixStableSlots(v.hooks.StableSlots())
+	}
+
+	// Cheney scan of the volatile to-space.
+	scan := v.to.Lo
+	for scan < v.to.CopyPtr || len(v.movedQ) > 0 {
+		for scan < v.to.CopyPtr {
+			d := v.h.Descriptor(scan)
+			for i := 0; i < d.NPtrs(); i++ {
+				slot := scan + word.Addr(heap.PtrOffset(i))
+				p := word.Addr(v.mem.ReadWord(slot))
+				if !p.IsNil() && v.from.Contains(p) {
+					v.mem.WriteWord(slot, uint64(v.evacuate(p)), word.NilLSN)
+				}
+			}
+			scan = scan.Add(d.SizeWords())
+		}
+		// Scan objects that moved into the stable area: their slot
+		// rewrites are logged (the S4vscan fix-ups).
+		for len(v.movedQ) > 0 {
+			obj := v.movedQ[0]
+			v.movedQ = v.movedQ[1:]
+			moved++
+			v.scanMoved(obj)
+		}
+	}
+
+	v.log.Append(wal.VFlipRec{Epoch: v.epoch, Moved: moved})
+	// Volatile from-space contents are dead and unlogged reads never
+	// target them during redo (V2SCopy records are self-contained), so
+	// the pages are dropped without ghosts.
+	v.mem.DiscardRange(v.from.Lo, v.from.Hi)
+	v.from.Reset()
+	v.from = nil
+	if v.measure {
+		d := time.Since(start)
+		v.stats.PauseTotal += d
+		if d > v.stats.PauseMax {
+			v.stats.PauseMax = d
+		}
+	}
+	return moved
+}
+
+// CollectRecovered evacuates recovered newly stable objects out of the
+// volatile area after a crash. Redo re-materialized them at their pre-crash
+// volatile addresses — in either semispace — and everything else in the
+// volatile area is dead (volatile state does not survive crashes), so the
+// whole area is treated as from-space and the only live objects are AS
+// objects reachable from the rebuilt stable→volatile remembered set.
+func (v *VolatileCollector) CollectRecovered() int {
+	v.epoch++
+	v.stats.Collections++
+	// Pseudo from-space spanning both semispaces; no volatile to-space
+	// copies can occur (every reachable object carries the AS bit).
+	v.from = heap.NewSpace(v.spaces[0].Lo, v.spaces[1].Hi)
+	v.to = nil
+	v.movedQ = nil
+	moved := 0
+	// Roots: besides the stable→volatile remembered slots, transactions
+	// restored in-doubt by recovery hold undo-information roots (§3.5.2)
+	// — old pointer values their eventual abort must restore, possibly
+	// reachable nowhere else.
+	if v.hooks.ForEachRoot != nil {
+		v.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
+			p := get()
+			if !p.IsNil() && v.from.Contains(p) {
+				set(v.evacuate(p))
+			}
+		})
+	}
+	if v.hooks.StableSlots != nil {
+		v.fixStableSlots(v.hooks.StableSlots())
+	}
+	for len(v.movedQ) > 0 {
+		obj := v.movedQ[0]
+		v.movedQ = v.movedQ[1:]
+		moved++
+		v.scanMoved(obj)
+	}
+	v.log.Append(wal.VFlipRec{Epoch: v.epoch, Moved: moved})
+	v.mem.DiscardRange(v.from.Lo, v.from.Hi)
+	v.from = nil
+	v.spaces[0].Reset()
+	v.spaces[1].Reset()
+	return moved
+}
+
+// evacuate transports the volatile object at from: newly stable objects go
+// to the stable area (logged), the rest to the volatile to-space
+// (unlogged). Returns the new address.
+func (v *VolatileCollector) evacuate(from word.Addr) word.Addr {
+	d := v.h.Descriptor(from)
+	if d.Forwarded() {
+		return d.ForwardAddr()
+	}
+	size := d.SizeWords()
+	if d.AS() {
+		return v.moveStable(from, d, size)
+	}
+	if v.to == nil {
+		// CollectRecovered: only AS objects can be live after a crash.
+		panic(fmt.Sprintf("gc: non-stable object %v reachable in the volatile area after recovery", from))
+	}
+	to, ok := v.to.AllocLow(size)
+	if !ok {
+		panic(fmt.Sprintf("gc: volatile to-space exhausted copying %d words", size))
+	}
+	img := v.mem.ReadBytes(from, word.WordsToBytes(size))
+	v.mem.WriteBytes(to, img, word.NilLSN)
+	v.mem.WriteWord(from, uint64(heap.ForwardingDescriptor(to)), word.NilLSN)
+	v.stats.CopiedObjs++
+	v.stats.CopiedWords += int64(size)
+	if v.hooks.OnCopy != nil {
+		v.hooks.OnCopy(from, to, size)
+	}
+	return to
+}
+
+// moveStable evacuates a newly stable object into the stable area: the
+// V2SCopy record carries the full image (the volatile source page owes
+// recovery nothing once the move is logged).
+func (v *VolatileCollector) moveStable(from word.Addr, d heap.Descriptor, size int) word.Addr {
+	to := v.hooks.AllocStable(size)
+	img := v.mem.ReadBytes(from, word.WordsToBytes(size))
+	// The object is physically stable now: clear the tracking bits in
+	// the image before it is logged and written.
+	clean := d.WithAS(false).WithLS(false)
+	word.PutWord(img, 0, uint64(clean))
+	lsn := v.log.Append(wal.V2SCopyRec{From: from, To: to, Object: img})
+	v.mem.WriteBytes(to, img, lsn)
+	v.mem.WriteWord(from, uint64(heap.ForwardingDescriptor(to)), word.NilLSN)
+	v.stats.MovedObjs++
+	v.stats.MovedWords += int64(size)
+	v.movedQ = append(v.movedQ, to)
+	if v.hooks.OnMoveStable != nil {
+		v.hooks.OnMoveStable(from, to, size)
+	}
+	return to
+}
+
+// scanMoved translates the volatile pointers inside an object that just
+// moved to the stable area, logging the rewrites per page.
+func (v *VolatileCollector) scanMoved(obj word.Addr) {
+	d := v.h.Descriptor(obj)
+	var slots []word.Addr
+	for i := 0; i < d.NPtrs(); i++ {
+		slots = append(slots, obj+word.Addr(heap.PtrOffset(i)))
+	}
+	v.fixStableSlots(slots)
+}
+
+// fixStableSlots rewrites stable-area slots whose targets the collection
+// moved, batching one SFix record per page (slot writes carry its LSN).
+func (v *VolatileCollector) fixStableSlots(slots []word.Addr) {
+	ps := v.mem.PageSize()
+	var fixes []wal.PtrFix
+	var results []bool // stillVolatile per fix
+	curPage := word.PageID(0)
+	flush := func() {
+		if len(fixes) == 0 {
+			return
+		}
+		lsn := v.log.Append(wal.SFixRec{Page: curPage, Fixes: fixes})
+		for i, f := range fixes {
+			v.mem.WriteWord(f.Addr, uint64(f.NewPtr), lsn)
+			if v.hooks.OnStableSlotFixed != nil {
+				v.hooks.OnStableSlotFixed(f.Addr, f.NewPtr, results[i])
+			}
+		}
+		fixes, results = nil, nil
+	}
+	for _, slot := range slots {
+		p := word.Addr(v.mem.ReadWord(slot))
+		if p.IsNil() || !v.from.Contains(p) {
+			continue
+		}
+		newp := v.evacuate(p)
+		pg := slot.Page(ps)
+		if pg != curPage {
+			flush()
+			curPage = pg
+		}
+		fixes = append(fixes, wal.PtrFix{Addr: slot, NewPtr: newp})
+		results = append(results, v.InArea(newp))
+	}
+	flush()
+}

@@ -1,0 +1,295 @@
+package heap
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/vm"
+	"stableheap/internal/word"
+)
+
+const ps = 256
+
+func newHeap() *Heap {
+	disk := storage.NewDisk(ps)
+	mem := vm.New(vm.Config{PageSize: ps}, disk, nil)
+	return New(mem)
+}
+
+func TestDescriptorPackUnpackProperty(t *testing.T) {
+	f := func(typeID uint16, np, nd uint32) bool {
+		nptrs := int(np % (MaxPtrs + 1))
+		ndata := int(nd % (MaxData + 1))
+		d := NewDescriptor(typeID, nptrs, ndata)
+		return d.TypeID() == typeID && d.NPtrs() == nptrs && d.NData() == ndata &&
+			!d.Forwarded() && !d.AS() && !d.LS() &&
+			d.SizeWords() == 1+nptrs+ndata
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorFlagBitsIndependent(t *testing.T) {
+	d := NewDescriptor(7, 3, 4)
+	d2 := d.WithAS(true)
+	if !d2.AS() || d2.LS() || d2.NPtrs() != 3 || d2.NData() != 4 || d2.TypeID() != 7 {
+		t.Fatal("AS bit must not disturb other fields")
+	}
+	d3 := d2.WithLS(true)
+	if !d3.AS() || !d3.LS() {
+		t.Fatal("LS bit must coexist with AS")
+	}
+	d4 := d3.WithAS(false).WithLS(false)
+	if d4 != d {
+		t.Fatal("clearing flags must restore the original descriptor")
+	}
+}
+
+func TestForwardingDescriptor(t *testing.T) {
+	to := word.Addr(0x4b8)
+	d := ForwardingDescriptor(to)
+	if !d.Forwarded() || d.ForwardAddr() != to {
+		t.Fatalf("forwarding round trip failed: %v", d.ForwardAddr())
+	}
+}
+
+func TestForwardingRejectsMisaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ForwardingDescriptor(word.Addr(3))
+}
+
+func TestDescriptorShapeLimits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversize shape")
+		}
+	}()
+	NewDescriptor(0, MaxPtrs+1, 0)
+}
+
+func TestHeapFieldAccess(t *testing.T) {
+	h := newHeap()
+	a := word.Addr(0x100)
+	d := NewDescriptor(1, 2, 3)
+	h.SetDescriptor(a, d, 1)
+	h.SetPtr(a, 0, 0x200, 2)
+	h.SetPtr(a, 1, 0x300, 3)
+	h.SetData(a, d, 0, 111, 4)
+	h.SetData(a, d, 2, 333, 5)
+	if h.Descriptor(a) != d {
+		t.Fatal("descriptor")
+	}
+	if h.Ptr(a, 0) != 0x200 || h.Ptr(a, 1) != 0x300 {
+		t.Fatal("pointers")
+	}
+	if h.Data(a, d, 0) != 111 || h.Data(a, d, 1) != 0 || h.Data(a, d, 2) != 333 {
+		t.Fatal("data words")
+	}
+}
+
+func TestObjectBytesRoundTrip(t *testing.T) {
+	h := newHeap()
+	a := word.Addr(0x80)
+	d := NewDescriptor(9, 1, 1)
+	h.SetDescriptor(a, d, 1)
+	h.SetPtr(a, 0, 0x4000, 1)
+	h.SetData(a, d, 0, 42, 1)
+	img := h.ObjectBytes(a)
+	if len(img) != 3*word.WordSize {
+		t.Fatalf("image length %d", len(img))
+	}
+	b := word.Addr(0x800)
+	h.WriteObject(b, img, 2)
+	if !bytes.Equal(h.ObjectBytes(b), img) {
+		t.Fatal("WriteObject/ObjectBytes mismatch")
+	}
+	if h.Ptr(b, 0) != 0x4000 {
+		t.Fatal("copied pointer field")
+	}
+}
+
+func TestObjectBytesOfForwardedPanics(t *testing.T) {
+	h := newHeap()
+	a := word.Addr(0x80)
+	h.SetDescriptor(a, ForwardingDescriptor(0x800), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.ObjectBytes(a)
+}
+
+func TestSpaceAllocLow(t *testing.T) {
+	s := NewSpace(0x1000, 0x1000+10*word.WordSize)
+	a, ok := s.AllocLow(4)
+	if !ok || a != 0x1000 {
+		t.Fatalf("first alloc at %v", a)
+	}
+	b, ok := s.AllocLow(6)
+	if !ok || b != a.Add(4) {
+		t.Fatalf("second alloc at %v", b)
+	}
+	if _, ok := s.AllocLow(1); ok {
+		t.Fatal("space must be exhausted")
+	}
+}
+
+func TestSpaceAllocHighGrowsDownward(t *testing.T) {
+	s := NewSpace(0x1000, 0x1000+10*word.WordSize)
+	a, ok := s.AllocHigh(3)
+	if !ok || a != word.Addr(0x1000+7*word.WordSize) {
+		t.Fatalf("high alloc at %v", a)
+	}
+	b, ok := s.AllocHigh(8)
+	if ok {
+		t.Fatalf("high alloc must fail when it would overflow: got %v", b)
+	}
+	if s.FreeWords() != 7 {
+		t.Fatalf("FreeWords = %d, want 7", s.FreeWords())
+	}
+}
+
+func TestSpaceTwoEndedCollision(t *testing.T) {
+	s := NewSpace(0, 8*word.WordSize)
+	if _, ok := s.AllocLow(5); !ok {
+		t.Fatal("low alloc failed")
+	}
+	if _, ok := s.AllocHigh(4); ok {
+		t.Fatal("regions must not overlap")
+	}
+	if _, ok := s.AllocHigh(3); !ok {
+		t.Fatal("exact fit must succeed")
+	}
+	if s.FreeWords() != 0 {
+		t.Fatal("space must be full")
+	}
+}
+
+func TestSpaceReset(t *testing.T) {
+	s := NewSpace(0, 64)
+	s.AllocLow(2)
+	s.AllocHigh(2)
+	s.Reset()
+	if s.CopyPtr != s.Lo || s.AllocPtr != s.Hi {
+		t.Fatal("reset must restore both pointers")
+	}
+}
+
+func TestSpaceContains(t *testing.T) {
+	s := NewSpace(0x100, 0x200)
+	for _, c := range []struct {
+		a    word.Addr
+		want bool
+	}{{0x100, true}, {0x1f8, true}, {0x200, false}, {0xf8, false}} {
+		if s.Contains(c.a) != c.want {
+			t.Errorf("Contains(%v) = %v", c.a, !c.want)
+		}
+	}
+}
+
+// buildRegion lays out objects of the given sizes contiguously from lo,
+// recording them in the table, and returns their addresses and the end.
+func buildRegion(h *Heap, t *LastObjTable, lo word.Addr, sizes []int) ([]word.Addr, word.Addr) {
+	addrs := make([]word.Addr, len(sizes))
+	a := lo
+	for i, sz := range sizes {
+		h.SetDescriptor(a, NewDescriptor(0, 0, sz-1), 1)
+		t.Record(a)
+		addrs[i] = a
+		a = a.Add(sz)
+	}
+	return addrs, a
+}
+
+func TestLastObjTableFirstOverlapping(t *testing.T) {
+	h := newHeap()
+	lo := word.Addr(0)
+	hi := word.Addr(8 * ps)
+	lot := NewLastObjTable(lo, hi, ps)
+	// Page holds 32 words. Object sizes chosen so some objects span pages.
+	sizes := []int{10, 10, 40, 5, 60, 3}
+	addrs, end := buildRegion(h, lot, lo, sizes)
+	sizeAt := func(a word.Addr) int { return h.Descriptor(a).SizeWords() }
+
+	// Page 0 starts with the first object.
+	if got := lot.FirstOverlapping(0, end, sizeAt); got != addrs[0] {
+		t.Fatalf("page 0: got %v, want %v", got, addrs[0])
+	}
+	// Object 2 (size 40 at word 20) spans the page-0/page-1 boundary:
+	// page 1's first overlapping object is object 2.
+	if got := lot.FirstOverlapping(word.Addr(ps), end, sizeAt); got != addrs[2] {
+		t.Fatalf("page 1: got %v, want %v", got, addrs[2])
+	}
+	// Object 4 (size 60 at word 65) spans pages 2 and 3.
+	if got := lot.FirstOverlapping(word.Addr(3*ps), end, sizeAt); got != addrs[4] {
+		t.Fatalf("page 3: got %v, want %v", got, addrs[4])
+	}
+	// A page beyond the populated region has no objects.
+	if got := lot.FirstOverlapping(word.Addr(5*ps), end, sizeAt); !got.IsNil() {
+		t.Fatalf("empty page: got %v", got)
+	}
+}
+
+func TestLastObjTableRestore(t *testing.T) {
+	lot := NewLastObjTable(0, 4*ps, ps)
+	lot.Record(0x10)
+	lot.Record(word.Addr(ps + 8))
+	saved := append([]word.Addr(nil), lot.Entries()...)
+	lot2 := NewLastObjTable(0, 4*ps, ps)
+	lot2.Restore(saved)
+	for i, e := range lot.Entries() {
+		if lot2.Entries()[i] != e {
+			t.Fatal("restore mismatch")
+		}
+	}
+}
+
+// Property: for random object size sequences, FirstOverlapping(page) always
+// returns the first object whose extent intersects the page, as computed by
+// brute force.
+func TestLastObjTableProperty(t *testing.T) {
+	h := newHeap()
+	f := func(raw []uint8) bool {
+		var sizes []int
+		total := 0
+		for _, r := range raw {
+			sz := int(r%50) + 1
+			if total+sz > 16*ps/word.WordSize {
+				break
+			}
+			sizes = append(sizes, sz)
+			total += sz
+		}
+		if len(sizes) == 0 {
+			return true
+		}
+		lot := NewLastObjTable(0, 16*ps, ps)
+		addrs, end := buildRegion(h, lot, 0, sizes)
+		sizeAt := func(a word.Addr) int { return h.Descriptor(a).SizeWords() }
+		for pg := word.Addr(0); pg < end; pg += ps {
+			want := word.NilAddr
+			for i, a := range addrs {
+				objEnd := a.Add(sizes[i])
+				if objEnd > pg && a < pg+ps {
+					want = a
+					break
+				}
+			}
+			if got := lot.FirstOverlapping(pg, end, sizeAt); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

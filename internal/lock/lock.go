@@ -1,0 +1,358 @@
+// Package lock implements the object-granularity read/write locking of the
+// stable heap's transaction model (§2.1): transactions acquire standard
+// read/write locks on atomic objects and hold them to completion (strict
+// two-phase locking), which makes transactions serializable.
+//
+// Objects are named by their current virtual address, as in the paper. When
+// the collector flips and moves a locked object, it rekeys the lock table
+// entry (Rekey); the addresses of locked objects are part of the root set a
+// flip must translate.
+//
+// Deadlocks are resolved by timeout: a blocked Acquire gives up after the
+// manager's wait limit and returns ErrTimeout, upon which the caller aborts
+// the transaction. A zero wait limit makes every conflict immediate.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stableheap/internal/word"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Read Mode = iota
+	Write
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// ErrTimeout is returned when a lock could not be acquired within the wait
+// limit; the caller is expected to abort (the deadlock victim policy).
+var ErrTimeout = errors.New("lock: wait timed out (possible deadlock)")
+
+// entry is the lock state of one object.
+type entry struct {
+	writer  word.TxID              // holder of the write lock, 0 if none
+	readers map[word.TxID]struct{} // read-lock holders
+}
+
+func (e *entry) free() bool { return e.writer == 0 && len(e.readers) == 0 }
+
+// grantable reports whether tx may acquire the lock in mode m now.
+func (e *entry) grantable(tx word.TxID, m Mode) bool {
+	switch m {
+	case Read:
+		return e.writer == 0 || e.writer == tx
+	default: // Write
+		if e.writer != 0 && e.writer != tx {
+			return false
+		}
+		for r := range e.readers {
+			if r != tx {
+				return false // other readers block the upgrade
+			}
+		}
+		return true
+	}
+}
+
+// Manager is the lock table.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   map[word.Addr]*entry
+	held    map[word.TxID]map[word.Addr]Mode // per-tx held locks
+	wait    time.Duration
+	waiting int
+	stats   Stats
+}
+
+// Stats counts lock-manager activity.
+type Stats struct {
+	Acquires  int64
+	Conflicts int64 // acquires that had to wait
+	Timeouts  int64
+	Rekeys    int64
+}
+
+// NewManager creates a lock manager whose blocked acquires time out after
+// wait (zero means immediate failure on conflict).
+func NewManager(wait time.Duration) *Manager {
+	m := &Manager{
+		table: make(map[word.Addr]*entry),
+		held:  make(map[word.TxID]map[word.Addr]Mode),
+		wait:  wait,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Acquire obtains the lock on addr in mode mode for tx, blocking up to the
+// manager's wait limit. Re-acquiring a held lock (or read-after-write) is a
+// no-op; read-to-write upgrades are supported when no other reader holds
+// the lock.
+func (m *Manager) Acquire(tx word.TxID, addr word.Addr, mode Mode) error {
+	return m.AcquireWait(tx, addr, mode, m.wait)
+}
+
+// TryAcquire attempts the lock without waiting (used by the stability
+// tracker, which runs under the action latch and must never block on
+// another transaction that needs the latch to make progress).
+func (m *Manager) TryAcquire(tx word.TxID, addr word.Addr, mode Mode) error {
+	return m.AcquireWait(tx, addr, mode, 0)
+}
+
+// AcquireWait is Acquire with an explicit wait budget.
+func (m *Manager) AcquireWait(tx word.TxID, addr word.Addr, mode Mode, wait time.Duration) error {
+	if tx == word.SystemTx {
+		panic("lock: system pseudo-transaction cannot take locks")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Acquires++
+	e := m.table[addr]
+	if e == nil {
+		e = &entry{readers: make(map[word.TxID]struct{})}
+		m.table[addr] = e
+	}
+	if !e.grantable(tx, mode) {
+		m.stats.Conflicts++
+		if wait == 0 {
+			if e.free() {
+				delete(m.table, addr)
+			}
+			m.stats.Timeouts++
+			return ErrTimeout
+		}
+		deadline := time.Now().Add(wait)
+		timer := time.AfterFunc(wait, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+		for !e.grantable(tx, mode) {
+			if time.Now().After(deadline) {
+				if e.free() {
+					delete(m.table, addr)
+				}
+				m.stats.Timeouts++
+				return ErrTimeout
+			}
+			m.waiting++
+			m.cond.Wait()
+			m.waiting--
+		}
+	}
+	m.grant(tx, addr, e, mode)
+	return nil
+}
+
+// WaitFree blocks until tx could acquire addr in the given mode (without
+// actually granting it) or the wait budget expires; returns whether the
+// lock looked grantable when it returned. Callers re-validate and
+// TryAcquire under their own synchronization — the address may have been
+// rekeyed or re-locked in between.
+func (m *Manager) WaitFree(tx word.TxID, addr word.Addr, mode Mode, wait time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	check := func() bool {
+		e := m.table[addr]
+		return e == nil || e.grantable(tx, mode)
+	}
+	if check() {
+		return true
+	}
+	if wait == 0 {
+		return false
+	}
+	deadline := time.Now().Add(wait)
+	timer := time.AfterFunc(wait, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	for !check() {
+		if time.Now().After(deadline) {
+			m.stats.Timeouts++
+			return false
+		}
+		m.waiting++
+		m.cond.Wait()
+		m.waiting--
+	}
+	return true
+}
+
+// Release drops tx's hold on one address (used by the optimistic
+// lock-then-verify path when the collector moved the object between the
+// address read and the acquisition). Releasing an unheld lock is a no-op.
+func (m *Manager) Release(tx word.TxID, addr word.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[addr]
+	if e == nil {
+		return
+	}
+	if e.writer == tx {
+		e.writer = 0
+	}
+	delete(e.readers, tx)
+	if e.free() {
+		delete(m.table, addr)
+	}
+	if h := m.held[tx]; h != nil {
+		delete(h, addr)
+		if len(h) == 0 {
+			delete(m.held, tx)
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// grant installs the lock; the mutex is held.
+func (m *Manager) grant(tx word.TxID, addr word.Addr, e *entry, mode Mode) {
+	switch mode {
+	case Read:
+		if e.writer == tx {
+			return // write lock subsumes read
+		}
+		e.readers[tx] = struct{}{}
+	default:
+		delete(e.readers, tx) // upgrade consumes the read lock
+		e.writer = tx
+	}
+	h := m.held[tx]
+	if h == nil {
+		h = make(map[word.Addr]Mode)
+		m.held[tx] = h
+	}
+	if cur, ok := h[addr]; !ok || mode == Write && cur == Read {
+		h[addr] = mode
+	}
+}
+
+// Holds reports the strongest mode tx holds on addr.
+func (m *Manager) Holds(tx word.TxID, addr word.Addr) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[tx][addr]
+	return mode, ok
+}
+
+// WriteLockedBy returns the transaction write-holding addr, or 0.
+func (m *Manager) WriteLockedBy(addr word.Addr) word.TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.table[addr]; e != nil {
+		return e.writer
+	}
+	return 0
+}
+
+// ReleaseAll drops every lock tx holds (commit/abort) and wakes waiters.
+func (m *Manager) ReleaseAll(tx word.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for addr := range m.held[tx] {
+		e := m.table[addr]
+		if e == nil {
+			continue
+		}
+		if e.writer == tx {
+			e.writer = 0
+		}
+		delete(e.readers, tx)
+		if e.free() {
+			delete(m.table, addr)
+		}
+	}
+	delete(m.held, tx)
+	m.cond.Broadcast()
+}
+
+// Rekey moves the lock entry for a relocated object from its old address to
+// its new one (called by the collector at a flip). It is an error if the
+// new address already has lock state.
+func (m *Manager) Rekey(from, to word.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.table[from]
+	if !ok {
+		return
+	}
+	if _, clash := m.table[to]; clash {
+		panic(fmt.Sprintf("lock: rekey target %v already locked", to))
+	}
+	delete(m.table, from)
+	m.table[to] = e
+	for tx := range e.readers {
+		m.rekeyHeld(tx, from, to)
+	}
+	if e.writer != 0 {
+		m.rekeyHeld(e.writer, from, to)
+	}
+	m.stats.Rekeys++
+}
+
+func (m *Manager) rekeyHeld(tx word.TxID, from, to word.Addr) {
+	h := m.held[tx]
+	if mode, ok := h[from]; ok {
+		delete(h, from)
+		h[to] = mode
+	}
+}
+
+// LockedAddrs returns every address with lock state, in no particular
+// order: the collector copies these objects at a flip so their lock-table
+// keys stay meaningful.
+func (m *Manager) LockedAddrs() []word.Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]word.Addr, 0, len(m.table))
+	for a := range m.table {
+		out = append(out, a)
+	}
+	return out
+}
+
+// HeldBy returns the addresses tx holds locks on.
+func (m *Manager) HeldBy(tx word.TxID) []word.Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]word.Addr, 0, len(m.held[tx]))
+	for a := range m.held[tx] {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Reset clears all lock state (crash: locks are volatile).
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.table = make(map[word.Addr]*entry)
+	m.held = make(map[word.TxID]map[word.Addr]Mode)
+	m.cond.Broadcast()
+}
+
+// Stats returns accumulated counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

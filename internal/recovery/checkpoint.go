@@ -1,0 +1,131 @@
+package recovery
+
+import (
+	"stableheap/internal/storage"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Checkpointer takes the paper's cheap fuzzy checkpoints (§2.2.4): one log
+// record, no synchronous writes. The master block is updated lazily, once
+// the record has reached stable storage on the back of ordinary log forces
+// — recovery simply uses the previous checkpoint until then.
+type Checkpointer struct {
+	log *wal.Manager
+	mem *vm.Store
+
+	pendingLSN   word.LSN // appended checkpoint not yet in the master
+	pendingTrunc word.LSN
+	stableLSN    word.LSN // checkpoint currently named by the master
+	stableTrunc  word.LSN
+	prevTake     word.LSN // LSN of the previous Take: the cleaner horizon
+
+	stats CheckpointStats
+}
+
+// CheckpointStats counts checkpoint activity.
+type CheckpointStats struct {
+	Taken    int64
+	Promoted int64
+	Cleaned  int64 // pages written back by the checkpoint-driven cleaner
+}
+
+// NewCheckpointer creates a checkpointer. If the master block already names
+// a checkpoint (after recovery), pass it as last so truncation stays sound.
+func NewCheckpointer(log *wal.Manager, mem *vm.Store, last word.LSN) *Checkpointer {
+	return &Checkpointer{log: log, mem: mem, stableLSN: last, stableTrunc: last}
+}
+
+// Take builds and spools a checkpoint record: the caller fills every field
+// except Dirty, which the checkpointer composes from the store's dirty
+// page table. Returns the record's LSN.
+func (c *Checkpointer) Take(cp wal.CheckpointRec) word.LSN {
+	// Checkpoint-driven page cleaning: write back pages dirtied before
+	// the previous checkpoint, so the redo window stays roughly two
+	// checkpoint intervals.
+	if c.prevTake != word.NilLSN {
+		c.stats.Cleaned += int64(c.mem.FlushOlderThan(c.prevTake))
+	}
+	cp.Dirty = c.mem.DirtyPages()
+
+	lsn := c.log.Append(cp)
+
+	// The truncation point this checkpoint will justify once stable.
+	trunc := lsn
+	for _, dp := range cp.Dirty {
+		if dp.RecLSN != word.NilLSN && dp.RecLSN < trunc {
+			trunc = dp.RecLSN
+		}
+	}
+	for _, te := range cp.Txs {
+		if te.FirstLSN != word.NilLSN && te.FirstLSN < trunc {
+			trunc = te.FirstLSN
+		}
+	}
+	c.pendingLSN = lsn
+	c.pendingTrunc = trunc
+	c.prevTake = lsn
+	c.stats.Taken++
+	c.Promote()
+	return lsn
+}
+
+// Promote publishes the pending checkpoint to the master block if ordinary
+// log traffic has since made it stable. Call after commits; never forces.
+func (c *Checkpointer) Promote() {
+	if c.pendingLSN == word.NilLSN || !c.log.IsStable(c.pendingLSN) {
+		return
+	}
+	m := c.mem.Disk().Master()
+	m.Formatted = true
+	m.CheckpointLSN = c.pendingLSN
+	c.mem.Disk().SetMaster(m)
+	c.stableLSN = c.pendingLSN
+	c.stableTrunc = c.pendingTrunc
+	c.pendingLSN = word.NilLSN
+	c.stats.Promoted++
+}
+
+// ForcePromote forces the log through the pending checkpoint and publishes
+// it (clean shutdown and end of recovery — the only places a synchronous
+// write is acceptable outside commit).
+func (c *Checkpointer) ForcePromote() {
+	if c.pendingLSN == word.NilLSN {
+		return
+	}
+	c.log.Force(c.pendingLSN)
+	c.Promote()
+}
+
+// Stable returns the LSN of the checkpoint the master currently names.
+func (c *Checkpointer) Stable() word.LSN { return c.stableLSN }
+
+// TruncationPoint returns the lowest LSN the log must retain: everything
+// below it is covered by the stable checkpoint, flushed pages, and
+// completed transactions.
+func (c *Checkpointer) TruncationPoint() word.LSN {
+	if c.stableLSN == word.NilLSN {
+		return word.NilLSN
+	}
+	return c.stableTrunc
+}
+
+// TruncateLog frees log space below the truncation point (segment
+// granularity; a no-op if nothing is reclaimable).
+func (c *Checkpointer) TruncateLog() {
+	if p := c.TruncationPoint(); p != word.NilLSN && p <= c.log.StableLSN() {
+		c.log.Truncate(p)
+	}
+}
+
+// Stats returns accumulated counters.
+func (c *Checkpointer) Stats() CheckpointStats { return c.stats }
+
+// InitMaster formats a fresh disk's master block (used by core when
+// creating a new stable heap). The first checkpoint follows immediately.
+func InitMaster(disk *storage.Disk) {
+	m := disk.Master()
+	m.Formatted = true
+	disk.SetMaster(m)
+}

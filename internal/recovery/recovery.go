@@ -1,0 +1,449 @@
+// Package recovery implements the paper's recovery system (Ch. 4):
+// repeating history from the last checkpoint, undo of loser transactions
+// with compensation records and undo-address translation through collector
+// copy records, fuzzy checkpoints, and log truncation. Recovery time is
+// bounded by the log written since the last checkpoint — never by heap
+// size — even when the crash lands in the middle of a collection: the
+// checkpointed collector state plus the replayed flip/copy/scan records
+// reconstruct the collection, which then simply continues after restart.
+package recovery
+
+import (
+	"fmt"
+
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Result is what Recover hands back to the stable-heap core: the
+// checkpoint-equivalent system state advanced through the tail of the log.
+type Result struct {
+	// CP is the reconstructed state: space configuration, collector
+	// state, root object address, LS and SRem sets, id generators. It is
+	// the checkpoint record as patched by analysis.
+	CP wal.CheckpointRec
+	// RedoStart is where repeating history began.
+	RedoStart word.LSN
+	// RedoScanned and RedoApplied count records visited and records that
+	// actually modified a page.
+	RedoScanned int
+	RedoApplied int
+	// Losers lists the transactions that were rolled back.
+	Losers []word.TxID
+	// InDoubt lists prepared transactions awaiting the coordinator:
+	// recovery keeps their effects and the core reacquires their locks.
+	InDoubt []InDoubtTx
+
+	translator *undoer
+	txMeta     map[word.TxID]*txInfo
+}
+
+// InDoubtTx describes one prepared transaction restored by recovery.
+type InDoubtTx struct {
+	ID      word.TxID
+	LastLSN word.LSN
+}
+
+// Translate maps an address logged by the given in-doubt transaction to
+// its current location (chasing checkpoint seeds and replayed copies).
+func (r *Result) Translate(id word.TxID, addr word.Addr) word.Addr {
+	info := r.txMeta[id]
+	if info == nil {
+		return addr
+	}
+	return r.translator.translate(info, addr)
+}
+
+// txInfo is the analysis pass's view of one transaction.
+type txInfo struct {
+	firstLSN  word.LSN
+	lastLSN   word.LSN
+	committed bool
+	prepared  bool
+	seed      map[word.Addr]word.Addr // undo translations from the checkpoint
+}
+
+// copyEntry is one object move, for undo-address translation.
+type copyEntry struct {
+	lsn  word.LSN
+	from word.Addr
+	to   word.Addr
+	size int // words
+}
+
+// Recover rebuilds the stable heap after a crash. mem must be a fresh store
+// over the surviving disk; log must wrap the surviving (stable-only) log
+// device. The two-pass structure is §2.2.3's: repeat history, then abort
+// the transactions that were active at the crash.
+func Recover(mem *vm.Store, log *wal.Manager) (*Result, error) {
+	return recover2(mem, log, false)
+}
+
+// RecoverFromArchive is Recover for total media failure (§2.2.2): the disk
+// under mem is freshly formatted (empty) and the log is the full archive
+// copy. End-write records are ignored — the pages they certified died with
+// the disk — so redo reconstructs every page from history alone.
+func RecoverFromArchive(mem *vm.Store, log *wal.Manager) (*Result, error) {
+	return recover2(mem, log, true)
+}
+
+func recover2(mem *vm.Store, log *wal.Manager, media bool) (*Result, error) {
+	mem.SetLogFetches(false)
+	defer mem.SetLogFetches(true)
+
+	master := mem.Disk().Master()
+	if !master.Formatted {
+		return nil, fmt.Errorf("recovery: disk is not a formatted stable heap")
+	}
+	cpLSN := master.CheckpointLSN
+	if cpLSN == word.NilLSN {
+		return nil, fmt.Errorf("recovery: master block has no checkpoint")
+	}
+	rec, err := log.ReadAt(cpLSN)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: cannot read checkpoint at %d: %v", cpLSN, err)
+	}
+	cp, ok := rec.(wal.CheckpointRec)
+	if !ok {
+		return nil, fmt.Errorf("recovery: record at %d is %v, not a checkpoint", cpLSN, rec.Type())
+	}
+
+	a := newAnalysis(mem, cp, cpLSN)
+	a.media = media
+	a.scan(log)
+
+	res := &Result{CP: a.cp}
+
+	// Redo: repeat history from the earliest recLSN of a dirty page.
+	redoStart := a.redoStart()
+	res.RedoStart = redoStart
+	if redoStart != word.NilLSN {
+		r := &redoer{mem: mem, dpt: a.dpt}
+		log.Scan(redoStart, true, func(lsn word.LSN, rec wal.Record) bool {
+			res.RedoScanned++
+			if r.apply(lsn, rec) {
+				res.RedoApplied++
+			}
+			return true
+		})
+	}
+
+	// Undo: abort every loser, translating undo addresses (and restored
+	// pointer values) through the checkpoint seeds plus the copies
+	// replayed after the checkpoint.
+	u := &undoer{
+		mem: mem, log: log, cpLSN: cpLSN, copies: a.copies,
+		volLo: a.cp.VolatileLo, volHi: a.cp.VolatileHi,
+		srem: a.srem,
+	}
+	for _, id := range a.loserIDs() {
+		u.rollback(id, a.txs[id])
+		res.Losers = append(res.Losers, id)
+	}
+	for _, id := range a.order {
+		if info, ok := a.txs[id]; ok && info.prepared && !info.committed {
+			res.InDoubt = append(res.InDoubt, InDoubtTx{ID: id, LastLSN: info.lastLSN})
+		}
+	}
+	res.translator = u
+	res.txMeta = a.txs
+	// Undo may have changed the remembered set; republish it.
+	res.CP.SRem = sortedAddrs(a.srem)
+	// Losers' base records must not leave stale LS entries pointing at
+	// objects that were never committed stable: drop the volatile-area
+	// entries added by transactions that lost. (Entries already cleared
+	// by V2SCopy replay stay cleared.)
+	return res, nil
+}
+
+// analysis reconstructs the system state by scanning forward from the
+// checkpoint (§4.6): the dirty page table, the transaction table, the
+// collector state, the stability sets, and the copy list for undo
+// translation.
+type analysis struct {
+	mem    *vm.Store
+	cp     wal.CheckpointRec
+	cpLSN  word.LSN
+	dpt    map[word.PageID]word.LSN
+	txs    map[word.TxID]*txInfo
+	copies []copyEntry
+	ls     map[word.Addr]bool
+	srem   map[word.Addr]bool
+	order  []word.TxID // begin order, for deterministic undo
+	// media: the disk is gone; end-write records certify nothing.
+	media bool
+}
+
+func newAnalysis(mem *vm.Store, cp wal.CheckpointRec, cpLSN word.LSN) *analysis {
+	a := &analysis{
+		mem: mem, cp: cp, cpLSN: cpLSN,
+		dpt:  make(map[word.PageID]word.LSN),
+		txs:  make(map[word.TxID]*txInfo),
+		ls:   make(map[word.Addr]bool),
+		srem: make(map[word.Addr]bool),
+	}
+	for _, dp := range cp.Dirty {
+		// The checkpoint may carry several entries for one page (the
+		// live dirty table plus ghost sets from different collection
+		// epochs): redo must start at the earliest.
+		if cur, ok := a.dpt[dp.Page]; !ok || dp.RecLSN < cur {
+			a.dpt[dp.Page] = dp.RecLSN
+		}
+	}
+	for _, te := range cp.Txs {
+		info := &txInfo{firstLSN: te.FirstLSN, lastLSN: te.LastLSN, prepared: te.Prepared, seed: make(map[word.Addr]word.Addr)}
+		for _, p := range te.UTT {
+			info.seed[p.Orig] = p.Cur
+		}
+		a.txs[te.TxID] = info
+		a.order = append(a.order, te.TxID)
+	}
+	for _, addr := range cp.LS {
+		a.ls[addr] = true
+	}
+	for _, addr := range cp.SRem {
+		a.srem[addr] = true
+	}
+	return a
+}
+
+// dirty notes that a record at lsn modifies the page containing addr.
+func (a *analysis) dirty(addr word.Addr, lsn word.LSN) {
+	pg := addr.Page(a.mem.PageSize())
+	if _, ok := a.dpt[pg]; !ok {
+		a.dpt[pg] = lsn
+	}
+}
+
+// dirtyRange marks every page overlapped by [addr, addr+n).
+func (a *analysis) dirtyRange(addr word.Addr, n int, lsn word.LSN) {
+	ps := a.mem.PageSize()
+	for pg := addr.Page(ps); pg.Base(ps) < addr+word.Addr(n); pg++ {
+		if _, ok := a.dpt[pg]; !ok {
+			a.dpt[pg] = lsn
+		}
+	}
+}
+
+// touch updates the transaction table for a chained record.
+func (a *analysis) touch(id word.TxID, lsn word.LSN) *txInfo {
+	info := a.txs[id]
+	if info == nil {
+		info = &txInfo{firstLSN: lsn, seed: make(map[word.Addr]word.Addr)}
+		a.txs[id] = info
+		a.order = append(a.order, id)
+	}
+	info.lastLSN = lsn
+	return info
+}
+
+// gcPageIndex maps a to-space address to its Scanned/LastObj slot.
+func (a *analysis) gcPageIndex(addr word.Addr) int {
+	return int(addr-a.cp.GC.ToLo) / a.mem.PageSize()
+}
+
+func (a *analysis) scan(log *wal.Manager) {
+	maxTx := a.cp.NextTx
+	log.Scan(a.cpLSN, true, func(lsn word.LSN, rec wal.Record) bool {
+		if id := rec.Tx(); id != word.SystemTx && id >= maxTx {
+			maxTx = id + 1
+		}
+		switch r := rec.(type) {
+		case wal.BeginRec:
+			a.touch(r.TxID, lsn)
+		case wal.UpdateRec:
+			a.touch(r.TxID, lsn)
+			a.dirty(r.Addr, lsn)
+			a.updateSRem(r.Addr, r.PtrToVolatile())
+		case wal.CLRRec:
+			a.touch(r.TxID, lsn)
+			a.dirty(r.Addr, lsn)
+			a.updateSRem(r.Addr, r.PtrToVolatile())
+		case wal.LogicalRec:
+			a.touch(r.TxID, lsn)
+			a.dirty(r.Addr, lsn)
+		case wal.AllocRec:
+			if r.TxID != word.SystemTx {
+				a.touch(r.TxID, lsn)
+			}
+			a.dirtyRange(r.Addr, word.WordsToBytes(r.SizeWords), lsn)
+			a.gcAlloc(r.Addr, r.SizeWords)
+		case wal.CommitRec:
+			a.touch(r.TxID, lsn).committed = true
+		case wal.AbortRec:
+			a.touch(r.TxID, lsn)
+		case wal.EndRec:
+			a.touch(r.TxID, lsn)
+			delete(a.txs, r.TxID)
+		case wal.BaseRec:
+			a.touch(r.TxID, lsn)
+			a.dirtyRange(r.Addr, len(r.Object), lsn)
+			a.ls[r.Addr] = true
+		case wal.CompleteRec:
+			a.touch(r.TxID, lsn)
+		case wal.PrepareRec:
+			a.touch(r.TxID, lsn).prepared = true
+		case wal.FlipRec:
+			ps := a.mem.PageSize()
+			n := int((r.ToHi - r.ToLo + word.Addr(ps) - 1) / word.Addr(ps))
+			a.cp.GC = wal.GCState{
+				Active: true, Epoch: r.Epoch, FlipLSN: lsn,
+				FromLo: r.FromLo, FromHi: r.FromHi, ToLo: r.ToLo, ToHi: r.ToHi,
+				CopyPtr: r.ToLo, ScanPtr: r.ToLo, AllocPtr: r.ToHi,
+				Scanned: make([]bool, n), LastObj: make([]word.Addr, n),
+			}
+			a.cp.StableCur = 1 - a.cp.StableCur
+			a.cp.RootObj = r.RootObjTo
+		case wal.CopyRec:
+			a.dirtyRange(r.To, word.WordsToBytes(r.SizeWords), lsn)
+			a.dirty(r.From, lsn)
+			a.copies = append(a.copies, copyEntry{lsn: lsn, from: r.From, to: r.To, size: r.SizeWords})
+			// Remembered-set slots live inside stable objects and move
+			// with them.
+			hi := r.From.Add(r.SizeWords)
+			for slot := range a.srem {
+				if slot >= r.From && slot < hi {
+					delete(a.srem, slot)
+					a.srem[r.To+(slot-r.From)] = true
+				}
+			}
+			if a.cp.GC.Active {
+				if r.To != a.cp.GC.CopyPtr {
+					panic(fmt.Sprintf("recovery: copy to %v but copy pointer is %v", r.To, a.cp.GC.CopyPtr))
+				}
+				a.cp.GC.CopyPtr = r.To.Add(r.SizeWords)
+				a.cp.GC.LastObj[a.gcPageIndex(r.To)] = r.To
+			}
+		case wal.ScanRec:
+			if len(r.Fixes) > 0 {
+				a.dirty(r.Fixes[0].Addr, lsn)
+			}
+			if a.cp.GC.Active {
+				base := r.Page.Base(a.mem.PageSize())
+				if r.Full && base >= a.cp.GC.ToLo && base < a.cp.GC.ToHi {
+					a.cp.GC.Scanned[a.gcPageIndex(base)] = true
+				}
+				if r.ScanPtr > a.cp.GC.ScanPtr {
+					a.cp.GC.ScanPtr = r.ScanPtr
+				}
+			}
+		case wal.GCEndRec:
+			a.cp.StableAlloc = a.cp.GC.CopyPtr
+			a.cp.GC = wal.GCState{Active: false, Epoch: r.Epoch}
+		case wal.V2SCopyRec:
+			a.dirtyRange(r.To, len(r.Object), lsn)
+			size := word.BytesToWords(len(r.Object))
+			a.copies = append(a.copies, copyEntry{lsn: lsn, from: r.From, to: r.To, size: size})
+			delete(a.ls, r.From)
+			if end := r.To.Add(size); end > a.cp.StableAlloc {
+				a.cp.StableAlloc = end
+			}
+		case wal.SFixRec:
+			if len(r.Fixes) > 0 {
+				a.dirty(r.Fixes[0].Addr, lsn)
+			}
+			for _, f := range r.Fixes {
+				a.updateSRem(f.Addr, a.inVolatile(f.NewPtr))
+			}
+		case wal.VFlipRec:
+			a.ls = make(map[word.Addr]bool)
+			a.cp.VolatileCur = 1 - a.cp.VolatileCur
+			a.cp.NextEpoch = r.Epoch + 1
+		case wal.EndWriteRec:
+			// The page reached disk: redo for it can start later
+			// unless a subsequent record re-dirties it (§2.2.4). After
+			// a media failure that disk no longer exists, so the
+			// certificate is void.
+			if !a.media {
+				delete(a.dpt, r.Page)
+			}
+		case wal.PageFetchRec, wal.CheckpointRec:
+			// No page effects; mid-scan checkpoints are ignored (the
+			// master names the one we started from).
+		default:
+			panic(fmt.Sprintf("recovery: analysis cannot handle %T", rec))
+		}
+		return true
+	})
+	a.cp.NextTx = maxTx
+	// Publish the rebuilt sets back into the checkpoint image.
+	a.cp.LS = sortedAddrs(a.ls)
+	a.cp.SRem = sortedAddrs(a.srem)
+	a.cp.Dirty = nil
+	for pg, rec := range a.dpt {
+		a.cp.Dirty = append(a.cp.Dirty, wal.DirtyPage{Page: pg, RecLSN: rec})
+	}
+}
+
+// gcAlloc folds an alloc record into the collector state: a filler at the
+// copy pointer extends the copy region; anything else during a collection
+// is a mutator allocation at the top of to-space; when idle it advances the
+// allocation frontier.
+func (a *analysis) gcAlloc(addr word.Addr, sizeWords int) {
+	g := &a.cp.GC
+	if g.Active && addr >= g.ToLo && addr < g.ToHi {
+		if addr == g.CopyPtr {
+			g.CopyPtr = addr.Add(sizeWords)
+			g.LastObj[a.gcPageIndex(addr)] = addr
+		} else if addr < g.AllocPtr {
+			g.AllocPtr = addr
+		}
+		return
+	}
+	if end := addr.Add(sizeWords); end > a.cp.StableAlloc {
+		a.cp.StableAlloc = end
+	}
+}
+
+// updateSRem maintains the stable→volatile remembered set: a flagged store
+// adds the slot; any other store to a remembered slot removes it.
+func (a *analysis) updateSRem(addr word.Addr, ptrToVolatile bool) {
+	if ptrToVolatile {
+		a.srem[addr] = true
+	} else {
+		delete(a.srem, addr)
+	}
+}
+
+// inVolatile reports whether an address lies in the volatile area; the
+// bounds travel in the checkpoint record.
+func (a *analysis) inVolatile(p word.Addr) bool {
+	return p >= a.cp.VolatileLo && p < a.cp.VolatileHi && !p.IsNil()
+}
+
+// redoStart returns the earliest recLSN across the dirty page table.
+func (a *analysis) redoStart() word.LSN {
+	start := word.NilLSN
+	for _, rec := range a.dpt {
+		if start == word.NilLSN || rec < start {
+			start = rec
+		}
+	}
+	return start
+}
+
+// loserIDs returns the still-open, uncommitted, unprepared transactions in
+// begin order (prepared transactions are in-doubt, not losers).
+func (a *analysis) loserIDs() []word.TxID {
+	var out []word.TxID
+	for _, id := range a.order {
+		if info, ok := a.txs[id]; ok && !info.committed && !info.prepared {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortedAddrs(set map[word.Addr]bool) []word.Addr {
+	out := make([]word.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package recovery
+
+import (
+	"stableheap/internal/heap"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// redoer repeats history (§2.2.3): every redo record is re-applied to each
+// page it touches unless the page already reflects it (page LSN
+// conditioning), so replaying the stable log reproduces exactly the cache
+// state the crash destroyed.
+type redoer struct {
+	mem *vm.Store
+	dpt map[word.PageID]word.LSN
+}
+
+// relevant reports whether any page of [addr, addr+n) may need this record:
+// it is in the dirty page table with recLSN at or below lsn.
+func (r *redoer) relevant(addr word.Addr, n int, lsn word.LSN) bool {
+	ps := r.mem.PageSize()
+	for pg := addr.Page(ps); pg.Base(ps) < addr+word.Addr(n); pg++ {
+		if rec, ok := r.dpt[pg]; ok && rec <= lsn {
+			return true
+		}
+	}
+	return false
+}
+
+// applyConditional writes data at addr page by page, skipping pages whose
+// LSN already covers the record. Returns true if any page changed.
+func (r *redoer) applyConditional(addr word.Addr, data []byte, lsn word.LSN) bool {
+	ps := r.mem.PageSize()
+	applied := false
+	off := 0
+	for off < len(data) {
+		cur := addr + word.Addr(off)
+		pg := cur.Page(ps)
+		pageEnd := pg.Base(ps) + word.Addr(ps)
+		n := len(data) - off
+		if max := int(pageEnd - cur); n > max {
+			n = max
+		}
+		if r.mem.PageLSN(pg) < lsn {
+			r.mem.WriteBytes(cur, data[off:off+n], lsn)
+			applied = true
+		}
+		off += n
+	}
+	return applied
+}
+
+// apply replays one record; returns true if a page was modified.
+func (r *redoer) apply(lsn word.LSN, rec wal.Record) bool {
+	switch t := rec.(type) {
+	case wal.UpdateRec:
+		if !r.relevant(t.Addr, len(t.Redo), lsn) {
+			return false
+		}
+		return r.applyConditional(t.Addr, t.Redo, lsn)
+	case wal.CLRRec:
+		if !r.relevant(t.Addr, len(t.Redo), lsn) {
+			return false
+		}
+		if t.Flags&wal.CLRLogicalDelta != 0 {
+			return r.applyDelta(t.Addr, word.GetWord(t.Redo, 0), lsn)
+		}
+		return r.applyConditional(t.Addr, t.Redo, lsn)
+	case wal.LogicalRec:
+		if !r.relevant(t.Addr, word.WordSize, lsn) {
+			return false
+		}
+		return r.applyDelta(t.Addr, t.Delta, lsn)
+	case wal.AllocRec:
+		n := word.WordsToBytes(t.SizeWords)
+		if !r.relevant(t.Addr, n, lsn) {
+			return false
+		}
+		img := make([]byte, n)
+		word.PutWord(img, 0, t.Descriptor)
+		return r.applyConditional(t.Addr, img, lsn)
+	case wal.CopyRec:
+		return r.applyCopy(lsn, t)
+	case wal.ScanRec:
+		if len(t.Fixes) == 0 {
+			return false
+		}
+		return r.applyFixes(lsn, t.Page, t.Fixes)
+	case wal.BaseRec:
+		if !r.relevant(t.Addr, len(t.Object), lsn) {
+			return false
+		}
+		return r.applyConditional(t.Addr, t.Object, lsn)
+	case wal.V2SCopyRec:
+		if !r.relevant(t.To, len(t.Object), lsn) {
+			return false
+		}
+		// Self-contained: the image travels in the record, because the
+		// volatile source page is not reconstructible once the move
+		// completes.
+		return r.applyConditional(t.To, t.Object, lsn)
+	case wal.SFixRec:
+		if len(t.Fixes) == 0 {
+			return false
+		}
+		return r.applyFixes(lsn, t.Page, t.Fixes)
+	default:
+		return false // control records have no page effects
+	}
+}
+
+// applyCopy replays a copy step (§3.4.1). The to-space image is rebuilt
+// from the replayed from-space contents plus the descriptor preserved in
+// the record (the from-space word 0 may already hold the forwarding
+// pointer — the lost-descriptor crash of Fig. 3.5); then the forwarding
+// pointer itself is re-applied to the from-space page if it was lost
+// (Fig. 3.4).
+func (r *redoer) applyCopy(lsn word.LSN, t wal.CopyRec) bool {
+	n := word.WordsToBytes(t.SizeWords)
+	applied := false
+	if r.relevant(t.To, n, lsn) {
+		var img []byte
+		if len(t.Contents) == n {
+			// Content-carrying ablation: self-contained replay.
+			img = t.Contents
+		} else {
+			img = make([]byte, n)
+			word.PutWord(img, 0, t.Descriptor)
+			if t.SizeWords > 1 {
+				copy(img[word.WordSize:], r.mem.ReadBytes(t.From.Add(1), n-word.WordSize))
+			}
+		}
+		applied = r.applyConditional(t.To, img, lsn)
+	}
+	fromPg := t.From.Page(r.mem.PageSize())
+	if rec, ok := r.dpt[fromPg]; ok && rec <= lsn && r.mem.PageLSN(fromPg) < lsn {
+		r.mem.WriteWord(t.From, uint64(heap.ForwardingDescriptor(t.To)), lsn)
+		applied = true
+	}
+	return applied
+}
+
+// applyDelta replays a logical wrapping-add, apply-once by page-LSN
+// conditioning (the logical redo of §2.2.4).
+func (r *redoer) applyDelta(addr word.Addr, delta uint64, lsn word.LSN) bool {
+	pg := addr.Page(r.mem.PageSize())
+	if r.mem.PageLSN(pg) >= lsn {
+		return false
+	}
+	r.mem.WriteWord(addr, r.mem.ReadWord(addr)+delta, lsn)
+	return true
+}
+
+// applyFixes replays a scan or SFix record: all slots live on one page, so
+// one page-LSN test covers the batch.
+func (r *redoer) applyFixes(lsn word.LSN, pg word.PageID, fixes []wal.PtrFix) bool {
+	if rec, ok := r.dpt[pg]; !ok || rec > lsn {
+		return false
+	}
+	if r.mem.PageLSN(pg) >= lsn {
+		return false
+	}
+	for _, f := range fixes {
+		r.mem.WriteWord(f.Addr, uint64(f.NewPtr), lsn)
+	}
+	return true
+}

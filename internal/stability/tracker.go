@@ -1,0 +1,153 @@
+// Package stability implements the concurrent tracking of newly stable
+// objects (Ch. 5): when a transaction commits, every volatile object it
+// made reachable from a stable root must become stable — durably — before
+// the commit record is written.
+//
+// The tracker discovers the closure of newly reachable volatile objects,
+// read-locks each one (synchronizing with in-flight writers — the fix for
+// the published Argus tracking bug [38]: an object write-locked by an
+// active transaction cannot be stabilized until that transaction finishes,
+// so a base record never captures another transaction's uncommitted,
+// unlogged volatile writes), sets its AS bit, spools a base record with its
+// full value, and registers it in the LS set ("logically stable, still in
+// the volatile area"). A complete record closes the batch. The objects are
+// physically moved into the stable area at the next volatile collection.
+//
+// Tracking for different transactions proceeds concurrently in the sense
+// of the paper: it is made of short low-level actions that interleave with
+// other transactions' actions, synchronized only through per-object locks
+// and the AS bit.
+package stability
+
+import (
+	"fmt"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/lock"
+	"stableheap/internal/tx"
+	"stableheap/internal/word"
+)
+
+// Env supplies the tracker's view of the heap geometry and shared sets.
+type Env struct {
+	// InVolatile reports whether an address is in the volatile area.
+	InVolatile func(word.Addr) bool
+	// AddLS registers a newly stable object (volatile address) in the LS
+	// set.
+	AddLS func(word.Addr)
+}
+
+// Stats counts tracker activity.
+type Stats struct {
+	Batches    int64 // commits that stabilized at least one object
+	Objects    int64 // objects stabilized
+	Words      int64 // words of base images logged
+	LockWaits  int64 // objects that were write-locked when first visited
+	AlreadyAS  int64 // closure edges that hit an already-stable object
+	MaxClosure int   // largest single-commit closure
+}
+
+// Tracker stabilizes newly reachable volatile objects at commit.
+type Tracker struct {
+	h     *heap.Heap
+	txm   *tx.Manager
+	locks *lock.Manager
+	env   Env
+	stats Stats
+}
+
+// New creates a tracker.
+func New(h *heap.Heap, txm *tx.Manager, locks *lock.Manager, env Env) *Tracker {
+	return &Tracker{h: h, txm: txm, locks: locks, env: env}
+}
+
+// Stats returns accumulated counters.
+func (tr *Tracker) Stats() Stats { return tr.stats }
+
+// Track stabilizes the closure of volatile objects reachable through the
+// candidate handles (the targets of the transaction's pointer stores into
+// stable state), then logs the complete record. It is called inside commit
+// processing, before the commit record. A lock timeout aborts the commit:
+// the caller must abort the transaction.
+func (tr *Tracker) Track(t *tx.Tx, candidates []*tx.Handle) error {
+	count := 0
+	for _, c := range candidates {
+		n, err := tr.stabilize(t, c.Addr())
+		if err != nil {
+			return err
+		}
+		count += n
+	}
+	if count > 0 {
+		tr.txm.LogComplete(t)
+		tr.stats.Batches++
+		tr.stats.Objects += int64(count)
+		if count > tr.stats.MaxClosure {
+			tr.stats.MaxClosure = count
+		}
+	}
+	return nil
+}
+
+// stabilize makes the object at addr (and everything volatile it reaches)
+// stable. Returns the number of objects newly stabilized.
+func (tr *Tracker) stabilize(t *tx.Tx, addr word.Addr) (int, error) {
+	if addr.IsNil() || !tr.env.InVolatile(addr) {
+		return 0, nil // already physically stable (or nil)
+	}
+	d := tr.h.Descriptor(addr)
+	if d.Forwarded() {
+		panic(fmt.Sprintf("stability: forwarded object %v reached outside a collection", addr))
+	}
+	if d.AS() {
+		tr.stats.AlreadyAS++
+		return 0, nil // another commit already stabilized it
+	}
+	// Synchronize with in-flight writers: a read lock blocks until any
+	// writer finishes (and its effects are either committed — fine to
+	// capture — or rolled back from in-memory undo). This is the bug
+	// fix: without it a base record could capture uncommitted volatile
+	// writes that a later abort cannot remove.
+	if w := tr.locks.WriteLockedBy(addr); w != 0 && w != t.ID() {
+		tr.stats.LockWaits++
+	}
+	if err := tr.locks.TryAcquire(t.ID(), addr, lock.Read); err != nil {
+		return 0, err
+	}
+	// Re-read under the lock: a concurrent tracker may have won.
+	d = tr.h.Descriptor(addr)
+	if d.AS() {
+		tr.stats.AlreadyAS++
+		return 0, nil
+	}
+	// Set the AS bit first so the base image carries it (redo of the
+	// base record then restores the bit along with the value), and so
+	// every subsequent update to this object follows the WAL protocol.
+	// The bit write itself is not undo-tracked: stabilization is owed to
+	// a committing transaction and survives even if *other* writers
+	// abort later.
+	d = d.WithAS(true).WithLS(true)
+	tr.h.SetDescriptor(addr, d, word.NilLSN)
+	img := tr.h.ObjectBytes(addr)
+	lsn := tr.txm.LogBase(t, addr, img)
+	// Re-stamp the image with the base record's LSN: from here on the
+	// page carries logged state (it enters the dirty page table, and the
+	// WAL flush constraint applies to it).
+	tr.h.WriteObject(addr, img, lsn)
+	tr.env.AddLS(addr)
+	tr.stats.Words += int64(len(img) / word.WordSize)
+
+	// Recurse into the pointer fields: the whole closure becomes stable
+	// (§2.1: "a volatile object becomes stable when a transaction that
+	// makes it accessible from a stable object commits").
+	n := 1
+	for i := 0; i < d.NPtrs(); i++ {
+		child := tr.h.Ptr(addr, i)
+		cn, err := tr.stabilize(t, child)
+		if err != nil {
+			return n, err
+		}
+		n += cn
+	}
+	return n, nil
+}

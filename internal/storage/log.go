@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"stableheap/internal/word"
+)
+
+// LogStats counts log device traffic. Forces are the synchronous writes the
+// paper is careful to minimize (its collector performs none).
+type LogStats struct {
+	Appends       int64 // records spooled to the volatile tail
+	Forces        int64 // synchronous stable-storage writes
+	BytesAppended int64
+	BytesStable   int64 // bytes made stable by forces
+	Truncations   int64
+	BytesDropped  int64 // bytes reclaimed by truncation
+}
+
+// Log is the simulated stable-storage log device (§2.2.1). Records are
+// appended to a volatile buffer tail and become durable when forced. The
+// device is segmented: truncation frees whole segments from the front, as in
+// the paper's three-segment log (Fig. 4.2).
+//
+// An LSN is the 1-based byte offset of the record in the conceptual infinite
+// log; LSNs keep growing across truncation, so every record ever written has
+// a unique LSN and ordering between any two records is just integer order.
+type Log struct {
+	segSize int
+	entries []logEntry // retained records, ascending LSN
+	nextLSN word.LSN   // LSN the next appended record will receive
+	// stableLSN: every record with lsn < stableLSN is on stable storage.
+	// Records at or beyond it are in the volatile tail and die at Crash.
+	stableLSN word.LSN
+	// truncLSN: records below it have been discarded; reading them fails.
+	truncLSN word.LSN
+	stats    LogStats
+}
+
+type logEntry struct {
+	lsn  word.LSN
+	data []byte
+}
+
+// DefaultSegmentSize is the segment granularity used when none is given.
+const DefaultSegmentSize = 64 * 1024
+
+// NewLog creates an empty log with the given segment size in bytes.
+func NewLog(segSize int) *Log {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	return &Log{segSize: segSize, nextLSN: 1, stableLSN: 1, truncLSN: 1}
+}
+
+// Append spools a record to the volatile tail and returns its LSN.
+// The record is NOT durable until a Force at or beyond its end.
+func (l *Log) Append(data []byte) word.LSN {
+	if len(data) == 0 {
+		panic("storage: empty log record")
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	lsn := l.nextLSN
+	l.entries = append(l.entries, logEntry{lsn: lsn, data: stored})
+	l.nextLSN += word.LSN(len(data))
+	l.stats.Appends++
+	l.stats.BytesAppended += int64(len(data))
+	return lsn
+}
+
+// Force synchronously writes the volatile tail through at least lsn to
+// stable storage. Forcing an already-stable LSN is a no-op and does not
+// count as a synchronous write. Force(EndLSN()-1) forces everything.
+func (l *Log) Force(lsn word.LSN) {
+	if lsn < l.stableLSN {
+		return
+	}
+	// The whole tail is written in one synchronous operation (group
+	// commit's benefit falls out: one force covers many records).
+	before := l.stableLSN
+	l.stableLSN = l.nextLSN
+	l.stats.Forces++
+	l.stats.BytesStable += int64(l.stableLSN - before)
+}
+
+// ForceAll forces the entire volatile tail.
+func (l *Log) ForceAll() {
+	if l.stableLSN < l.nextLSN {
+		l.Force(l.nextLSN - 1)
+	}
+}
+
+// StableLSN returns the first LSN NOT guaranteed durable: every record whose
+// lsn is below it survives a crash.
+func (l *Log) StableLSN() word.LSN { return l.stableLSN }
+
+// EndLSN returns the LSN the next record will receive.
+func (l *Log) EndLSN() word.LSN { return l.nextLSN }
+
+// TruncLSN returns the lowest LSN still readable.
+func (l *Log) TruncLSN() word.LSN { return l.truncLSN }
+
+// IsStable reports whether the record at lsn is durable.
+func (l *Log) IsStable(lsn word.LSN) bool { return lsn < l.stableLSN }
+
+// Crash discards the volatile tail: every record at or beyond StableLSN.
+func (l *Log) Crash() {
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= l.stableLSN })
+	l.entries = l.entries[:i]
+	l.nextLSN = l.stableLSN
+}
+
+// Truncate discards log space below keep, at segment granularity: only whole
+// segments entirely below keep are freed, so the readable prefix may retain
+// a little more than asked. Truncating beyond the stable LSN is an error.
+func (l *Log) Truncate(keep word.LSN) {
+	if keep > l.stableLSN {
+		panic(fmt.Sprintf("storage: truncate(%d) beyond stable LSN %d", keep, l.stableLSN))
+	}
+	// Largest segment boundary at or below keep.
+	boundary := word.LSN((uint64(keep-1) / uint64(l.segSize)) * uint64(l.segSize))
+	boundary++ // LSNs are 1-based
+	if boundary <= l.truncLSN {
+		return
+	}
+	var dropped int64
+	i := 0
+	for i < len(l.entries) && l.entries[i].lsn+word.LSN(len(l.entries[i].data)) <= boundary {
+		dropped += int64(len(l.entries[i].data))
+		i++
+	}
+	l.entries = l.entries[i:]
+	l.truncLSN = boundary
+	l.stats.Truncations++
+	l.stats.BytesDropped += dropped
+}
+
+// ReadAt returns the record beginning exactly at lsn. ok is false if no
+// record starts there or it has been truncated away.
+func (l *Log) ReadAt(lsn word.LSN) (data []byte, ok bool) {
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= lsn })
+	if i >= len(l.entries) || l.entries[i].lsn != lsn {
+		return nil, false
+	}
+	e := l.entries[i]
+	out := make([]byte, len(e.data))
+	copy(out, e.data)
+	return out, true
+}
+
+// Scan calls fn for each retained record with lsn >= from, in LSN order,
+// visiting only durable records if stableOnly is set. fn returning false
+// stops the scan.
+func (l *Log) Scan(from word.LSN, stableOnly bool, fn func(lsn word.LSN, data []byte) bool) {
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= from })
+	for ; i < len(l.entries); i++ {
+		e := l.entries[i]
+		if stableOnly && e.lsn >= l.stableLSN {
+			return
+		}
+		if !fn(e.lsn, e.data) {
+			return
+		}
+	}
+}
+
+// RetainedBytes returns the byte count of records still held by the device
+// (stable and volatile): the quantity truncation exists to bound.
+func (l *Log) RetainedBytes() int64 {
+	var n int64
+	for _, e := range l.entries {
+		n += int64(len(e.data))
+	}
+	return n
+}
+
+// Stats returns accumulated traffic counters.
+func (l *Log) Stats() LogStats { return l.stats }
+
+// ResetStats zeroes the traffic counters.
+func (l *Log) ResetStats() { l.stats = LogStats{} }
+
+// Snapshot deep-copies the log device (both stable and volatile parts).
+func (l *Log) Snapshot() *Log {
+	nl := &Log{
+		segSize:   l.segSize,
+		entries:   make([]logEntry, len(l.entries)),
+		nextLSN:   l.nextLSN,
+		stableLSN: l.stableLSN,
+		truncLSN:  l.truncLSN,
+		stats:     l.stats,
+	}
+	for i, e := range l.entries {
+		data := make([]byte, len(e.data))
+		copy(data, e.data)
+		nl.entries[i] = logEntry{lsn: e.lsn, data: data}
+	}
+	return nl
+}

@@ -1,0 +1,597 @@
+// Package tx implements the transaction machinery of the stable heap
+// (§2.1, Ch. 4): the transaction table, the write-ahead log protocol for
+// updates to stable state, in-place abort with compensation log records,
+// cheap in-memory undo for updates to volatile objects, and the
+// per-transaction undo-address translations (the UTT of §4.4) that let
+// abort find objects the collector has moved since their updates were
+// logged.
+//
+// The package is policy-free: it does not know about areas, stability
+// tracking, or collection scheduling. The stable-heap core decides whether
+// a given modification is to stable state (and therefore logged) and drives
+// locking; this package supplies the recoverable actions.
+package tx
+
+import (
+	"fmt"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/lock"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Status is a transaction's lifecycle state.
+type Status uint8
+
+// Transaction states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// Handle is a registered mutator root: a stable reference the program
+// holds in a variable (the paper's registers, stacks and own variables).
+// The collector rewrites registered handles at a flip, so a Handle remains
+// valid while objects move. Handles belong to a transaction and die with
+// it.
+type Handle struct {
+	addr word.Addr
+}
+
+// Addr returns the object's current address.
+func (h *Handle) Addr() word.Addr { return h.addr }
+
+// volWrite is one in-memory undo entry for an unlogged volatile update.
+type volWrite struct {
+	addr  word.Addr // current address (rebased when the object moves)
+	old   []byte
+	isPtr bool // the old bytes are a pointer value (a recovery-info root)
+}
+
+// Tx is one transaction.
+type Tx struct {
+	id       word.TxID
+	status   Status
+	firstLSN word.LSN
+	lastLSN  word.LSN
+	handles  []*Handle
+	// volUndo records unlogged volatile writes, undone in reverse order
+	// on abort. Entries are rebased by OnCopy when objects move.
+	volUndo []volWrite
+	// undoAddrs lists the slot addresses of this transaction's update
+	// records; undoVals lists the pointer values its undo images hold
+	// (the paper's "roots in recovery information", §3.5.2: objects
+	// reachable only from undo information must be retained and
+	// translated by the collector). trans maps either kind of logged
+	// address to its current location after collector moves.
+	undoAddrs []word.Addr
+	undoVals  []word.Addr
+	trans     map[word.Addr]word.Addr
+	// newlyStable counts objects stabilized at commit (for the complete
+	// record).
+	newlyStable int
+	// prepared marks the participant side of two-phase commit: the
+	// transaction's fate awaits the coordinator, and it survives crashes
+	// in-doubt.
+	prepared bool
+}
+
+// Prepared reports whether the transaction is in the prepared state.
+func (t *Tx) Prepared() bool { return t.prepared }
+
+// ID returns the transaction id.
+func (t *Tx) ID() word.TxID { return t.id }
+
+// Status returns the lifecycle state.
+func (t *Tx) Status() Status { return t.status }
+
+// Env supplies the policy callbacks the manager needs from the stable-heap
+// core.
+type Env struct {
+	// VolatilePred reports whether an address lies in the volatile area
+	// (used to flag pointer stores for the remembered set). May be nil.
+	VolatilePred func(word.Addr) bool
+	// OnStableSlotWrite fires for every pointer store into a stable slot
+	// — by updates and by undo — so the core can maintain the
+	// stable→volatile remembered set. May be nil.
+	OnStableSlotWrite func(slot word.Addr, ptrToVolatile bool)
+}
+
+// Manager owns the transaction table and the recoverable-action protocol.
+type Manager struct {
+	log    *wal.Manager
+	mem    *vm.Store
+	h      *heap.Heap
+	locks  *lock.Manager
+	env    Env
+	nextTx word.TxID
+	active map[word.TxID]*Tx
+	stats  Stats
+}
+
+// Stats counts transaction outcomes and work.
+type Stats struct {
+	Begun     int64
+	Committed int64
+	Aborted   int64
+	Updates   int64 // logged updates
+	VolWrites int64 // unlogged volatile writes
+	CLRs      int64
+}
+
+// NewManager creates a transaction manager.
+func NewManager(log *wal.Manager, mem *vm.Store, h *heap.Heap, locks *lock.Manager, env Env) *Manager {
+	return &Manager{
+		log: log, mem: mem, h: h, locks: locks, env: env,
+		nextTx: 1,
+		active: make(map[word.TxID]*Tx),
+	}
+}
+
+// inVolatile applies the environment's volatile-area predicate.
+func (m *Manager) inVolatile(a word.Addr) bool {
+	return m.env.VolatilePred != nil && !a.IsNil() && m.env.VolatilePred(a)
+}
+
+// Stats returns accumulated counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// NextTxID returns the next id to be issued (checkpointed so ids are not
+// reused after recovery).
+func (m *Manager) NextTxID() word.TxID { return m.nextTx }
+
+// SetNextTxID restores the id generator (recovery).
+func (m *Manager) SetNextTxID(id word.TxID) { m.nextTx = id }
+
+// ActiveCount returns the number of live transactions.
+func (m *Manager) ActiveCount() int { return len(m.active) }
+
+// Begin starts a transaction and logs its begin record.
+func (m *Manager) Begin() *Tx {
+	t := &Tx{id: m.nextTx, trans: make(map[word.Addr]word.Addr)}
+	m.nextTx++
+	t.firstLSN = m.log.Append(wal.BeginRec{TxHdr: wal.TxHdr{TxID: t.id}})
+	t.lastLSN = t.firstLSN
+	m.active[t.id] = t
+	m.stats.Begun++
+	return t
+}
+
+// Register adds a mutator root handle for addr; the collector keeps it
+// current across flips.
+func (m *Manager) Register(t *Tx, addr word.Addr) *Handle {
+	h := &Handle{addr: addr}
+	t.handles = append(t.handles, h)
+	return h
+}
+
+// Update performs a logged, recoverable update at addr (which must not
+// cross a page boundary — field updates are word sized): the write-ahead
+// protocol of §2.2.3 with both redo and undo images. isPtrSlot marks
+// pointer-field stores: their undo values become recovery-info roots and
+// the remembered set is maintained through them.
+func (m *Manager) Update(t *Tx, obj, addr word.Addr, redo []byte, isPtrSlot bool) {
+	m.mustBeActive(t)
+	undo := m.mem.ReadBytes(addr, len(redo))
+	var flags uint8
+	if isPtrSlot {
+		flags |= wal.UFPtrSlot
+		if m.inVolatile(word.Addr(word.GetWord(redo, 0))) {
+			flags |= wal.UFPtrToVolatile
+		}
+	}
+	lsn := m.log.Append(wal.UpdateRec{
+		TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+		Addr:  addr, Obj: obj, Flags: flags,
+		Redo: append([]byte(nil), redo...), Undo: undo,
+	})
+	t.lastLSN = lsn
+	m.mem.WriteBytes(addr, redo, lsn)
+	t.undoAddrs = append(t.undoAddrs, addr)
+	if isPtrSlot {
+		if old := word.Addr(word.GetWord(undo, 0)); !old.IsNil() {
+			t.undoVals = append(t.undoVals, old)
+		}
+		if m.env.OnStableSlotWrite != nil {
+			m.env.OnStableSlotWrite(addr, flags&wal.UFPtrToVolatile != 0)
+		}
+	}
+	m.stats.Updates++
+}
+
+// UpdateLogical performs a logged, recoverable wrapping-add of delta to
+// the word at addr — the paper's "logical undo" optimization (§2.2.4):
+// the record carries no before-image, and abort compensates by adding the
+// negated delta at the object's *current* location (only the slot address
+// needs UTT translation, never the value).
+func (m *Manager) UpdateLogical(t *Tx, obj, addr word.Addr, delta uint64) {
+	m.mustBeActive(t)
+	lsn := m.log.Append(wal.LogicalRec{
+		TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+		Addr:  addr, Obj: obj, Delta: delta,
+	})
+	t.lastLSN = lsn
+	cur := m.mem.ReadWord(addr)
+	m.mem.WriteWord(addr, cur+delta, lsn)
+	t.undoAddrs = append(t.undoAddrs, addr)
+	m.stats.Updates++
+}
+
+// VolatileWrite performs an unlogged update of a volatile object, keeping
+// in-memory undo so abort restores it. Volatile state costs no log traffic
+// — the point of Chapter 5's division.
+func (m *Manager) VolatileWrite(t *Tx, addr word.Addr, data []byte, isPtrSlot bool) {
+	m.mustBeActive(t)
+	old := m.mem.ReadBytes(addr, len(data))
+	t.volUndo = append(t.volUndo, volWrite{addr: addr, old: old, isPtr: isPtrSlot})
+	m.mem.WriteBytes(addr, data, word.NilLSN)
+	m.stats.VolWrites++
+}
+
+// LogAlloc makes a stable-area allocation recoverable (§4.2): the record
+// re-creates the descriptor and zero body on redo; there is nothing to
+// undo.
+func (m *Manager) LogAlloc(t *Tx, addr word.Addr, d heap.Descriptor) word.LSN {
+	m.mustBeActive(t)
+	lsn := m.log.Append(wal.AllocRec{
+		TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+		Addr:  addr, Descriptor: uint64(d), SizeWords: d.SizeWords(),
+	})
+	t.lastLSN = lsn
+	return lsn
+}
+
+// LogBase spools the initial-value record for a newly stable object
+// (Ch. 5); the object image was captured by the stability tracker.
+func (m *Manager) LogBase(t *Tx, addr word.Addr, img []byte) word.LSN {
+	m.mustBeActive(t)
+	lsn := m.log.Append(wal.BaseRec{
+		TxHdr:  wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+		Addr:   addr,
+		Object: append([]byte(nil), img...),
+	})
+	t.lastLSN = lsn
+	t.newlyStable++
+	return lsn
+}
+
+// LogComplete closes the base-record batch for the transaction.
+func (m *Manager) LogComplete(t *Tx) {
+	m.mustBeActive(t)
+	if t.newlyStable == 0 {
+		return
+	}
+	t.lastLSN = m.log.Append(wal.CompleteRec{
+		TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+		Count: t.newlyStable,
+	})
+}
+
+// Prepare makes the transaction's effects durable without deciding its
+// fate (the participant side of two-phase commit): the prepare record is
+// forced, locks stay held, and after a crash the transaction is restored
+// in-doubt until the coordinator's decision arrives.
+func (m *Manager) Prepare(t *Tx) word.LSN {
+	m.mustBeActive(t)
+	lsn := m.log.Append(wal.PrepareRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	t.lastLSN = lsn
+	m.log.Force(lsn)
+	t.prepared = true
+	return lsn
+}
+
+// Lookup returns the active transaction with the given id, or nil.
+func (m *Manager) Lookup(id word.TxID) *Tx { return m.active[id] }
+
+// RestoreInDoubt reconstructs a prepared transaction after recovery: its
+// log chain is walked to rebuild the undo roots and translation map
+// (translate maps a logged address to its current location), and it
+// re-enters the table — prepared, holding no handles, waiting for
+// resolution. The caller reacquires its object locks.
+func (m *Manager) RestoreInDoubt(id word.TxID, lastLSN word.LSN, translate func(word.Addr) word.Addr) (*Tx, []word.Addr) {
+	t := &Tx{id: id, lastLSN: lastLSN, prepared: true, trans: make(map[word.Addr]word.Addr)}
+	var objs []word.Addr
+	seed := func(orig word.Addr) {
+		if cur := translate(orig); cur != orig {
+			t.trans[orig] = cur
+		}
+	}
+	lsn := lastLSN
+	for lsn != word.NilLSN {
+		rec := m.log.MustReadAt(lsn)
+		switch r := rec.(type) {
+		case wal.UpdateRec:
+			t.undoAddrs = append(t.undoAddrs, r.Addr)
+			seed(r.Addr)
+			if r.Flags&wal.UFPtrSlot != 0 {
+				if old := word.Addr(word.GetWord(r.Undo, 0)); !old.IsNil() {
+					t.undoVals = append(t.undoVals, old)
+					seed(old)
+				}
+			}
+			objs = append(objs, translate(r.Obj))
+			t.firstLSN = lsn
+			lsn = r.PrevLSN
+		case wal.LogicalRec:
+			t.undoAddrs = append(t.undoAddrs, r.Addr)
+			seed(r.Addr)
+			objs = append(objs, translate(r.Obj))
+			t.firstLSN = lsn
+			lsn = r.PrevLSN
+		case wal.CLRRec:
+			lsn = r.UndoNext
+		case wal.BeginRec:
+			t.firstLSN = lsn
+			lsn = word.NilLSN
+		case wal.PrepareRec:
+			lsn = r.PrevLSN
+		case wal.AbortRec:
+			lsn = r.PrevLSN
+		case wal.AllocRec:
+			lsn = r.PrevLSN
+		case wal.BaseRec:
+			lsn = r.PrevLSN
+		case wal.CompleteRec:
+			lsn = r.PrevLSN
+		default:
+			panic(fmt.Sprintf("tx: unexpected %T restoring in-doubt %d", rec, id))
+		}
+	}
+	if t.firstLSN == word.NilLSN {
+		t.firstLSN = lastLSN
+	}
+	m.active[id] = t
+	return t, objs
+}
+
+// Commit makes the transaction durable: the commit record is the only
+// synchronous log write in the system (§2.2.1). Locks are released and the
+// end record spooled.
+func (m *Manager) Commit(t *Tx) {
+	lsn := m.PrepareCommit(t)
+	m.log.Force(lsn)
+	m.FinishCommit(t)
+}
+
+// PrepareCommit appends the commit record and returns its LSN. The caller
+// must make the record durable — directly or through group commit, which
+// lets one force cover a batch of committers (the paper's §2.2.1
+// footnote) — before calling FinishCommit.
+func (m *Manager) PrepareCommit(t *Tx) word.LSN {
+	m.mustBeActive(t)
+	lsn := m.log.Append(wal.CommitRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	t.lastLSN = lsn
+	return lsn
+}
+
+// FinishCommit completes a prepared, durable commit: locks release, the
+// end record is spooled, and the transaction leaves the table.
+func (m *Manager) FinishCommit(t *Tx) {
+	m.mustBeActive(t)
+	t.status = Committed
+	m.locks.ReleaseAll(t.id)
+	m.log.Append(wal.EndRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	delete(m.active, t.id)
+	m.stats.Committed++
+}
+
+// Abort rolls the transaction back in place: logged updates are undone in
+// reverse order through the undo-address translations (the UTT, §4.4),
+// each undo writing a compensation record (§2.2.3); unlogged volatile
+// writes are undone from memory. Undoing into a not-yet-copied from-space
+// object is sound: the later copy step carries the restored bytes, and on
+// replay the CLR precedes the copy record.
+func (m *Manager) Abort(t *Tx) {
+	m.mustBeActive(t)
+	t.lastLSN = m.log.Append(wal.AbortRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	m.undoFrom(t, t.lastLSN)
+	// Unlogged volatile writes: restore from memory, newest first.
+	for i := len(t.volUndo) - 1; i >= 0; i-- {
+		w := t.volUndo[i]
+		m.mem.WriteBytes(w.addr, w.old, word.NilLSN)
+	}
+	t.status = Aborted
+	m.locks.ReleaseAll(t.id)
+	t.lastLSN = m.log.Append(wal.EndRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	delete(m.active, t.id)
+	m.stats.Aborted++
+}
+
+// undoFrom walks the transaction's log chain backwards from the record
+// preceding start, undoing updates with CLRs.
+func (m *Manager) undoFrom(t *Tx, start word.LSN) {
+	lsn := start
+	for lsn != word.NilLSN {
+		rec := m.log.MustReadAt(lsn)
+		switch r := rec.(type) {
+		case wal.UpdateRec:
+			cur := m.Translate(t, r.Addr)
+			restored := r.Undo
+			var flags uint8
+			if r.Flags&wal.UFPtrSlot != 0 {
+				flags = wal.UFPtrSlot
+				// The restored value is itself a pointer the collector
+				// may have moved: translate it too (§3.5.2 roots in
+				// recovery information).
+				if old := word.Addr(word.GetWord(r.Undo, 0)); !old.IsNil() {
+					rv := m.Translate(t, old)
+					restored = make([]byte, word.WordSize)
+					word.PutWord(restored, 0, uint64(rv))
+					if m.inVolatile(rv) {
+						flags |= wal.UFPtrToVolatile
+					}
+				}
+			}
+			clr := m.log.Append(wal.CLRRec{
+				TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+				Addr:  cur, Flags: flags, Redo: restored, UndoNext: r.PrevLSN,
+			})
+			t.lastLSN = clr
+			m.mem.WriteBytes(cur, restored, clr)
+			if r.Flags&wal.UFPtrSlot != 0 && m.env.OnStableSlotWrite != nil {
+				m.env.OnStableSlotWrite(cur, flags&wal.UFPtrToVolatile != 0)
+			}
+			m.stats.CLRs++
+			lsn = r.PrevLSN
+		case wal.LogicalRec:
+			cur := m.Translate(t, r.Addr)
+			neg := -r.Delta
+			buf := make([]byte, word.WordSize)
+			word.PutWord(buf, 0, neg)
+			clr := m.log.Append(wal.CLRRec{
+				TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
+				Addr:  cur, Flags: wal.CLRLogicalDelta, Redo: buf, UndoNext: r.PrevLSN,
+			})
+			t.lastLSN = clr
+			v := m.mem.ReadWord(cur)
+			m.mem.WriteWord(cur, v+neg, clr)
+			m.stats.CLRs++
+			lsn = r.PrevLSN
+		case wal.CLRRec:
+			lsn = r.UndoNext
+		case wal.BeginRec:
+			lsn = word.NilLSN
+		case wal.AbortRec:
+			lsn = r.PrevLSN
+		case wal.PrepareRec:
+			lsn = r.PrevLSN // the coordinator said abort; skip the prepare
+		case wal.AllocRec:
+			lsn = r.PrevLSN // allocation needs no undo
+		case wal.BaseRec:
+			lsn = r.PrevLSN // redo-only
+		case wal.CompleteRec:
+			lsn = r.PrevLSN
+		default:
+			panic(fmt.Sprintf("tx: unexpected record %T in undo chain", rec))
+		}
+	}
+}
+
+// Translate maps the address in one of t's undo records to the object
+// slot's current location (identity if the collector has not moved it).
+func (m *Manager) Translate(t *Tx, logged word.Addr) word.Addr {
+	if cur, ok := t.trans[logged]; ok {
+		return cur
+	}
+	return logged
+}
+
+// OnCopy rebases every active transaction's undo slot addresses, undo
+// pointer values, and volatile undo entries for an object that moved from
+// [from, from+size) to to. The stable-heap core wires this as the
+// collectors' copy hook; together the per-transaction maps are the paper's
+// UTT.
+func (m *Manager) OnCopy(from, to word.Addr, sizeWords int) {
+	hi := from.Add(sizeWords)
+	rebase := func(t *Tx, logged word.Addr) {
+		cur := m.Translate(t, logged)
+		if cur >= from && cur < hi {
+			t.trans[logged] = to + (cur - from)
+		}
+	}
+	for _, t := range m.active {
+		for _, logged := range t.undoAddrs {
+			rebase(t, logged)
+		}
+		for _, val := range t.undoVals {
+			rebase(t, val)
+		}
+		for i := range t.volUndo {
+			w := &t.volUndo[i]
+			if w.addr >= from && w.addr < hi {
+				w.addr = to + (w.addr - from)
+			}
+			if w.isPtr {
+				if v := word.Addr(word.GetWord(w.old, 0)); v >= from && v < hi {
+					word.PutWord(w.old, 0, uint64(to+(v-from)))
+				}
+			}
+		}
+	}
+}
+
+// ForEachHandle visits every registered handle of every active transaction
+// (part of the collectors' root set).
+func (m *Manager) ForEachHandle(visit func(get func() word.Addr, set func(word.Addr))) {
+	for _, t := range m.active {
+		for _, h := range t.handles {
+			h := h
+			visit(func() word.Addr { return h.addr }, func(a word.Addr) { h.addr = a })
+		}
+	}
+}
+
+// ForEachUndoRoot visits every pointer value held only in undo information
+// of active transactions — logged undo images and in-memory volatile undo
+// — as collector roots (§3.5.2): the targets must survive a collection and
+// the stored values must be translated when they move.
+func (m *Manager) ForEachUndoRoot(visit func(get func() word.Addr, set func(word.Addr))) {
+	for _, t := range m.active {
+		t := t
+		for _, val := range t.undoVals {
+			val := val
+			visit(
+				func() word.Addr { return m.Translate(t, val) },
+				func(a word.Addr) { t.trans[val] = a },
+			)
+		}
+		for i := range t.volUndo {
+			w := &t.volUndo[i]
+			if !w.isPtr {
+				continue
+			}
+			visit(
+				func() word.Addr { return word.Addr(word.GetWord(w.old, 0)) },
+				func(a word.Addr) { word.PutWord(w.old, 0, uint64(a)) },
+			)
+		}
+	}
+}
+
+// TableEntries snapshots the transaction table for a checkpoint, including
+// each transaction's undo translations.
+func (m *Manager) TableEntries() []wal.TxEntry {
+	out := make([]wal.TxEntry, 0, len(m.active))
+	for _, t := range m.active {
+		e := wal.TxEntry{TxID: t.id, FirstLSN: t.firstLSN, LastLSN: t.lastLSN, Prepared: t.prepared}
+		for logged, cur := range t.trans {
+			e.UTT = append(e.UTT, wal.AddrPair{Orig: logged, Cur: cur})
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// AbortAll aborts every active transaction (clean shutdown path).
+func (m *Manager) AbortAll() {
+	for _, t := range m.snapshotActive() {
+		m.Abort(t)
+	}
+}
+
+// snapshotActive copies the active set (Abort mutates the map).
+func (m *Manager) snapshotActive() []*Tx {
+	out := make([]*Tx, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Crash clears the (volatile) transaction table; the log retains everything
+// recovery needs.
+func (m *Manager) Crash() {
+	m.active = make(map[word.TxID]*Tx)
+}
+
+func (m *Manager) mustBeActive(t *Tx) {
+	if t.status != Active {
+		panic(fmt.Sprintf("tx: operation on finished transaction %d", t.id))
+	}
+	if m.active[t.id] != t {
+		panic(fmt.Sprintf("tx: unknown transaction %d", t.id))
+	}
+}

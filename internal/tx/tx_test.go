@@ -1,0 +1,497 @@
+package tx
+
+import (
+	"bytes"
+	"testing"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/lock"
+	"stableheap/internal/storage"
+	"stableheap/internal/vm"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+const ps = 256
+
+type fixture struct {
+	log   *wal.Manager
+	mem   *vm.Store
+	h     *heap.Heap
+	locks *lock.Manager
+	m     *Manager
+}
+
+func newFixture() *fixture {
+	disk := storage.NewDisk(ps)
+	log := wal.NewManager(storage.NewLog(0))
+	mem := vm.New(vm.Config{PageSize: ps}, disk, log)
+	h := heap.New(mem)
+	locks := lock.NewManager(0)
+	return &fixture{log: log, mem: mem, h: h, locks: locks, m: NewManager(log, mem, h, locks, Env{})}
+}
+
+func w64(v uint64) []byte {
+	b := make([]byte, 8)
+	word.PutWord(b, 0, v)
+	return b
+}
+
+func TestBeginAssignsIDsAndLogs(t *testing.T) {
+	f := newFixture()
+	t1 := f.m.Begin()
+	t2 := f.m.Begin()
+	if t1.ID() == t2.ID() {
+		t.Fatal("ids must differ")
+	}
+	if f.m.ActiveCount() != 2 {
+		t.Fatal("both must be active")
+	}
+	var begins int
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		if r.Type() == wal.TBegin {
+			begins++
+		}
+		return true
+	})
+	if begins != 2 {
+		t.Fatalf("begin records = %d", begins)
+	}
+}
+
+func TestUpdateWritesAndLogsRedoUndo(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x100, 11, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(22), false)
+	if f.mem.ReadWord(0x100) != 22 {
+		t.Fatal("update not applied")
+	}
+	var u wal.UpdateRec
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		if r.Type() == wal.TUpdate {
+			u = r.(wal.UpdateRec)
+		}
+		return true
+	})
+	if u.Addr != 0x100 || !bytes.Equal(u.Redo, w64(22)) || !bytes.Equal(u.Undo, w64(11)) {
+		t.Fatalf("update record = %+v", u)
+	}
+	// The page LSN advanced to the record's LSN.
+	if f.mem.PageLSN(0x100/ps) == word.NilLSN {
+		t.Fatal("page LSN must advance")
+	}
+}
+
+func TestCommitForcesLog(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(1), false)
+	if f.log.StableLSN() != 1 {
+		t.Fatal("nothing should be forced yet")
+	}
+	f.m.Commit(tr)
+	// Everything through the commit record must be stable; the end
+	// record may be volatile.
+	var commitLSN word.LSN
+	f.log.Scan(1, false, func(lsn word.LSN, r wal.Record) bool {
+		if r.Type() == wal.TCommit {
+			commitLSN = lsn
+		}
+		return true
+	})
+	if !f.log.IsStable(commitLSN) {
+		t.Fatal("commit record must be durable")
+	}
+	if tr.Status() != Committed {
+		t.Fatal("status")
+	}
+	if f.m.ActiveCount() != 0 {
+		t.Fatal("committed tx must leave the table")
+	}
+}
+
+func TestAbortRestoresValuesWithCLRs(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x100, 1, word.NilLSN)
+	f.mem.WriteWord(0x108, 2, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(10), false)
+	f.m.Update(tr, 0x108, 0x108, w64(20), false)
+	f.m.Update(tr, 0x100, 0x100, w64(100), false) // second update of the same word
+	f.m.Abort(tr)
+	if got := f.mem.ReadWord(0x100); got != 1 {
+		t.Fatalf("0x100 = %d, want 1", got)
+	}
+	if got := f.mem.ReadWord(0x108); got != 2 {
+		t.Fatalf("0x108 = %d, want 2", got)
+	}
+	var clrs int
+	var sawAbort, sawEnd bool
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		switch r.Type() {
+		case wal.TCLR:
+			clrs++
+		case wal.TAbort:
+			sawAbort = true
+		case wal.TEnd:
+			sawEnd = true
+		}
+		return true
+	})
+	if clrs != 3 || !sawAbort || !sawEnd {
+		t.Fatalf("clrs=%d abort=%v end=%v", clrs, sawAbort, sawEnd)
+	}
+	if tr.Status() != Aborted {
+		t.Fatal("status")
+	}
+}
+
+func TestCLRUndoNextSkipsCompensatedWork(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(1), false)
+	u2 := tr.lastLSN
+	f.m.Update(tr, 0x108, 0x108, w64(2), false)
+	f.m.Abort(tr)
+	// The first CLR (for the later update) must point its UndoNext at
+	// the earlier update.
+	var first wal.CLRRec
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		if c, ok := r.(wal.CLRRec); ok {
+			first = c
+			return false
+		}
+		return true
+	})
+	if first.UndoNext != u2 {
+		t.Fatalf("UndoNext = %d, want %d", first.UndoNext, u2)
+	}
+}
+
+func TestVolatileWriteUnloggedButUndone(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x200, 5, word.NilLSN)
+	tr := f.m.Begin()
+	before := f.log.EndLSN()
+	f.m.VolatileWrite(tr, 0x200, w64(50), false)
+	if f.log.EndLSN() != before {
+		t.Fatal("volatile writes must not log")
+	}
+	if f.mem.ReadWord(0x200) != 50 {
+		t.Fatal("write not applied")
+	}
+	f.m.Abort(tr)
+	if f.mem.ReadWord(0x200) != 5 {
+		t.Fatal("volatile write must be undone on abort")
+	}
+}
+
+func TestVolatileUndoAppliedInReverseOrder(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.VolatileWrite(tr, 0x200, w64(1), false)
+	f.m.VolatileWrite(tr, 0x200, w64(2), false)
+	f.m.VolatileWrite(tr, 0x200, w64(3), false)
+	f.m.Abort(tr)
+	if got := f.mem.ReadWord(0x200); got != 0 {
+		t.Fatalf("reverse undo broken: got %d, want 0", got)
+	}
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	if err := f.locks.Acquire(tr.ID(), 0x100, lock.Write); err != nil {
+		t.Fatal(err)
+	}
+	f.m.Commit(tr)
+	other := f.m.Begin()
+	if err := f.locks.Acquire(other.ID(), 0x100, lock.Write); err != nil {
+		t.Fatal("lock must be free after commit:", err)
+	}
+}
+
+func TestOnCopyTranslatesUndoAddresses(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x100, 7, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x108, 0x108, w64(9), false) // slot at offset 8 of object at 0x100
+	// The collector moves the object [0x100, 0x120) to 0x900.
+	f.m.OnCopy(0x100, 0x900, 4)
+	if got := f.m.Translate(tr, 0x108); got != 0x908 {
+		t.Fatalf("translate = %v, want 0x908", got)
+	}
+	// Chained move within the same or a later collection.
+	f.m.OnCopy(0x900, 0x500, 4)
+	if got := f.m.Translate(tr, 0x108); got != 0x508 {
+		t.Fatalf("chained translate = %v, want 0x508", got)
+	}
+	// Abort writes the undo at the current location.
+	f.mem.WriteWord(0x508, 9, word.NilLSN)
+	f.m.Abort(tr)
+	if f.mem.ReadWord(0x508) != 0 {
+		t.Fatal("undo must target the translated address")
+	}
+}
+
+func TestOnCopyRebasesVolatileUndo(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x200, 5, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.VolatileWrite(tr, 0x200, w64(50), false)
+	// Volatile collector moves the object [0x1f8, 0x218) to 0x600.
+	f.m.OnCopy(0x1f8, 0x600, 4)
+	f.m.Abort(tr)
+	if got := f.mem.ReadWord(0x608); got != 5 {
+		t.Fatalf("volatile undo after move: got %d at 0x608, want 5", got)
+	}
+}
+
+func TestHandlesVisitedAndRewritten(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	h := f.m.Register(tr, 0x100)
+	f.m.ForEachHandle(func(get func() word.Addr, set func(word.Addr)) {
+		if get() == 0x100 {
+			set(0x900)
+		}
+	})
+	if h.Addr() != 0x900 {
+		t.Fatal("handle must be rewritten by the visitor")
+	}
+	f.m.Commit(tr)
+	n := 0
+	f.m.ForEachHandle(func(func() word.Addr, func(word.Addr)) { n++ })
+	if n != 0 {
+		t.Fatal("handles die with their transaction")
+	}
+}
+
+func TestBaseAndCompleteRecords(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	img := make([]byte, 16)
+	word.PutWord(img, 0, uint64(heap.NewDescriptor(1, 0, 1)))
+	word.PutWord(img, 8, 42)
+	f.m.LogBase(tr, 0x300, img)
+	f.m.LogComplete(tr)
+	f.m.Commit(tr)
+	var base wal.BaseRec
+	var complete wal.CompleteRec
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		switch rec := r.(type) {
+		case wal.BaseRec:
+			base = rec
+		case wal.CompleteRec:
+			complete = rec
+		}
+		return true
+	})
+	if base.Addr != 0x300 || !bytes.Equal(base.Object, img) {
+		t.Fatal("base record wrong")
+	}
+	if complete.Count != 1 {
+		t.Fatal("complete record count wrong")
+	}
+}
+
+func TestCompleteSkippedWhenNothingStabilized(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.LogComplete(tr)
+	f.m.Commit(tr)
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		if r.Type() == wal.TComplete {
+			t.Fatal("no complete record expected")
+		}
+		return true
+	})
+}
+
+func TestAllocRecordChained(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	d := heap.NewDescriptor(2, 1, 1)
+	f.m.LogAlloc(tr, 0x400, d)
+	f.m.Update(tr, 0x408, 0x408, w64(1), false)
+	f.m.Abort(tr) // must walk over the alloc record without undoing it
+	var allocs int
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		if r.Type() == wal.TAlloc {
+			allocs++
+		}
+		return true
+	})
+	if allocs != 1 {
+		t.Fatal("alloc record missing")
+	}
+}
+
+func TestTableEntriesCarryUTT(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(1), false)
+	f.m.OnCopy(0x100, 0x800, 2)
+	entries := f.m.TableEntries()
+	if len(entries) != 1 || entries[0].TxID != tr.ID() {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if len(entries[0].UTT) != 1 || entries[0].UTT[0] != (wal.AddrPair{Orig: 0x100, Cur: 0x800}) {
+		t.Fatalf("UTT = %+v", entries[0].UTT)
+	}
+	if entries[0].FirstLSN == word.NilLSN || entries[0].LastLSN < entries[0].FirstLSN {
+		t.Fatal("LSN bounds wrong")
+	}
+}
+
+func TestAbortAllAndCrash(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x100, 1, word.NilLSN)
+	t1 := f.m.Begin()
+	f.m.Update(t1, 0x100, 0x100, w64(9), false)
+	f.m.Begin()
+	f.m.AbortAll()
+	if f.m.ActiveCount() != 0 {
+		t.Fatal("AbortAll must clear the table")
+	}
+	if f.mem.ReadWord(0x100) != 1 {
+		t.Fatal("AbortAll must undo updates")
+	}
+	t3 := f.m.Begin()
+	_ = t3
+	f.m.Crash()
+	if f.m.ActiveCount() != 0 {
+		t.Fatal("Crash must clear the table")
+	}
+}
+
+func TestNextTxIDSurvivesRestore(t *testing.T) {
+	f := newFixture()
+	f.m.Begin()
+	f.m.Begin()
+	next := f.m.NextTxID()
+	f2 := newFixture()
+	f2.m.SetNextTxID(next)
+	tr := f2.m.Begin()
+	if tr.ID() != next {
+		t.Fatalf("restored id = %d, want %d", tr.ID(), next)
+	}
+}
+
+func TestOperationsOnFinishedTxPanic(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.Commit(tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.m.Update(tr, 0x100, 0x100, w64(1), false)
+}
+
+func TestUpdateLogicalRedoUndo(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x100, 10, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.UpdateLogical(tr, 0x100, 0x100, 5)
+	f.m.UpdateLogical(tr, 0x100, 0x100, ^uint64(2)) // -3 wrapping
+	if got := f.mem.ReadWord(0x100); got != 12 {
+		t.Fatalf("value = %d, want 12", got)
+	}
+	f.m.Abort(tr)
+	if got := f.mem.ReadWord(0x100); got != 10 {
+		t.Fatalf("after abort = %d, want 10", got)
+	}
+	// The log contains logical records and logical CLRs.
+	var logical, clrs int
+	f.log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		switch rec := r.(type) {
+		case wal.LogicalRec:
+			logical++
+		case wal.CLRRec:
+			if rec.Flags&wal.CLRLogicalDelta == 0 {
+				t.Fatal("logical undo must emit logical CLRs")
+			}
+			clrs++
+		}
+		return true
+	})
+	if logical != 2 || clrs != 2 {
+		t.Fatalf("logical=%d clrs=%d", logical, clrs)
+	}
+}
+
+func TestUpdateLogicalTranslatedAfterMove(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x108, 100, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.UpdateLogical(tr, 0x108, 0x108, 11)
+	// The collector moves the containing object [0x100, 0x120) → 0x900.
+	f.mem.WriteWord(0x908, 111, word.NilLSN)
+	f.m.OnCopy(0x100, 0x900, 4)
+	f.m.Abort(tr)
+	if got := f.mem.ReadWord(0x908); got != 100 {
+		t.Fatalf("translated logical undo: %d, want 100", got)
+	}
+}
+
+func TestForEachUndoRootVisitsPointerValues(t *testing.T) {
+	f := newFixture()
+	// A pointer slot holding 0x500 is overwritten: 0x500 lives on only
+	// in undo information and must be visible as a root.
+	f.mem.WriteWord(0x100, 0x500, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(0x600), true)
+	var got []word.Addr
+	f.m.ForEachUndoRoot(func(get func() word.Addr, set func(word.Addr)) {
+		got = append(got, get())
+		set(0x777) // the collector moved it
+	})
+	if len(got) != 1 || got[0] != 0x500 {
+		t.Fatalf("undo roots = %v", got)
+	}
+	// Abort must restore the translated value.
+	f.m.Abort(tr)
+	if f.mem.ReadWord(0x100) != 0x777 {
+		t.Fatalf("restored %#x, want 0x777", f.mem.ReadWord(0x100))
+	}
+}
+
+func TestForEachUndoRootVolatilePtr(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x200, 0x500, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.VolatileWrite(tr, 0x200, w64(0x600), true)
+	var got []word.Addr
+	f.m.ForEachUndoRoot(func(get func() word.Addr, set func(word.Addr)) {
+		got = append(got, get())
+		set(0x888)
+	})
+	if len(got) != 1 || got[0] != 0x500 {
+		t.Fatalf("volatile undo roots = %v", got)
+	}
+	f.m.Abort(tr)
+	if f.mem.ReadWord(0x200) != 0x888 {
+		t.Fatal("volatile undo must restore the rewritten pointer")
+	}
+}
+
+func TestPrepareFinishCommitSplit(t *testing.T) {
+	f := newFixture()
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x100, w64(1), false)
+	lsn := f.m.PrepareCommit(tr)
+	if f.log.IsStable(lsn) {
+		t.Fatal("prepare must not force")
+	}
+	if tr.Status() != Active {
+		t.Fatal("tx still active between prepare and finish")
+	}
+	f.log.Force(lsn) // stand-in for the group force
+	f.m.FinishCommit(tr)
+	if tr.Status() != Committed || f.m.ActiveCount() != 0 {
+		t.Fatal("finish must complete the commit")
+	}
+}

@@ -1,0 +1,474 @@
+// Package vm simulates the virtual-memory platform the paper's design
+// requires (§2.3): a one-level store in which main memory is a cache of
+// pages over a disk whose backing store survives crashes, with the
+// operating-system primitives the algorithms depend on — page protection
+// with a trap handler (the Ellis read barrier, §3.2.1), page pinning (the
+// write-ahead log protocol, §2.2.3), and control over when pages reach the
+// backing store.
+//
+// The write-ahead constraint is enforced at flush time: a dirty page whose
+// page LSN is beyond the stable log forces the log before it is written,
+// which is equivalent to the paper's "unpin after the redo record is in the
+// stable log". Page-fetch and end-write records (§2.2.4) are spooled so
+// recovery can deduce the dirty page set.
+package vm
+
+import (
+	"fmt"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// TrapHandler is invoked when the mutator touches a protected page (the
+// read-barrier trap). The handler must leave the page unprotected.
+type TrapHandler func(pg word.PageID)
+
+// Stats counts one-level-store activity.
+type Stats struct {
+	Traps      int64 // read-barrier traps taken
+	Fetches    int64 // pages read from disk into the cache
+	Flushes    int64 // dirty pages written to disk
+	Evictions  int64 // pages dropped from the cache by replacement
+	LogForces  int64 // log forces triggered by the WAL flush constraint
+	FreshPages int64 // pages materialized zero-filled (never on disk)
+}
+
+// Config parameterizes the store.
+type Config struct {
+	// PageSize in bytes; must be a multiple of the word size.
+	PageSize int
+	// CachePages caps the number of resident pages; 0 means unlimited
+	// (no replacement, useful for tests and for pause measurements that
+	// should not be polluted by paging).
+	CachePages int
+	// LogFetches controls whether page-fetch/end-write records are
+	// spooled. Recovery runs with it off.
+	LogFetches bool
+}
+
+type page struct {
+	id     word.PageID
+	data   []byte
+	lsn    word.LSN // LSN of the last logged modification applied
+	recLSN word.LSN // earliest LSN maybe not on disk; NilLSN if clean
+	dirty  bool     // any modification (logged or not) since last flush
+	pins   int
+	ref    bool // clock reference bit
+}
+
+// Store is the simulated one-level store.
+type Store struct {
+	cfg   Config
+	disk  *storage.Disk
+	log   *wal.Manager
+	pages map[word.PageID]*page
+	// prot is the set of protected pages; protection is independent of
+	// residency (protecting a page must not fault it in).
+	prot map[word.PageID]struct{}
+	// ring holds resident page ids in insertion order for the clock
+	// replacement sweep; hand indexes the next candidate.
+	ring []word.PageID
+	hand int
+	trap TrapHandler
+	// inTrap guards against recursive traps (a handler touching its own
+	// protected page would loop).
+	inTrap bool
+	stats  Stats
+}
+
+// New creates a store over disk, spooling bookkeeping records to log.
+func New(cfg Config, disk *storage.Disk, log *wal.Manager) *Store {
+	if cfg.PageSize <= 0 || cfg.PageSize%word.WordSize != 0 {
+		panic(fmt.Sprintf("vm: invalid page size %d", cfg.PageSize))
+	}
+	return &Store{
+		cfg:   cfg,
+		disk:  disk,
+		log:   log,
+		pages: make(map[word.PageID]*page),
+		prot:  make(map[word.PageID]struct{}),
+	}
+}
+
+// PageSize returns the configured page size.
+func (s *Store) PageSize() int { return s.cfg.PageSize }
+
+// Disk returns the backing store.
+func (s *Store) Disk() *storage.Disk { return s.disk }
+
+// SetTrapHandler installs the read-barrier trap handler.
+func (s *Store) SetTrapHandler(h TrapHandler) { s.trap = h }
+
+// SetLogFetches toggles page-fetch/end-write logging (recovery turns it off
+// while repeating history).
+func (s *Store) SetLogFetches(on bool) { s.cfg.LogFetches = on }
+
+// Stats returns accumulated counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// resident returns the cached page, fetching it from disk (or materializing
+// it zero-filled) if needed, possibly evicting another page first.
+func (s *Store) resident(id word.PageID) *page {
+	if p, ok := s.pages[id]; ok {
+		p.ref = true
+		return p
+	}
+	s.makeRoom()
+	p := &page{id: id, data: make([]byte, s.cfg.PageSize), ref: true}
+	if data, lsn, ok := s.disk.ReadPage(id); ok {
+		copy(p.data, data)
+		p.lsn = lsn
+		s.stats.Fetches++
+		if s.cfg.LogFetches && s.log != nil {
+			s.log.Append(wal.PageFetchRec{Page: id})
+		}
+	} else {
+		s.stats.FreshPages++
+	}
+	s.pages[id] = p
+	s.ring = append(s.ring, id)
+	return p
+}
+
+// makeRoom evicts one page if the cache is at capacity. Pinned and
+// protected pages are skipped (a protected page's content is owed a scan;
+// evicting it would lose the protection state).
+func (s *Store) makeRoom() {
+	if s.cfg.CachePages <= 0 || len(s.pages) < s.cfg.CachePages {
+		return
+	}
+	// Clock sweep: give each referenced page a second chance. Bound the
+	// sweep so a fully pinned cache degrades to over-commit rather than
+	// spinning forever.
+	for tries := 0; tries < 2*len(s.ring)+2; tries++ {
+		if len(s.ring) == 0 {
+			return
+		}
+		s.hand %= len(s.ring)
+		id := s.ring[s.hand]
+		p := s.pages[id]
+		if p == nil {
+			s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
+			continue
+		}
+		if _, prot := s.prot[id]; p.pins > 0 || prot {
+			s.hand++
+			if s.hand >= len(s.ring) {
+				s.hand = 0
+			}
+			continue
+		}
+		if p.ref {
+			p.ref = false
+			s.hand++
+			if s.hand >= len(s.ring) {
+				s.hand = 0
+			}
+			continue
+		}
+		if p.dirty {
+			s.flushPage(p)
+		}
+		delete(s.pages, id)
+		s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
+		s.stats.Evictions++
+		return
+	}
+}
+
+// flushPage writes a dirty page to disk, honoring the WAL constraint and
+// logging the end-write record.
+func (s *Store) flushPage(p *page) {
+	if !p.dirty {
+		return
+	}
+	if s.log != nil && p.lsn != word.NilLSN && !s.log.IsStable(p.lsn) {
+		// WAL: the redo record for the page's last modification must be
+		// in the stable log before the page reaches disk.
+		s.log.Force(p.lsn)
+		s.stats.LogForces++
+	}
+	s.disk.WritePage(p.id, p.data, p.lsn)
+	p.dirty = false
+	p.recLSN = word.NilLSN
+	s.stats.Flushes++
+	if s.cfg.LogFetches && s.log != nil {
+		s.log.Append(wal.EndWriteRec{Page: p.id, PageLSN: p.lsn})
+	}
+}
+
+// FlushPage flushes the page if it is resident and dirty. Pinned pages may
+// not be flushed; attempting to is a bug in the caller.
+func (s *Store) FlushPage(id word.PageID) {
+	p, ok := s.pages[id]
+	if !ok {
+		return
+	}
+	if p.pins > 0 {
+		panic(fmt.Sprintf("vm: flush of pinned page %d", id))
+	}
+	s.flushPage(p)
+}
+
+// FlushRange writes back every dirty resident page whose base lies in
+// [lo, hi). The collector calls it at collection end so the surviving
+// to-space is durable before the from-space is freed — after that, redo
+// never needs to read a freed space (see gc's maybeFinish).
+func (s *Store) FlushRange(lo, hi word.Addr) int {
+	n := 0
+	for _, id := range s.ResidentPages() {
+		base := id.Base(s.cfg.PageSize)
+		if base < lo || base >= hi {
+			continue
+		}
+		p := s.pages[id]
+		if !p.dirty {
+			continue
+		}
+		if p.pins > 0 {
+			panic(fmt.Sprintf("vm: FlushRange found pinned page %d", id))
+		}
+		s.flushPage(p)
+		n++
+	}
+	return n
+}
+
+// FlushOlderThan writes back every dirty resident, unpinned page whose
+// recLSN lies below horizon: the checkpoint-driven page cleaner that keeps
+// the redo window bounded. Returns the number of pages written.
+func (s *Store) FlushOlderThan(horizon word.LSN) int {
+	n := 0
+	for _, id := range s.ResidentPages() {
+		p := s.pages[id]
+		if p.pins > 0 || !p.dirty || p.recLSN == word.NilLSN || p.recLSN >= horizon {
+			continue
+		}
+		s.flushPage(p)
+		n++
+	}
+	return n
+}
+
+// FlushAll flushes every dirty resident page (clean shutdown; also used by
+// tests and by the crash injector to model arbitrary flush orders).
+func (s *Store) FlushAll() {
+	for _, id := range s.ResidentPages() {
+		p := s.pages[id]
+		if p.pins > 0 {
+			panic(fmt.Sprintf("vm: FlushAll found pinned page %d", id))
+		}
+		s.flushPage(p)
+	}
+}
+
+// ResidentPages returns the ids of cached pages in ascending order.
+func (s *Store) ResidentPages() []word.PageID {
+	ids := make([]word.PageID, 0, len(s.pages))
+	for id := range s.pages {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// DirtyPages returns the dirty page table: every resident page with logged
+// modifications not yet on disk, with its recLSN. Pages dirtied only by
+// unlogged (volatile-object) writes are excluded — redo never needs them.
+func (s *Store) DirtyPages() []wal.DirtyPage {
+	var out []wal.DirtyPage
+	for _, id := range s.ResidentPages() {
+		p := s.pages[id]
+		if p.dirty && p.recLSN != word.NilLSN {
+			out = append(out, wal.DirtyPage{Page: id, RecLSN: p.recLSN})
+		}
+	}
+	return out
+}
+
+// Crash models a system failure: main memory is lost. Cached pages vanish;
+// the disk and the stable log survive (the log device is crashed
+// separately by the owner).
+func (s *Store) Crash() {
+	s.pages = make(map[word.PageID]*page)
+	s.prot = make(map[word.PageID]struct{})
+	s.ring = nil
+	s.hand = 0
+	s.inTrap = false
+}
+
+// Pin prevents the page from being evicted (and hence flushed by
+// replacement) until Unpin. Pins nest.
+func (s *Store) Pin(id word.PageID) { s.resident(id).pins++ }
+
+// Unpin releases one pin.
+func (s *Store) Unpin(id word.PageID) {
+	p, ok := s.pages[id]
+	if !ok || p.pins == 0 {
+		panic(fmt.Sprintf("vm: unpin of unpinned page %d", id))
+	}
+	p.pins--
+}
+
+// Protect arms the read barrier on the page: the next barriered access
+// traps. Protection is pure page-table state; it neither faults the page
+// in nor touches its contents.
+func (s *Store) Protect(id word.PageID) { s.prot[id] = struct{}{} }
+
+// Unprotect disarms the read barrier on the page.
+func (s *Store) Unprotect(id word.PageID) { delete(s.prot, id) }
+
+// Protected reports whether the page currently traps.
+func (s *Store) Protected(id word.PageID) bool {
+	_, ok := s.prot[id]
+	return ok
+}
+
+// pageRange iterates the pages overlapped by [addr, addr+n).
+func (s *Store) pageRange(addr word.Addr, n int, fn func(id word.PageID)) {
+	if n <= 0 {
+		return
+	}
+	first := addr.Page(s.cfg.PageSize)
+	last := (addr + word.Addr(n) - 1).Page(s.cfg.PageSize)
+	for id := first; id <= last; id++ {
+		fn(id)
+	}
+}
+
+// EnsureAccessible is the read barrier: it fires the trap handler for every
+// protected page in [addr, addr+n). The mutator-facing layers call it
+// before touching memory; the collector bypasses it.
+func (s *Store) EnsureAccessible(addr word.Addr, n int) {
+	s.pageRange(addr, n, func(id word.PageID) {
+		if _, prot := s.prot[id]; !prot {
+			return
+		}
+		if s.trap == nil {
+			panic(fmt.Sprintf("vm: access to protected page %d with no trap handler", id))
+		}
+		if s.inTrap {
+			panic(fmt.Sprintf("vm: recursive trap on page %d", id))
+		}
+		s.stats.Traps++
+		s.inTrap = true
+		s.trap(id)
+		s.inTrap = false
+		if _, still := s.prot[id]; still {
+			panic(fmt.Sprintf("vm: trap handler left page %d protected", id))
+		}
+	})
+}
+
+// ReadBytes copies n bytes starting at addr. It does not fire the read
+// barrier; callers acting for the mutator run EnsureAccessible first.
+func (s *Store) ReadBytes(addr word.Addr, n int) []byte {
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		id := (addr + word.Addr(off)).Page(s.cfg.PageSize)
+		p := s.resident(id)
+		pOff := int(addr+word.Addr(off)) - int(id.Base(s.cfg.PageSize))
+		c := copy(out[off:], p.data[pOff:])
+		off += c
+	}
+	return out
+}
+
+// WriteBytes stores data at addr. lsn is the log record covering the
+// modification: word.NilLSN marks an unlogged (volatile-object) write,
+// which dirties the page without advancing its page LSN.
+func (s *Store) WriteBytes(addr word.Addr, data []byte, lsn word.LSN) {
+	off := 0
+	for off < len(data) {
+		id := (addr + word.Addr(off)).Page(s.cfg.PageSize)
+		p := s.resident(id)
+		pOff := int(addr+word.Addr(off)) - int(id.Base(s.cfg.PageSize))
+		c := copy(p.data[pOff:], data[off:])
+		off += c
+		p.dirty = true
+		if lsn != word.NilLSN {
+			if p.recLSN == word.NilLSN {
+				p.recLSN = lsn
+			}
+			if lsn > p.lsn {
+				p.lsn = lsn
+			}
+		}
+	}
+}
+
+// ReadWord loads the word at addr (no barrier).
+func (s *Store) ReadWord(addr word.Addr) uint64 {
+	id := addr.Page(s.cfg.PageSize)
+	p := s.resident(id)
+	return word.GetWord(p.data, int(addr-id.Base(s.cfg.PageSize)))
+}
+
+// WriteWord stores w at addr with the given covering LSN (no barrier).
+func (s *Store) WriteWord(addr word.Addr, w uint64, lsn word.LSN) {
+	var b [word.WordSize]byte
+	word.PutWord(b[:], 0, w)
+	s.WriteBytes(addr, b[:], lsn)
+}
+
+// PageLSN returns the resident page's LSN, or the disk page LSN if not
+// resident (used by redo conditioning).
+func (s *Store) PageLSN(id word.PageID) word.LSN {
+	if p, ok := s.pages[id]; ok {
+		return p.lsn
+	}
+	return s.disk.PageLSN(id)
+}
+
+// DiscardRange drops every resident page whose base falls in [lo, hi)
+// without writing it back — the contents are dead (a freed from-space; the
+// collector wrote the surviving to-space out first, so redo never reads a
+// freed range). The dropped pages' dirty entries are returned for
+// inspection by tests.
+func (s *Store) DiscardRange(lo, hi word.Addr) []wal.DirtyPage {
+	var ghosts []wal.DirtyPage
+	for _, id := range s.ResidentPages() {
+		base := id.Base(s.cfg.PageSize)
+		if base < lo || base >= hi {
+			continue
+		}
+		p := s.pages[id]
+		if p.pins > 0 {
+			panic(fmt.Sprintf("vm: discard of pinned page %d", id))
+		}
+		if p.dirty && p.recLSN != word.NilLSN {
+			ghosts = append(ghosts, wal.DirtyPage{Page: id, RecLSN: p.recLSN})
+		}
+		delete(s.pages, id)
+		for i, rid := range s.ring {
+			if rid == id {
+				s.ring = append(s.ring[:i], s.ring[i+1:]...)
+				if s.hand > i {
+					s.hand--
+				}
+				break
+			}
+		}
+	}
+	return ghosts
+}
+
+// SetPageLSNForRecovery installs a page LSN directly; used by redo when a
+// record is skipped because the disk page already reflects it, so the
+// cached page's LSN must still advance past the record.
+func (s *Store) SetPageLSNForRecovery(id word.PageID, lsn word.LSN) {
+	p := s.resident(id)
+	if lsn > p.lsn {
+		p.lsn = lsn
+	}
+}

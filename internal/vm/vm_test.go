@@ -1,0 +1,386 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+const ps = 256 // page size for tests
+
+func newStore(cachePages int) (*Store, *storage.Disk, *wal.Manager) {
+	disk := storage.NewDisk(ps)
+	log := wal.NewManager(storage.NewLog(0))
+	s := New(Config{PageSize: ps, CachePages: cachePages, LogFetches: true}, disk, log)
+	return s, disk, log
+}
+
+func TestReadBackZeroFilled(t *testing.T) {
+	s, _, _ := newStore(0)
+	got := s.ReadBytes(0x1000, 16)
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatal("fresh pages must read as zero")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, _, _ := newStore(0)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	s.WriteBytes(0x100, data, 5)
+	if got := s.ReadBytes(0x100, 8); !bytes.Equal(got, data) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWriteAcrossPageBoundary(t *testing.T) {
+	s, _, _ := newStore(0)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	addr := word.Addr(ps - 32) // straddles pages 0 and 1
+	s.WriteBytes(addr, data, 9)
+	if got := s.ReadBytes(addr, 64); !bytes.Equal(got, data) {
+		t.Fatal("cross-page write corrupted data")
+	}
+	if s.PageLSN(0) != 9 || s.PageLSN(1) != 9 {
+		t.Fatal("both touched pages must carry the record's LSN")
+	}
+}
+
+func TestWordReadWrite(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0x80, 0xdeadbeefcafe, 3)
+	if got := s.ReadWord(0x80); got != 0xdeadbeefcafe {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestUnloggedWriteDoesNotAdvancePageLSN(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0x10, 7, 20)
+	s.WriteWord(0x18, 8, word.NilLSN) // volatile-object write
+	if s.PageLSN(0) != 20 {
+		t.Fatalf("PageLSN = %d, want 20", s.PageLSN(0))
+	}
+	// Unlogged-only dirty pages are excluded from the dirty page table.
+	s2, _, _ := newStore(0)
+	s2.WriteWord(0x10, 7, word.NilLSN)
+	if len(s2.DirtyPages()) != 0 {
+		t.Fatal("page dirtied only by unlogged writes must not appear in DPT")
+	}
+}
+
+func TestDirtyPagesRecLSNIsFirstLogged(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0x10, 1, 30)
+	s.WriteWord(0x18, 2, 40)
+	dp := s.DirtyPages()
+	if len(dp) != 1 || dp[0].Page != 0 || dp[0].RecLSN != 30 {
+		t.Fatalf("DPT = %+v", dp)
+	}
+}
+
+func TestFlushWritesThroughAndCleans(t *testing.T) {
+	s, disk, _ := newStore(0)
+	s.WriteWord(0x10, 77, 5)
+	s.FlushPage(0)
+	data, lsn, ok := disk.ReadPage(0)
+	if !ok || lsn != 5 || word.GetWord(data, 0x10) != 77 {
+		t.Fatal("flush must write contents and page LSN to disk")
+	}
+	if len(s.DirtyPages()) != 0 {
+		t.Fatal("flushed page must leave the DPT")
+	}
+}
+
+func TestWALConstraintForcesLog(t *testing.T) {
+	s, _, log := newStore(0)
+	lsn := log.Append(wal.BeginRec{})
+	_ = lsn
+	rec := log.Append(wal.PageFetchRec{Page: 99}) // stands in for an update record
+	s.WriteWord(0x10, 1, rec)
+	if log.IsStable(rec) {
+		t.Fatal("precondition: record must be volatile")
+	}
+	s.FlushPage(0)
+	if !log.IsStable(rec) {
+		t.Fatal("flushing the page must first force the covering log record")
+	}
+	if s.Stats().LogForces != 1 {
+		t.Fatalf("LogForces = %d, want 1", s.Stats().LogForces)
+	}
+}
+
+func TestCrashLosesCacheKeepsDisk(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0x10, 1, 5)
+	s.FlushPage(0)
+	s.WriteWord(0x10, 2, 6) // dirty again, never flushed
+	s.Crash()
+	if got := s.ReadWord(0x10); got != 1 {
+		t.Fatalf("after crash page must revert to last flushed value, got %d", got)
+	}
+	if s.PageLSN(0) != 5 {
+		t.Fatalf("page LSN after crash = %d, want 5", s.PageLSN(0))
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	s, _, _ := newStore(2)
+	s.WriteWord(0, 1, 1) // page 0
+	s.Pin(0)
+	s.WriteWord(ps, 2, 2)   // page 1
+	s.WriteWord(2*ps, 3, 3) // page 2: must evict page 1, not pinned page 0
+	if _, ok := s.pages[0]; !ok {
+		t.Fatal("pinned page evicted")
+	}
+	s.Unpin(0)
+	if s.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Stats().Evictions)
+	}
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	s, _, _ := newStore(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Unpin(0)
+}
+
+func TestEvictionFlushesDirtyVictim(t *testing.T) {
+	s, disk, _ := newStore(1)
+	s.WriteWord(0, 42, 7) // page 0 dirty
+	s.ReadWord(ps)        // page 1: evicts page 0
+	if !disk.HasPage(0) {
+		t.Fatal("evicting a dirty page must write it to disk")
+	}
+	data, _, _ := disk.ReadPage(0)
+	if word.GetWord(data, 0) != 42 {
+		t.Fatal("evicted contents wrong")
+	}
+}
+
+func TestFetchAndEndWriteRecordsSpooled(t *testing.T) {
+	s, _, log := newStore(0)
+	s.WriteWord(0x10, 1, log.Append(wal.BeginRec{}))
+	s.FlushPage(0)
+	s.Crash()
+	s.ReadWord(0x10) // fetches from disk
+	var fetches, endWrites int
+	log.ForceAll()
+	log.Scan(1, false, func(_ word.LSN, r wal.Record) bool {
+		switch r.(type) {
+		case wal.PageFetchRec:
+			fetches++
+		case wal.EndWriteRec:
+			endWrites++
+		}
+		return true
+	})
+	if fetches != 1 || endWrites != 1 {
+		t.Fatalf("fetches=%d endWrites=%d, want 1 and 1", fetches, endWrites)
+	}
+}
+
+func TestNoFetchRecordsWhenDisabled(t *testing.T) {
+	s, _, log := newStore(0)
+	s.WriteWord(0x10, 1, 2)
+	s.FlushPage(0)
+	s.Crash()
+	s.SetLogFetches(false)
+	s.ReadWord(0x10)
+	n := 0
+	log.Scan(1, false, func(_ word.LSN, r wal.Record) bool { n++; return true })
+	if n != 1 { // only the end-write from the flush above
+		t.Fatalf("saw %d records, want 1", n)
+	}
+}
+
+func TestProtectionTrapFires(t *testing.T) {
+	s, _, _ := newStore(0)
+	trapped := []word.PageID{}
+	s.SetTrapHandler(func(pg word.PageID) {
+		trapped = append(trapped, pg)
+		s.Unprotect(pg)
+	})
+	s.Protect(3)
+	s.EnsureAccessible(3*ps+8, 8)
+	if len(trapped) != 1 || trapped[0] != 3 {
+		t.Fatalf("trapped = %v", trapped)
+	}
+	if s.Stats().Traps != 1 {
+		t.Fatal("trap counter")
+	}
+	// Second access: no trap.
+	s.EnsureAccessible(3*ps+8, 8)
+	if s.Stats().Traps != 1 {
+		t.Fatal("unprotected page must not trap again")
+	}
+}
+
+func TestTrapSpanningMultiplePages(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.SetTrapHandler(func(pg word.PageID) { s.Unprotect(pg) })
+	s.Protect(0)
+	s.Protect(1)
+	s.EnsureAccessible(ps-8, 16) // touches pages 0 and 1
+	if s.Stats().Traps != 2 {
+		t.Fatalf("traps = %d, want 2", s.Stats().Traps)
+	}
+}
+
+func TestHandlerMustUnprotect(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.SetTrapHandler(func(pg word.PageID) {}) // buggy handler
+	s.Protect(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when handler leaves page protected")
+		}
+	}()
+	s.EnsureAccessible(0, 8)
+}
+
+func TestProtectedPageNotEvicted(t *testing.T) {
+	s, _, _ := newStore(2)
+	s.ReadWord(0) // page 0 resident
+	s.Protect(0)
+	s.ReadWord(ps)     // page 1
+	s.ReadWord(2 * ps) // page 2: must evict page 1
+	if _, ok := s.pages[0]; !ok {
+		t.Fatal("protected page must not be evicted")
+	}
+}
+
+func TestProtectDoesNotFaultPageIn(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.Protect(7)
+	if len(s.ResidentPages()) != 0 {
+		t.Fatal("Protect must not materialize the page")
+	}
+	if !s.Protected(7) {
+		t.Fatal("page must report protected")
+	}
+	s.Unprotect(7)
+	if s.Protected(7) {
+		t.Fatal("Unprotect must clear")
+	}
+}
+
+func TestCrashClearsProtection(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.Protect(1)
+	s.Crash()
+	if s.Protected(1) {
+		t.Fatal("protection state is volatile and must not survive a crash")
+	}
+}
+
+func TestDiscardRangeDropsWithoutFlushing(t *testing.T) {
+	s, disk, _ := newStore(0)
+	s.WriteWord(ps, 9, 4) // page 1, dirty, logged
+	ghosts := s.DiscardRange(word.Addr(ps), word.Addr(2*ps))
+	if disk.HasPage(1) {
+		t.Fatal("discard must not write the page")
+	}
+	if len(ghosts) != 1 || ghosts[0].Page != 1 || ghosts[0].RecLSN != 4 {
+		t.Fatalf("ghosts = %+v", ghosts)
+	}
+	if got := s.ReadWord(ps); got != 0 {
+		t.Fatal("discarded page must read as its disk image (zero)")
+	}
+}
+
+func TestDiscardRangeKeepsPagesOutsideRange(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0, 1, 1)
+	s.WriteWord(ps, 2, 2)
+	s.DiscardRange(word.Addr(ps), word.Addr(2*ps))
+	if got := s.ReadWord(0); got != 1 {
+		t.Fatal("page outside range must survive")
+	}
+}
+
+func TestPageLSNFallsBackToDisk(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0, 1, 11)
+	s.FlushPage(0)
+	s.Crash()
+	if s.PageLSN(0) != 11 {
+		t.Fatalf("PageLSN = %d, want disk LSN 11", s.PageLSN(0))
+	}
+}
+
+func TestFlushAllCleansEverything(t *testing.T) {
+	s, disk, _ := newStore(0)
+	for i := 0; i < 5; i++ {
+		s.WriteWord(word.Addr(i*ps), uint64(i), word.LSN(i+1))
+	}
+	s.FlushAll()
+	if len(s.DirtyPages()) != 0 {
+		t.Fatal("FlushAll must clean all pages")
+	}
+	if len(disk.Pages()) != 5 {
+		t.Fatalf("disk has %d pages, want 5", len(disk.Pages()))
+	}
+}
+
+func TestCacheRespectsCapacity(t *testing.T) {
+	s, _, _ := newStore(4)
+	for i := 0; i < 32; i++ {
+		s.WriteWord(word.Addr(i*ps), uint64(i), word.LSN(i+1))
+	}
+	if len(s.pages) > 4 {
+		t.Fatalf("cache holds %d pages, cap 4", len(s.pages))
+	}
+	// All data still readable through fetch.
+	for i := 0; i < 32; i++ {
+		if got := s.ReadWord(word.Addr(i * ps)); got != uint64(i) {
+			t.Fatalf("page %d lost: got %d", i, got)
+		}
+	}
+}
+
+func TestFlushRangeOnlyTouchesRange(t *testing.T) {
+	s, disk, _ := newStore(0)
+	s.WriteWord(0, 1, 1)
+	s.WriteWord(ps, 2, 2)
+	s.WriteWord(2*ps, 3, 3)
+	n := s.FlushRange(word.Addr(ps), word.Addr(2*ps))
+	if n != 1 {
+		t.Fatalf("flushed %d pages, want 1", n)
+	}
+	if disk.HasPage(0) || !disk.HasPage(1) || disk.HasPage(2) {
+		t.Fatal("wrong pages flushed")
+	}
+}
+
+func TestFlushOlderThanHorizon(t *testing.T) {
+	s, disk, _ := newStore(0)
+	s.WriteWord(0, 1, 10)
+	s.WriteWord(ps, 2, 20)
+	s.WriteWord(2*ps, 3, word.NilLSN) // unlogged dirty: never cleaned
+	n := s.FlushOlderThan(15)
+	if n != 1 {
+		t.Fatalf("flushed %d, want 1 (only recLSN<15)", n)
+	}
+	if !disk.HasPage(0) || disk.HasPage(1) || disk.HasPage(2) {
+		t.Fatal("wrong pages cleaned")
+	}
+}
+
+func TestFlushRangeSkipsClean(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.WriteWord(0, 1, 1)
+	s.FlushPage(0)
+	if n := s.FlushRange(0, word.Addr(ps)); n != 0 {
+		t.Fatalf("clean page reflushed: %d", n)
+	}
+}

@@ -1,0 +1,430 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"stableheap/internal/word"
+)
+
+// Frame layout: [u32 frameLen][u32 crc][u8 type][payload…]. frameLen counts
+// the whole frame; crc covers type+payload. A record's LSN is the byte
+// offset of the frame start in the conceptual infinite log.
+
+const frameHeader = 8 // len + crc
+
+// Encode serializes a record into a framed byte slice.
+func Encode(r Record) []byte {
+	var e encoder
+	e.u8(uint8(r.Type()))
+	switch rec := r.(type) {
+	case BeginRec:
+		e.txHdr(rec.TxHdr)
+	case UpdateRec:
+		e.txHdr(rec.TxHdr)
+		e.u64(uint64(rec.Addr))
+		e.u64(uint64(rec.Obj))
+		e.u8(rec.Flags)
+		e.bytes(rec.Redo)
+		e.bytes(rec.Undo)
+	case CLRRec:
+		e.txHdr(rec.TxHdr)
+		e.u64(uint64(rec.Addr))
+		e.u8(rec.Flags)
+		e.bytes(rec.Redo)
+		e.u64(uint64(rec.UndoNext))
+	case AllocRec:
+		e.txHdr(rec.TxHdr)
+		e.u64(uint64(rec.Addr))
+		e.u64(rec.Descriptor)
+		e.u64(uint64(rec.SizeWords))
+	case CommitRec:
+		e.txHdr(rec.TxHdr)
+	case AbortRec:
+		e.txHdr(rec.TxHdr)
+	case EndRec:
+		e.txHdr(rec.TxHdr)
+	case FlipRec:
+		e.u64(rec.Epoch)
+		e.u64(uint64(rec.FromLo))
+		e.u64(uint64(rec.FromHi))
+		e.u64(uint64(rec.ToLo))
+		e.u64(uint64(rec.ToHi))
+		e.u64(uint64(rec.RootObjFrom))
+		e.u64(uint64(rec.RootObjTo))
+	case CopyRec:
+		e.u64(rec.Epoch)
+		e.u64(uint64(rec.From))
+		e.u64(uint64(rec.To))
+		e.u64(uint64(rec.SizeWords))
+		e.u64(rec.Descriptor)
+		e.bytes(rec.Contents)
+	case ScanRec:
+		e.u64(rec.Epoch)
+		e.u64(uint64(rec.Page))
+		e.bool(rec.Full)
+		e.u64(uint64(rec.ScanPtr))
+		e.u64(uint64(len(rec.Fixes)))
+		for _, f := range rec.Fixes {
+			e.u64(uint64(f.Addr))
+			e.u64(uint64(f.NewPtr))
+		}
+	case GCEndRec:
+		e.u64(rec.Epoch)
+	case BaseRec:
+		e.txHdr(rec.TxHdr)
+		e.u64(uint64(rec.Addr))
+		e.bytes(rec.Object)
+	case CompleteRec:
+		e.txHdr(rec.TxHdr)
+		e.u64(uint64(rec.Count))
+	case V2SCopyRec:
+		e.u64(uint64(rec.From))
+		e.u64(uint64(rec.To))
+		e.bytes(rec.Object)
+	case SFixRec:
+		e.u64(uint64(rec.Page))
+		e.u64(uint64(len(rec.Fixes)))
+		for _, f := range rec.Fixes {
+			e.u64(uint64(f.Addr))
+			e.u64(uint64(f.NewPtr))
+		}
+	case VFlipRec:
+		e.u64(rec.Epoch)
+		e.u64(uint64(rec.Moved))
+	case PageFetchRec:
+		e.u64(uint64(rec.Page))
+	case EndWriteRec:
+		e.u64(uint64(rec.Page))
+		e.u64(uint64(rec.PageLSN))
+	case CheckpointRec:
+		e.checkpoint(rec)
+	case LogicalRec:
+		e.txHdr(rec.TxHdr)
+		e.u64(uint64(rec.Addr))
+		e.u64(uint64(rec.Obj))
+		e.u64(rec.Delta)
+	case PrepareRec:
+		e.txHdr(rec.TxHdr)
+	default:
+		panic(fmt.Sprintf("wal: cannot encode %T", r))
+	}
+	return e.frame()
+}
+
+// Decode parses a framed record. It returns an error on truncation, CRC
+// mismatch, or an unknown type tag.
+func Decode(frame []byte) (Record, error) {
+	if len(frame) < frameHeader+1 {
+		return nil, fmt.Errorf("wal: frame too short (%d bytes)", len(frame))
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	if int(n) != len(frame) {
+		return nil, fmt.Errorf("wal: frame length %d != buffer %d", n, len(frame))
+	}
+	crc := binary.LittleEndian.Uint32(frame[4:8])
+	payload := frame[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("wal: CRC mismatch")
+	}
+	d := decoder{buf: payload}
+	t := Type(d.u8())
+	var r Record
+	switch t {
+	case TBegin:
+		r = BeginRec{TxHdr: d.txHdr()}
+	case TUpdate:
+		r = UpdateRec{TxHdr: d.txHdr(), Addr: word.Addr(d.u64()), Obj: word.Addr(d.u64()), Flags: d.u8(), Redo: d.bytes(), Undo: d.bytes()}
+	case TCLR:
+		r = CLRRec{TxHdr: d.txHdr(), Addr: word.Addr(d.u64()), Flags: d.u8(), Redo: d.bytes(), UndoNext: word.LSN(d.u64())}
+	case TAlloc:
+		r = AllocRec{TxHdr: d.txHdr(), Addr: word.Addr(d.u64()), Descriptor: d.u64(), SizeWords: int(d.u64())}
+	case TCommit:
+		r = CommitRec{TxHdr: d.txHdr()}
+	case TAbort:
+		r = AbortRec{TxHdr: d.txHdr()}
+	case TEnd:
+		r = EndRec{TxHdr: d.txHdr()}
+	case TFlip:
+		r = FlipRec{
+			Epoch: d.u64(), FromLo: word.Addr(d.u64()), FromHi: word.Addr(d.u64()),
+			ToLo: word.Addr(d.u64()), ToHi: word.Addr(d.u64()),
+			RootObjFrom: word.Addr(d.u64()), RootObjTo: word.Addr(d.u64()),
+		}
+	case TCopy:
+		r = CopyRec{Epoch: d.u64(), From: word.Addr(d.u64()), To: word.Addr(d.u64()),
+			SizeWords: int(d.u64()), Descriptor: d.u64(), Contents: d.bytes()}
+	case TScan:
+		rec := ScanRec{Epoch: d.u64(), Page: word.PageID(d.u64()), Full: d.bool(), ScanPtr: word.Addr(d.u64())}
+		rec.Fixes = d.fixes()
+		r = rec
+	case TGCEnd:
+		r = GCEndRec{Epoch: d.u64()}
+	case TBase:
+		r = BaseRec{TxHdr: d.txHdr(), Addr: word.Addr(d.u64()), Object: d.bytes()}
+	case TComplete:
+		r = CompleteRec{TxHdr: d.txHdr(), Count: int(d.u64())}
+	case TV2SCopy:
+		r = V2SCopyRec{From: word.Addr(d.u64()), To: word.Addr(d.u64()), Object: d.bytes()}
+	case TSFix:
+		rec := SFixRec{Page: word.PageID(d.u64())}
+		rec.Fixes = d.fixes()
+		r = rec
+	case TVFlip:
+		r = VFlipRec{Epoch: d.u64(), Moved: int(d.u64())}
+	case TPageFetch:
+		r = PageFetchRec{Page: word.PageID(d.u64())}
+	case TEndWrite:
+		r = EndWriteRec{Page: word.PageID(d.u64()), PageLSN: word.LSN(d.u64())}
+	case TCheckpoint:
+		r = d.checkpoint()
+	case TLogical:
+		r = LogicalRec{TxHdr: d.txHdr(), Addr: word.Addr(d.u64()), Obj: word.Addr(d.u64()), Delta: d.u64()}
+	case TPrepare:
+		r = PrepareRec{TxHdr: d.txHdr()}
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("wal: %v record has %d trailing bytes", t, len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) txHdr(h TxHdr) {
+	e.u64(uint64(h.TxID))
+	e.u64(uint64(h.PrevLSN))
+}
+
+func (e *encoder) checkpoint(c CheckpointRec) {
+	e.u64(uint64(len(c.Dirty)))
+	for _, dp := range c.Dirty {
+		e.u64(uint64(dp.Page))
+		e.u64(uint64(dp.RecLSN))
+	}
+	e.u64(uint64(len(c.Txs)))
+	for _, tx := range c.Txs {
+		e.u64(uint64(tx.TxID))
+		e.u64(uint64(tx.FirstLSN))
+		e.u64(uint64(tx.LastLSN))
+		e.bool(tx.Aborting)
+		e.bool(tx.Prepared)
+		e.u64(uint64(tx.UndoNext))
+		e.u64(uint64(len(tx.UTT)))
+		for _, p := range tx.UTT {
+			e.u64(uint64(p.Orig))
+			e.u64(uint64(p.Cur))
+		}
+	}
+	e.u64(uint64(c.StableCur))
+	e.u64(uint64(c.VolatileCur))
+	e.u64(uint64(c.RootObj))
+	e.u64(uint64(c.StableAlloc))
+	g := c.GC
+	e.bool(g.Active)
+	e.u64(g.Epoch)
+	e.u64(uint64(g.FlipLSN))
+	e.u64(uint64(g.FromLo))
+	e.u64(uint64(g.FromHi))
+	e.u64(uint64(g.ToLo))
+	e.u64(uint64(g.ToHi))
+	e.u64(uint64(g.CopyPtr))
+	e.u64(uint64(g.ScanPtr))
+	e.u64(uint64(g.AllocPtr))
+	e.u64(uint64(len(g.Scanned)))
+	for _, s := range g.Scanned {
+		e.bool(s)
+	}
+	e.u64(uint64(len(g.LastObj)))
+	for _, a := range g.LastObj {
+		e.u64(uint64(a))
+	}
+	e.u64(uint64(len(c.LS)))
+	for _, a := range c.LS {
+		e.u64(uint64(a))
+	}
+	e.u64(uint64(len(c.SRem)))
+	for _, a := range c.SRem {
+		e.u64(uint64(a))
+	}
+	e.u64(uint64(c.VolatileLo))
+	e.u64(uint64(c.VolatileHi))
+	e.u64(uint64(c.NextTx))
+	e.u64(c.NextEpoch)
+}
+
+func (e *encoder) frame() []byte {
+	frame := make([]byte, frameHeader+len(e.buf))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(e.buf))
+	copy(frame[frameHeader:], e.buf)
+	return frame
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated record payload at offset %d", d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off : d.off+8])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u64()
+	if d.err != nil || d.off+int(n) > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) txHdr() TxHdr {
+	return TxHdr{TxID: word.TxID(d.u64()), PrevLSN: word.LSN(d.u64())}
+}
+
+func (d *decoder) fixes() []PtrFix {
+	n := d.u64()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	fixes := make([]PtrFix, 0, n)
+	for i := uint64(0); i < n; i++ {
+		fixes = append(fixes, PtrFix{Addr: word.Addr(d.u64()), NewPtr: word.Addr(d.u64())})
+	}
+	return fixes
+}
+
+func (d *decoder) addrs() []word.Addr {
+	n := d.u64()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]word.Addr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, word.Addr(d.u64()))
+	}
+	return out
+}
+
+func (d *decoder) checkpoint() CheckpointRec {
+	var c CheckpointRec
+	nd := d.u64()
+	for i := uint64(0); i < nd && d.err == nil; i++ {
+		c.Dirty = append(c.Dirty, DirtyPage{Page: word.PageID(d.u64()), RecLSN: word.LSN(d.u64())})
+	}
+	nt := d.u64()
+	for i := uint64(0); i < nt && d.err == nil; i++ {
+		tx := TxEntry{
+			TxID:     word.TxID(d.u64()),
+			FirstLSN: word.LSN(d.u64()),
+			LastLSN:  word.LSN(d.u64()),
+			Aborting: d.bool(),
+			Prepared: d.bool(),
+			UndoNext: word.LSN(d.u64()),
+		}
+		nu := d.u64()
+		for j := uint64(0); j < nu && d.err == nil; j++ {
+			tx.UTT = append(tx.UTT, AddrPair{Orig: word.Addr(d.u64()), Cur: word.Addr(d.u64())})
+		}
+		c.Txs = append(c.Txs, tx)
+	}
+	c.StableCur = int(d.u64())
+	c.VolatileCur = int(d.u64())
+	c.RootObj = word.Addr(d.u64())
+	c.StableAlloc = word.Addr(d.u64())
+	c.GC.Active = d.bool()
+	c.GC.Epoch = d.u64()
+	c.GC.FlipLSN = word.LSN(d.u64())
+	c.GC.FromLo = word.Addr(d.u64())
+	c.GC.FromHi = word.Addr(d.u64())
+	c.GC.ToLo = word.Addr(d.u64())
+	c.GC.ToHi = word.Addr(d.u64())
+	c.GC.CopyPtr = word.Addr(d.u64())
+	c.GC.ScanPtr = word.Addr(d.u64())
+	c.GC.AllocPtr = word.Addr(d.u64())
+	ns := d.u64()
+	if d.err == nil && ns <= uint64(len(d.buf)) {
+		if ns > 0 {
+			c.GC.Scanned = make([]bool, 0, ns)
+			for i := uint64(0); i < ns; i++ {
+				c.GC.Scanned = append(c.GC.Scanned, d.bool())
+			}
+		}
+	} else if ns != 0 {
+		d.fail()
+	}
+	c.GC.LastObj = d.addrs()
+	c.LS = d.addrs()
+	c.SRem = d.addrs()
+	c.VolatileLo = word.Addr(d.u64())
+	c.VolatileHi = word.Addr(d.u64())
+	c.NextTx = word.TxID(d.u64())
+	c.NextEpoch = d.u64()
+	return c
+}

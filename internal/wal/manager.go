@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"fmt"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/word"
+)
+
+// Manager spools records to the log device and decodes them back. It is the
+// "log manager" of §2.2: Append writes to the volatile log (the buffer);
+// Force makes a prefix stable. Per-type volume counters feed the logging
+// overhead experiments (E6).
+type Manager struct {
+	dev   *storage.Log
+	count [maxType]int64
+	bytes [maxType]int64
+}
+
+// NewManager wraps a log device.
+func NewManager(dev *storage.Log) *Manager {
+	return &Manager{dev: dev}
+}
+
+// Device exposes the underlying log device (for crash simulation and stats).
+func (m *Manager) Device() *storage.Log { return m.dev }
+
+// Append spools a record to the volatile log and returns its LSN.
+func (m *Manager) Append(r Record) word.LSN {
+	frame := Encode(r)
+	lsn := m.dev.Append(frame)
+	m.count[r.Type()]++
+	m.bytes[r.Type()] += int64(len(frame))
+	return lsn
+}
+
+// Force synchronously writes the log through lsn to stable storage.
+func (m *Manager) Force(lsn word.LSN) { m.dev.Force(lsn) }
+
+// ForceAll forces the entire volatile tail.
+func (m *Manager) ForceAll() { m.dev.ForceAll() }
+
+// StableLSN returns the first LSN not guaranteed durable.
+func (m *Manager) StableLSN() word.LSN { return m.dev.StableLSN() }
+
+// EndLSN returns the LSN the next record will receive.
+func (m *Manager) EndLSN() word.LSN { return m.dev.EndLSN() }
+
+// IsStable reports whether the record at lsn is durable.
+func (m *Manager) IsStable(lsn word.LSN) bool { return m.dev.IsStable(lsn) }
+
+// ReadAt decodes the record at lsn.
+func (m *Manager) ReadAt(lsn word.LSN) (Record, error) {
+	frame, ok := m.dev.ReadAt(lsn)
+	if !ok {
+		return nil, fmt.Errorf("wal: no record at LSN %d", lsn)
+	}
+	return Decode(frame)
+}
+
+// MustReadAt is ReadAt for callers holding an LSN that must be present
+// (e.g. a prevLSN chain inside the retained log); it panics on failure.
+func (m *Manager) MustReadAt(lsn word.LSN) Record {
+	r, err := m.ReadAt(lsn)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Scan decodes records in LSN order starting at from; fn returning false
+// stops the scan. If stableOnly is set, the volatile tail is not visited
+// (recovery sees only the stable log). Decoding failures panic: the device
+// model never corrupts retained records, so a failure is a bug.
+func (m *Manager) Scan(from word.LSN, stableOnly bool, fn func(lsn word.LSN, r Record) bool) {
+	m.dev.Scan(from, stableOnly, func(lsn word.LSN, frame []byte) bool {
+		r, err := Decode(frame)
+		if err != nil {
+			panic(fmt.Sprintf("wal: undecodable record at LSN %d: %v", lsn, err))
+		}
+		return fn(lsn, r)
+	})
+}
+
+// Truncate releases log space below keep (segment granularity).
+func (m *Manager) Truncate(keep word.LSN) { m.dev.Truncate(keep) }
+
+// TypeStats reports how many records of type t were appended and their
+// total framed bytes.
+func (m *Manager) TypeStats(t Type) (count, bytes int64) {
+	return m.count[t], m.bytes[t]
+}
+
+// VolumeByClass summarizes appended bytes by origin: transactional records,
+// collector records, stability-tracking records, and bookkeeping. This is
+// the breakdown of experiment E6.
+func (m *Manager) VolumeByClass() (txBytes, gcBytes, trackBytes, bookBytes int64) {
+	for t := Type(1); t < maxType; t++ {
+		b := m.bytes[t]
+		switch t {
+		case TBegin, TUpdate, TCLR, TAlloc, TCommit, TAbort, TEnd:
+			txBytes += b
+		case TFlip, TCopy, TScan, TGCEnd:
+			gcBytes += b
+		case TBase, TComplete, TV2SCopy, TSFix, TVFlip:
+			trackBytes += b
+		case TPageFetch, TEndWrite, TCheckpoint:
+			bookBytes += b
+		}
+	}
+	return
+}
+
+// ResetStats zeroes the per-type counters (device stats are separate).
+func (m *Manager) ResetStats() {
+	m.count = [maxType]int64{}
+	m.bytes = [maxType]int64{}
+}

@@ -1,0 +1,503 @@
+// Package wal defines the write-ahead log record taxonomy of the stable
+// heap and its encoding, and provides the log manager that spools records
+// to the simulated log device.
+//
+// The taxonomy follows the paper:
+//
+//   - transactional records (§2.2.3, Ch. 4): Begin, Update (redo+undo),
+//     CLR (compensation, redo-only), Alloc, Commit, Abort, End;
+//   - collector records (Ch. 3): Flip, Copy, Scan, GCEnd — the records that
+//     make the copy step and scan step of the incremental copying collector
+//     repeatable after a crash;
+//   - stability-tracking records (Ch. 5): Base ("log records for initial
+//     object values"), Complete (the base-update-complete protocol),
+//     V2SCopy (a newly stable object moved from the volatile area into the
+//     stable area at a volatile collection), SFix (redo-only fix-up of a
+//     stable-area slot that pointed at a moved object), VFlip;
+//   - recovery bookkeeping (§2.2.4, Ch. 4): PageFetch, EndWrite,
+//     Checkpoint.
+//
+// All records are redo records in the repeating-history sense; only Update
+// carries undo information, and only CLRs reference an undo-next LSN.
+package wal
+
+import (
+	"fmt"
+
+	"stableheap/internal/word"
+)
+
+// Type tags a log record.
+type Type uint8
+
+// Log record types.
+const (
+	TInvalid Type = iota
+	TBegin
+	TUpdate
+	TCLR
+	TAlloc
+	TCommit
+	TAbort
+	TEnd
+	TFlip
+	TCopy
+	TScan
+	TGCEnd
+	TBase
+	TComplete
+	TV2SCopy
+	TSFix
+	TVFlip
+	TPageFetch
+	TEndWrite
+	TCheckpoint
+	TLogical
+	TPrepare
+	maxType
+)
+
+var typeNames = [...]string{
+	TInvalid:    "invalid",
+	TBegin:      "begin",
+	TUpdate:     "update",
+	TCLR:        "clr",
+	TAlloc:      "alloc",
+	TCommit:     "commit",
+	TAbort:      "abort",
+	TEnd:        "end",
+	TFlip:       "flip",
+	TCopy:       "copy",
+	TScan:       "scan",
+	TGCEnd:      "gcend",
+	TBase:       "base",
+	TComplete:   "complete",
+	TV2SCopy:    "v2scopy",
+	TSFix:       "sfix",
+	TVFlip:      "vflip",
+	TPageFetch:  "pagefetch",
+	TEndWrite:   "endwrite",
+	TCheckpoint: "checkpoint",
+	TLogical:    "logical",
+	TPrepare:    "prepare",
+}
+
+// String returns the record type's short name.
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Record is any log record. Concrete types are the *Rec structs below.
+type Record interface {
+	// Type returns the record's type tag.
+	Type() Type
+	// Tx returns the owning transaction, or word.SystemTx for records
+	// written by the collector, buffer manager, or checkpointer.
+	Tx() word.TxID
+}
+
+// TxHdr is the header embedded by records that belong to a transaction's
+// log chain.
+type TxHdr struct {
+	TxID    word.TxID
+	PrevLSN word.LSN // previous record of the same transaction, or NilLSN
+}
+
+func (r TxHdr) Tx() word.TxID { return r.TxID }
+
+// sysRec is embedded by system records outside any transaction.
+type sysRec struct{}
+
+func (sysRec) Tx() word.TxID { return word.SystemTx }
+
+// BeginRec marks the start of a transaction.
+type BeginRec struct {
+	TxHdr
+}
+
+// Type implements Record.
+func (BeginRec) Type() Type { return TBegin }
+
+// Update record flags.
+const (
+	// UFPtrSlot marks an update of a pointer field (the slot holds an
+	// object reference, not raw data).
+	UFPtrSlot uint8 = 1 << iota
+	// UFPtrToVolatile marks a pointer store whose new target lies in the
+	// volatile area: recovery uses it to rebuild the stable→volatile
+	// remembered set.
+	UFPtrToVolatile
+)
+
+// UpdateRec is a transactional modification of a contiguous byte range of a
+// single page, carrying both redo (new) and undo (old) images
+// (§2.2.3 steps 1–5). Addr is word aligned and the range never crosses a
+// page boundary.
+type UpdateRec struct {
+	TxHdr
+	Addr word.Addr
+	// Obj is the base address of the containing object when the update
+	// was logged: recovery uses it to reacquire an in-doubt
+	// transaction's object locks (locks are object granular).
+	Obj   word.Addr
+	Flags uint8
+	Redo  []byte
+	Undo  []byte
+}
+
+// PtrToVolatile reports whether this update stored a volatile-area pointer
+// into a stable slot.
+func (r UpdateRec) PtrToVolatile() bool { return r.Flags&UFPtrToVolatile != 0 }
+
+// Type implements Record.
+func (UpdateRec) Type() Type { return TUpdate }
+
+// CLRRec is a compensation log record: the redo record written when an
+// update is undone. It carries no undo information ("undo never has to be
+// undone") and UndoNext points at the next record of the transaction to
+// undo, skipping already-compensated work.
+type CLRRec struct {
+	TxHdr
+	Addr word.Addr
+	// Flags mirrors UpdateRec's flags for the *restored* value, so
+	// recovery analysis can maintain the remembered set through undo.
+	Flags    uint8
+	Redo     []byte
+	UndoNext word.LSN
+}
+
+// PtrToVolatile reports whether the restored value is a volatile-area
+// pointer in a stable slot.
+func (r CLRRec) PtrToVolatile() bool { return r.Flags&UFPtrToVolatile != 0 }
+
+// Type implements Record.
+func (CLRRec) Type() Type { return TCLR }
+
+// AllocRec makes a stable-area allocation repeatable (§4.2): redo re-writes
+// the descriptor word and zero-fills the object body. It needs no undo — an
+// aborted transaction's allocations become unreachable garbage once the
+// pointer stores that published them are undone.
+type AllocRec struct {
+	TxHdr
+	Addr       word.Addr
+	Descriptor uint64
+	SizeWords  int // total object size including the descriptor word
+}
+
+// Type implements Record.
+func (AllocRec) Type() Type { return TAlloc }
+
+// LogicalRec is a logical update (§2.2.4's "logical undo" optimization):
+// the word at Addr had Delta added to it (wrapping). Redo re-adds Delta
+// (page-LSN conditioning keeps it apply-once); undo adds -Delta at the
+// object's current location — no before-image travels in the log, and the
+// undo needs no value translation when the collector moves the object.
+type LogicalRec struct {
+	TxHdr
+	Addr  word.Addr
+	Obj   word.Addr // containing object (see UpdateRec.Obj)
+	Delta uint64
+}
+
+// Type implements Record.
+func (LogicalRec) Type() Type { return TLogical }
+
+// CLRLogicalDelta flags a CLR whose Redo is a logical delta (8 bytes,
+// wrapping add) rather than a physical image.
+const CLRLogicalDelta uint8 = 1 << 7
+
+// PrepareRec records the participant side of two-phase commit (the
+// extension §2.2 says the recovery system supports): the transaction's
+// effects are complete and durable-on-force, but its fate belongs to the
+// coordinator. A prepared transaction that is alive at a crash becomes
+// in-doubt: recovery neither rolls it back nor ends it — it reacquires the
+// transaction's write locks and waits for resolution.
+type PrepareRec struct {
+	TxHdr
+}
+
+// Type implements Record.
+func (PrepareRec) Type() Type { return TPrepare }
+
+// CommitRec commits a transaction; the log is forced through it.
+type CommitRec struct {
+	TxHdr
+}
+
+// Type implements Record.
+func (CommitRec) Type() Type { return TCommit }
+
+// AbortRec marks the start of a transaction's rollback; CLRs follow.
+type AbortRec struct {
+	TxHdr
+}
+
+// Type implements Record.
+func (AbortRec) Type() Type { return TAbort }
+
+// EndRec marks a transaction fully finished (committed or rolled back).
+type EndRec struct {
+	TxHdr
+}
+
+// Type implements Record.
+func (EndRec) Type() Type { return TEnd }
+
+// FlipRec starts collection Epoch of the stable area: the previous to-space
+// becomes from-space and copying begins into [ToLo, ToHi). RootObj gives the
+// translated address of the global stable-root object, whose copy record
+// follows the flip in the log.
+type FlipRec struct {
+	sysRec
+	Epoch  uint64
+	FromLo word.Addr
+	FromHi word.Addr
+	ToLo   word.Addr
+	ToHi   word.Addr
+	// RootObjFrom/RootObjTo translate the stable root object.
+	RootObjFrom word.Addr
+	RootObjTo   word.Addr
+}
+
+// Type implements Record.
+func (FlipRec) Type() Type { return TFlip }
+
+// CopyRec is the collector's copy step (Fig. 3.6/3.7): object of SizeWords
+// words copied From → To, with a forwarding pointer overwriting the
+// from-space descriptor word. Descriptor preserves the overwritten word so
+// that redo can reconstruct the to-space copy even when the from-space page
+// reached disk after the copy (the paper's "lost object descriptor" crash,
+// Fig. 3.5). The record carries no object contents: repeating history
+// guarantees the replayed from-space image is the historical one.
+type CopyRec struct {
+	sysRec
+	Epoch      uint64
+	From       word.Addr
+	To         word.Addr
+	SizeWords  int
+	Descriptor uint64
+	// Contents is empty in the paper's design (replay reconstructs the
+	// copy from the from-space image). The content-carrying ablation
+	// (Config.CopyContents, experiment E14) fills it with the full
+	// object image, making copy replay self-contained at the price of
+	// logging every copied byte.
+	Contents []byte
+}
+
+// Type implements Record.
+func (CopyRec) Type() Type { return TCopy }
+
+// PtrFix is one pointer translation performed by a scan step: the word at
+// Addr now holds NewPtr.
+type PtrFix struct {
+	Addr   word.Addr
+	NewPtr word.Addr
+}
+
+// ScanRec is the collector's scan step (Fig. 3.8/3.9): the from-space
+// pointers in a region of a single to-space page were translated to
+// to-space addresses. Fixes lists the slots changed; the copy records for
+// any objects transported by this step precede the scan record in the log.
+type ScanRec struct {
+	sysRec
+	Epoch uint64
+	Page  word.PageID
+	// Full marks a page-granular scan (a read-barrier trap): the whole
+	// page is now scanned. Sequential background steps set it only when
+	// the batch completed the page.
+	Full bool
+	// ScanPtr is the background scan pointer after this step (NilAddr
+	// for trap scans), letting recovery resume the sweep.
+	ScanPtr word.Addr
+	Fixes   []PtrFix
+}
+
+// Type implements Record.
+func (ScanRec) Type() Type { return TScan }
+
+// GCEndRec marks collection Epoch complete: all of to-space is scanned and
+// from-space is free.
+type GCEndRec struct {
+	sysRec
+	Epoch uint64
+}
+
+// Type implements Record.
+func (GCEndRec) Type() Type { return TGCEnd }
+
+// BaseRec logs the initial value of a newly stable object at its volatile
+// address (Ch. 5, "Log Records for Initial Object Values"). It belongs to
+// the committing transaction's chain but is redo-only.
+type BaseRec struct {
+	TxHdr
+	Addr word.Addr
+	// Object is the full object image: descriptor word plus all fields.
+	Object []byte
+}
+
+// Type implements Record.
+func (BaseRec) Type() Type { return TBase }
+
+// CompleteRec closes a tracking batch (the paper's base-update-complete
+// protocol): all base records for the transaction's newly stable objects
+// precede it.
+type CompleteRec struct {
+	TxHdr
+	Count int // number of objects stabilized by the batch
+}
+
+// Type implements Record.
+func (CompleteRec) Type() Type { return TComplete }
+
+// V2SCopyRec moves a newly stable object from the volatile area into the
+// stable area at a volatile collection (Ch. 5, Fig. 5.2 "V2scopy"). Unlike
+// CopyRec it carries the full object image: the volatile source page is not
+// obliged to be reconstructible once the move is complete, so the record
+// must be self-contained for redo.
+type V2SCopyRec struct {
+	sysRec
+	From   word.Addr
+	To     word.Addr
+	Object []byte
+}
+
+// Type implements Record.
+func (V2SCopyRec) Type() Type { return TV2SCopy }
+
+// SFixRec is a redo-only fix-up of stable-area pointer slots performed when
+// newly stable objects move out of the volatile area (Ch. 5, Fig. 5.3
+// "S4vscan"): each slot now holds the object's stable-area address. All
+// slots are on a single page.
+type SFixRec struct {
+	sysRec
+	Page  word.PageID
+	Fixes []PtrFix
+}
+
+// Type implements Record.
+func (SFixRec) Type() Type { return TSFix }
+
+// VFlipRec marks a volatile-area collection that evacuated Moved newly
+// stable objects into the stable area (Fig. 7.2 "Volatile Flip Record").
+type VFlipRec struct {
+	sysRec
+	Epoch uint64
+	Moved int
+}
+
+// Type implements Record.
+func (VFlipRec) Type() Type { return TVFlip }
+
+// PageFetchRec records that the buffer manager fetched Page from disk
+// (§2.2.4, first optimization).
+type PageFetchRec struct {
+	sysRec
+	Page word.PageID
+}
+
+// Type implements Record.
+func (PageFetchRec) Type() Type { return TPageFetch }
+
+// EndWriteRec records that an updated page reached disk, carrying the page
+// LSN that was written (§2.2.4).
+type EndWriteRec struct {
+	sysRec
+	Page    word.PageID
+	PageLSN word.LSN
+}
+
+// Type implements Record.
+func (EndWriteRec) Type() Type { return TEndWrite }
+
+// DirtyPage is a dirty-page-table entry carried by a checkpoint.
+type DirtyPage struct {
+	Page word.PageID
+	// RecLSN is the LSN of the earliest record that might not be
+	// reflected on the disk copy of the page.
+	RecLSN word.LSN
+}
+
+// AddrPair is an (original, current) address translation, used by the UTT.
+type AddrPair struct {
+	Orig word.Addr
+	Cur  word.Addr
+}
+
+// TxEntry is an active-transaction-table entry carried by a checkpoint.
+type TxEntry struct {
+	TxID     word.TxID
+	FirstLSN word.LSN
+	LastLSN  word.LSN
+	// Aborting is set if the transaction had begun rolling back.
+	Aborting bool
+	// Prepared is set if the transaction has a stable prepare record
+	// (in-doubt across crashes until the coordinator resolves it).
+	Prepared bool
+	// UndoNext is the next record to undo if Aborting.
+	UndoNext word.LSN
+	// UTT holds the undo address translations accumulated for this
+	// transaction: for every address appearing in its undo records that
+	// the collector has since moved, the current address
+	// (§4.4 "Translating Undo Roots").
+	UTT []AddrPair
+}
+
+// GCState is the collector state carried by a checkpoint so that recovery
+// after a crash during a collection starts at the checkpoint — not at the
+// flip — keeping recovery time independent of heap size (§3.5.3, §4.5).
+type GCState struct {
+	Active  bool
+	Epoch   uint64
+	FlipLSN word.LSN
+	FromLo  word.Addr
+	FromHi  word.Addr
+	ToLo    word.Addr
+	ToHi    word.Addr
+	CopyPtr word.Addr
+	ScanPtr word.Addr
+	// AllocPtr is the mutator allocation pointer at the top of to-space.
+	AllocPtr word.Addr
+	// Scanned marks to-space pages already scanned (and hence
+	// unprotected), indexed from the page containing ToLo.
+	Scanned []bool
+	// LastObj is the Last Object Table: for each to-space page in the
+	// copy region, the address of the last object starting on it
+	// (NilAddr if none), indexed from the page containing ToLo.
+	LastObj []word.Addr
+}
+
+// CheckpointRec is the fuzzy checkpoint record (§2.2.4, §4.6). It bounds
+// redo (dirty page table), seeds undo (transaction table with undo
+// translations), and snapshots the collector and stability-tracker state.
+type CheckpointRec struct {
+	sysRec
+	Dirty []DirtyPage
+	Txs   []TxEntry
+	// Space configuration at the checkpoint.
+	StableCur   int // which stable semispace is current (0 or 1)
+	VolatileCur int
+	RootObj     word.Addr // current address of the stable root object
+	// StableAlloc is the allocation frontier in the current stable
+	// semispace when no collection is active.
+	StableAlloc word.Addr
+	GC          GCState
+	// LS lists newly stable objects still living in the volatile area
+	// (the paper's LS set), as their volatile addresses.
+	LS []word.Addr
+	// SRem lists stable-area slots currently holding pointers into the
+	// volatile area (the stable→volatile remembered set).
+	SRem []word.Addr
+	// VolatileLo/VolatileHi bound the volatile area, so recovery can
+	// classify pointer targets without knowing the configuration.
+	VolatileLo word.Addr
+	VolatileHi word.Addr
+	// NextTx and NextEpoch resume the id generators.
+	NextTx    word.TxID
+	NextEpoch uint64
+}
+
+// Type implements Record.
+func (CheckpointRec) Type() Type { return TCheckpoint }

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stableheap"
+)
+
+// CADConfig sizes the design tree: a balanced assembly tree whose leaves
+// are geometric features, edited by interactive sessions (Ch. 1's
+// computer-aided-design motivation: large persistent state, timely
+// responses — the workload the incremental collector exists for).
+type CADConfig struct {
+	Depth  int // interior levels
+	Fanout int // children per interior node
+	Leaf   int // data words per leaf feature
+}
+
+// DefaultCAD is sized for the default test heap.
+func DefaultCAD() CADConfig { return CADConfig{Depth: 3, Fanout: 3, Leaf: 4} }
+
+// Leaves returns the leaf count of the configured tree.
+func (c CADConfig) Leaves() int {
+	n := 1
+	for i := 0; i < c.Depth; i++ {
+		n *= c.Fanout
+	}
+	return n
+}
+
+// CADTree is a built design-tree handle.
+type CADTree struct {
+	h    *stableheap.Heap
+	cfg  CADConfig
+	slot int
+}
+
+// BuildCAD constructs the design tree under stable root slot in one
+// committing transaction.
+func BuildCAD(h *stableheap.Heap, slot int, cfg CADConfig, rng *rand.Rand) (*CADTree, error) {
+	ct := &CADTree{h: h, cfg: cfg, slot: slot}
+	tx := h.Begin()
+	root, err := ct.buildSubtree(tx, rng, cfg.Depth)
+	if err != nil {
+		return nil, abortWith(tx, err)
+	}
+	if err := tx.SetRoot(slot, root); err != nil {
+		return nil, abortWith(tx, err)
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (ct *CADTree) buildSubtree(tx *stableheap.Tx, rng *rand.Rand, depth int) (*stableheap.Ref, error) {
+	if depth == 0 {
+		leaf, err := tx.Alloc(TypeLeaf, 0, ct.cfg.Leaf)
+		if err != nil {
+			return nil, err
+		}
+		for w := 0; w < ct.cfg.Leaf; w++ {
+			if err := tx.SetData(leaf, w, rng.Uint64()%1_000_000); err != nil {
+				return nil, err
+			}
+		}
+		return leaf, nil
+	}
+	node, err := tx.Alloc(TypeNode, ct.cfg.Fanout, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.SetData(node, 0, uint64(depth)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < ct.cfg.Fanout; i++ {
+		child, err := ct.buildSubtree(tx, rng, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		if err := tx.SetPtr(node, i, child); err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+// Reattach rebinds to a recovered heap.
+func (ct *CADTree) Reattach(h *stableheap.Heap) { ct.h = h }
+
+// EditSession descends to a random leaf and rewrites its features; with
+// probability abortFrac the designer hits "undo" and the session aborts.
+// Returns whether the session committed.
+func (ct *CADTree) EditSession(rng *rand.Rand, abortFrac float64) (bool, error) {
+	tx := ct.h.Begin()
+	node, err := tx.Root(ct.slot)
+	if err != nil {
+		return false, abortWith(tx, err)
+	}
+	for d := 0; d < ct.cfg.Depth; d++ {
+		if node, err = tx.Ptr(node, rng.Intn(ct.cfg.Fanout)); err != nil {
+			return false, abortWith(tx, err)
+		}
+	}
+	for w := 0; w < ct.cfg.Leaf; w++ {
+		if err := tx.SetData(node, w, rng.Uint64()%1_000_000); err != nil {
+			return false, abortWith(tx, err)
+		}
+	}
+	if rng.Float64() < abortFrac {
+		return false, tx.Abort()
+	}
+	return true, tx.Commit()
+}
+
+// ReplaceSubtree rebuilds a random depth-1 subtree — an interior node and
+// its leaves (structural edit: the old subtree becomes garbage; the new
+// one stabilizes at commit).
+func (ct *CADTree) ReplaceSubtree(rng *rand.Rand) error {
+	tx := ct.h.Begin()
+	node, err := tx.Root(ct.slot)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	depth := ct.cfg.Depth
+	for d := 0; d < ct.cfg.Depth-2; d++ {
+		if node, err = tx.Ptr(node, rng.Intn(ct.cfg.Fanout)); err != nil {
+			return abortWith(tx, err)
+		}
+		depth--
+	}
+	slotIdx := rng.Intn(ct.cfg.Fanout)
+	sub, err := ct.buildSubtree(tx, rng, depth-1)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.SetPtr(node, slotIdx, sub); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+// CountLeaves walks the whole tree (used as the post-recovery check).
+func (ct *CADTree) CountLeaves() (int, error) {
+	tx := ct.h.Begin()
+	defer tx.Abort()
+	root, err := tx.Root(ct.slot)
+	if err != nil {
+		return 0, err
+	}
+	var walk func(n *stableheap.Ref, depth int) (int, error)
+	walk = func(n *stableheap.Ref, depth int) (int, error) {
+		if depth == 0 {
+			if _, err := tx.Data(n, 0); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}
+		total := 0
+		for i := 0; i < ct.cfg.Fanout; i++ {
+			child, err := tx.Ptr(n, i)
+			if err != nil {
+				return 0, err
+			}
+			if child == nil {
+				return 0, fmt.Errorf("workload: missing child %d at depth %d", i, depth)
+			}
+			c, err := walk(child, depth-1)
+			if err != nil {
+				return 0, err
+			}
+			total += c
+		}
+		return total, nil
+	}
+	return walk(root, ct.cfg.Depth)
+}

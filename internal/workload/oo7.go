@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stableheap"
+)
+
+// OO7Config sizes the OO7-flavoured object-database graph: a module of
+// base assemblies, each holding composite parts, each a small graph of
+// atomic parts. (A deliberately reduced cousin of the OO7 benchmark's
+// "small" configuration, scaled to the simulated heap.)
+type OO7Config struct {
+	Assemblies   int // base assemblies per module
+	Composites   int // composite parts per assembly
+	AtomsPerComp int // atomic parts per composite part
+	DocWords     int // data words of "documentation" per composite
+	ConnPerAtom  int // outgoing connections per atomic part (within composite)
+}
+
+// DefaultOO7 is sized for the default test heap.
+func DefaultOO7() OO7Config {
+	return OO7Config{Assemblies: 4, Composites: 4, AtomsPerComp: 6, DocWords: 4, ConnPerAtom: 2}
+}
+
+// OO7 is a built database handle.
+type OO7 struct {
+	h    *stableheap.Heap
+	cfg  OO7Config
+	slot int
+}
+
+// Objects returns how many objects one module comprises.
+func (c OO7Config) Objects() int {
+	perComp := 1 + c.AtomsPerComp
+	return 1 + c.Assemblies*(1+c.Composites*perComp)
+}
+
+// BuildOO7 constructs the module under stable root slot, committing one
+// assembly per transaction (so building also exercises tracking batches).
+func BuildOO7(h *stableheap.Heap, slot int, cfg OO7Config, rng *rand.Rand) (*OO7, error) {
+	o := &OO7{h: h, cfg: cfg, slot: slot}
+	tx := h.Begin()
+	module, err := tx.Alloc(TypeModule, cfg.Assemblies, 1)
+	if err != nil {
+		return nil, abortWith(tx, err)
+	}
+	if err := tx.SetData(module, 0, uint64(cfg.Assemblies)); err != nil {
+		return nil, abortWith(tx, err)
+	}
+	if err := tx.SetRoot(slot, module); err != nil {
+		return nil, abortWith(tx, err)
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	for a := 0; a < cfg.Assemblies; a++ {
+		tx := h.Begin()
+		module, err := tx.Root(slot)
+		if err != nil {
+			return nil, abortWith(tx, err)
+		}
+		assy, err := tx.Alloc(TypeAssy, cfg.Composites, 1)
+		if err != nil {
+			return nil, abortWith(tx, err)
+		}
+		if err := tx.SetData(assy, 0, uint64(a)); err != nil {
+			return nil, abortWith(tx, err)
+		}
+		for c := 0; c < cfg.Composites; c++ {
+			comp, err := o.buildComposite(tx, rng, uint64(a*cfg.Composites+c))
+			if err != nil {
+				return nil, abortWith(tx, err)
+			}
+			if err := tx.SetPtr(assy, c, comp); err != nil {
+				return nil, abortWith(tx, err)
+			}
+		}
+		if err := tx.SetPtr(module, a, assy); err != nil {
+			return nil, abortWith(tx, err)
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// buildComposite creates one composite part with its atomic-part graph.
+func (o *OO7) buildComposite(tx *stableheap.Tx, rng *rand.Rand, id uint64) (*stableheap.Ref, error) {
+	cfg := o.cfg
+	comp, err := tx.Alloc(TypeComp, cfg.AtomsPerComp, cfg.DocWords)
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < cfg.DocWords; w++ {
+		if err := tx.SetData(comp, w, id<<16|uint64(w)); err != nil {
+			return nil, err
+		}
+	}
+	atoms := make([]*stableheap.Ref, cfg.AtomsPerComp)
+	for i := range atoms {
+		atom, err := tx.Alloc(TypeAtom, cfg.ConnPerAtom, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := tx.SetData(atom, 0, id*1000+uint64(i)); err != nil {
+			return nil, err
+		}
+		if err := tx.SetData(atom, 1, rng.Uint64()%1000); err != nil {
+			return nil, err
+		}
+		atoms[i] = atom
+		if err := tx.SetPtr(comp, i, atom); err != nil {
+			return nil, err
+		}
+	}
+	// Random connections among this composite's atoms.
+	for _, atom := range atoms {
+		for c := 0; c < cfg.ConnPerAtom; c++ {
+			if err := tx.SetPtr(atom, c, atoms[rng.Intn(len(atoms))]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return comp, nil
+}
+
+// Reattach rebinds to a recovered heap.
+func (o *OO7) Reattach(h *stableheap.Heap) { o.h = h }
+
+// TraverseT1 is OO7's full traversal: DFS over the whole module touching
+// every atomic part; returns the number of atomic parts visited (with
+// multiplicity along connections bounded by one hop).
+func (o *OO7) TraverseT1() (int, error) {
+	tx := o.h.Begin()
+	defer tx.Abort()
+	module, err := tx.Root(o.slot)
+	if err != nil {
+		return 0, err
+	}
+	visited := 0
+	for a := 0; a < o.cfg.Assemblies; a++ {
+		assy, err := tx.Ptr(module, a)
+		if err != nil {
+			return 0, err
+		}
+		for c := 0; c < o.cfg.Composites; c++ {
+			comp, err := tx.Ptr(assy, c)
+			if err != nil {
+				return 0, err
+			}
+			for i := 0; i < o.cfg.AtomsPerComp; i++ {
+				atom, err := tx.Ptr(comp, i)
+				if err != nil {
+					return 0, err
+				}
+				if _, err := tx.Data(atom, 0); err != nil {
+					return 0, err
+				}
+				visited++
+				for k := 0; k < o.cfg.ConnPerAtom; k++ {
+					conn, err := tx.Ptr(atom, k)
+					if err != nil {
+						return 0, err
+					}
+					if conn != nil {
+						if _, err := tx.Data(conn, 1); err != nil {
+							return 0, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return visited, nil
+}
+
+// UpdateT2 rewrites the second data word of every atomic part of one
+// random assembly (OO7's T2a-style update), in one transaction.
+func (o *OO7) UpdateT2(rng *rand.Rand) error {
+	tx := o.h.Begin()
+	module, err := tx.Root(o.slot)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	assy, err := tx.Ptr(module, rng.Intn(o.cfg.Assemblies))
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	for c := 0; c < o.cfg.Composites; c++ {
+		comp, err := tx.Ptr(assy, c)
+		if err != nil {
+			return abortWith(tx, err)
+		}
+		for i := 0; i < o.cfg.AtomsPerComp; i++ {
+			atom, err := tx.Ptr(comp, i)
+			if err != nil {
+				return abortWith(tx, err)
+			}
+			if err := tx.SetData(atom, 1, rng.Uint64()%1000); err != nil {
+				return abortWith(tx, err)
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+// ReplaceComposite swaps one composite part for a freshly built one (the
+// churny structural update: the old subtree becomes garbage; the new one
+// becomes stable at commit).
+func (o *OO7) ReplaceComposite(rng *rand.Rand) error {
+	tx := o.h.Begin()
+	module, err := tx.Root(o.slot)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	a := rng.Intn(o.cfg.Assemblies)
+	assy, err := tx.Ptr(module, a)
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	c := rng.Intn(o.cfg.Composites)
+	comp, err := o.buildComposite(tx, rng, uint64(a*o.cfg.Composites+c))
+	if err != nil {
+		return abortWith(tx, err)
+	}
+	if err := tx.SetPtr(assy, c, comp); err != nil {
+		return abortWith(tx, err)
+	}
+	return tx.Commit()
+}
+
+// Check verifies the module's structural integrity (used after recovery).
+func (o *OO7) Check() error {
+	n, err := o.TraverseT1()
+	if err != nil {
+		return err
+	}
+	want := o.cfg.Assemblies * o.cfg.Composites * o.cfg.AtomsPerComp
+	if n != want {
+		return fmt.Errorf("workload: traversal visited %d atoms, want %d", n, want)
+	}
+	return nil
+}
