@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -181,8 +182,23 @@ func BenchmarkE3StopTheWorld(b *testing.B)    { benchCollection(b, stableheap.No
 
 // --- E4/E5/E7: recovery ---------------------------------------------------
 
-func benchRecovery(b *testing.B, live, tail int, midGC bool) {
+// parallelWorkers picks the redo shard count for the parallel recovery
+// variants: all cores, at least 2 (so the parallel engine actually engages
+// on single-core runners), capped at the auto-pick ceiling of 8.
+func parallelWorkers() int {
+	w := runtime.NumCPU()
+	if w < 2 {
+		w = 2
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+func benchRecovery(b *testing.B, live, tail int, midGC bool, workers int) {
 	cfg := benchCfg(live*4+16*1024, 16*1024)
+	cfg.RecoveryWorkers = workers
 	h := openWithChain(b, cfg, live)
 	h.Checkpoint()
 	h.Checkpoint()
@@ -219,10 +235,25 @@ func benchRecovery(b *testing.B, live, tail int, midGC bool) {
 	}
 }
 
-func BenchmarkE4RecoverySmallHeap(b *testing.B) { benchRecovery(b, 512, 200, false) }
-func BenchmarkE4RecoveryLargeHeap(b *testing.B) { benchRecovery(b, 8192, 200, false) }
-func BenchmarkE5RecoveryLongTail(b *testing.B)  { benchRecovery(b, 2048, 2000, false) }
-func BenchmarkE7RecoveryMidGC(b *testing.B)     { benchRecovery(b, 2048, 200, true) }
+func BenchmarkE4RecoverySmallHeap(b *testing.B) { benchRecovery(b, 512, 200, false, 1) }
+func BenchmarkE4RecoveryLargeHeap(b *testing.B) { benchRecovery(b, 8192, 200, false, 1) }
+func BenchmarkE5RecoveryLongTail(b *testing.B)  { benchRecovery(b, 2048, 2000, false, 1) }
+func BenchmarkE7RecoveryMidGC(b *testing.B)     { benchRecovery(b, 2048, 200, true, 1) }
+
+// Parallel variants of the same crash images, replayed with the
+// page-partitioned redo engine (DESIGN.md "Parallel recovery").
+func BenchmarkE4RecoverySmallHeapParallel(b *testing.B) {
+	benchRecovery(b, 512, 200, false, parallelWorkers())
+}
+func BenchmarkE4RecoveryLargeHeapParallel(b *testing.B) {
+	benchRecovery(b, 8192, 200, false, parallelWorkers())
+}
+func BenchmarkE5RecoveryLongTailParallel(b *testing.B) {
+	benchRecovery(b, 2048, 2000, false, parallelWorkers())
+}
+func BenchmarkE7RecoveryMidGCParallel(b *testing.B) {
+	benchRecovery(b, 2048, 200, true, parallelWorkers())
+}
 
 // --- E6/E9: log volume ----------------------------------------------------
 

@@ -7,6 +7,7 @@
 //	shbench all
 //	shbench e4 e7
 //	shbench list
+//	shbench json [path]    # machine-readable suite (default BENCH_1.json)
 package main
 
 import (
@@ -33,6 +34,18 @@ func main() {
 			fmt.Println(f().Render())
 		}
 		fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return
+	case "json":
+		path := "BENCH_1.json"
+		if len(args) > 1 {
+			path = args[1]
+		}
+		start := time.Now()
+		if err := bench.WriteJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "shbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s in %s\n", path, time.Since(start).Round(time.Millisecond))
 		return
 	case "-h", "--help", "help":
 		usage()
@@ -68,5 +81,5 @@ func list() {
 }
 
 func usage() {
-	fmt.Println("usage: shbench all | list | <experiment id>...")
+	fmt.Println("usage: shbench all | list | json [path] | <experiment id>...")
 }

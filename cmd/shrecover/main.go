@@ -26,15 +26,17 @@ func main() {
 	flush := flag.Float64("flush", 0.5, "fraction of dirty pages flushed before the crash")
 	midGC := flag.Bool("midgc", false, "crash in the middle of a stable collection")
 	rounds := flag.Int("rounds", 3, "crash/recover rounds")
+	workers := flag.Int("workers", 0, "redo workers (0 = min(GOMAXPROCS, 8), 1 = sequential)")
 	flag.Parse()
 
 	cfg := core.Config{
-		PageSize:      1024,
-		StableWords:   32 * 1024,
-		VolatileWords: 8 * 1024,
-		Divided:       true,
-		Barrier:       stableheap.Ellis,
-		Incremental:   true,
+		PageSize:        1024,
+		StableWords:     32 * 1024,
+		VolatileWords:   8 * 1024,
+		Divided:         true,
+		Barrier:         stableheap.Ellis,
+		Incremental:     true,
+		RecoveryWorkers: *workers,
 	}
 	d := crashtest.New(cfg, *seed)
 
@@ -58,6 +60,16 @@ func main() {
 			round, gcActive, *flush*100, time.Since(start).Round(time.Microsecond))
 		fmt.Printf("  redo from LSN %d: %d records scanned, %d applied; %d losers rolled back\n",
 			res.RedoStart, res.RedoScanned, res.RedoApplied, len(res.Losers))
+		st := res.Stats
+		fmt.Printf("  phases: analysis %s, redo %s, undo %s\n",
+			st.Analysis.Round(time.Microsecond), st.Redo.Round(time.Microsecond),
+			st.Undo.Round(time.Microsecond))
+		if st.RedoWorkers > 1 {
+			fmt.Printf("  parallel redo: %d workers, %d barriers, shard skew %.2f\n",
+				st.RedoWorkers, st.Barriers, st.Skew())
+		} else {
+			fmt.Printf("  sequential redo (1 worker)\n")
+		}
 		fmt.Printf("  model verified twice (primary + independent twin recovery)\n")
 	}
 	s := d.Stats()

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"stableheap"
+	"stableheap/internal/storage"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// JSONResult is one benchmark measurement in machine-readable form, for
+// tooling that tracks the hot paths across commits (shbench json).
+type JSONResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// jsonKernels lists the benchmark kernels of the machine-readable suite:
+// the WAL codec hot path (allocs/op is the headline number there) and
+// end-to-end recovery, sequential vs parallel.
+func jsonKernels() (names []string, fns []func(b *testing.B)) {
+	add := func(name string, fn func(b *testing.B)) {
+		names = append(names, name)
+		fns = append(fns, fn)
+	}
+
+	update := wal.UpdateRec{TxHdr: wal.TxHdr{TxID: 7, PrevLSN: 41}, Addr: 0x1000,
+		Obj: 0xFF8, Redo: make([]byte, 8), Undo: make([]byte, 8)}
+	fixes := make([]wal.PtrFix, 8)
+	for i := range fixes {
+		fixes[i] = wal.PtrFix{Addr: word.Addr(8 * (i + 1)), NewPtr: word.Addr(8 * (i + 100))}
+	}
+	scan := wal.ScanRec{Epoch: 3, Page: 9, Full: true, ScanPtr: 0x2000, Fixes: fixes}
+	copyRec := wal.CopyRec{Epoch: 3, From: 0x3000, To: 0x4000, SizeWords: 8,
+		Descriptor: 0xAB, Contents: make([]byte, 64)}
+
+	for _, k := range []struct {
+		name string
+		rec  wal.Record
+	}{{"Update", update}, {"Scan", scan}, {"Copy", copyRec}} {
+		rec := k.rec
+		add("wal/Encode/"+k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = wal.Encode(rec)
+			}
+		})
+		add("wal/Decode/"+k.name, func(b *testing.B) {
+			frame := wal.Encode(rec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wal.Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Pre-box the record so the kernels measure the codec, not the
+	// concrete-to-interface conversion at the call site.
+	var updateRec wal.Record = update
+	add("wal/AppendEncode/Update", func(b *testing.B) {
+		buf := wal.AppendEncode(nil, updateRec)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = wal.AppendEncode(buf[:0], updateRec)
+		}
+	})
+	add("wal/ManagerAppend/Update", func(b *testing.B) {
+		mgr := wal.NewManager(storage.NewLog(0))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mgr.Append(updateRec)
+		}
+	})
+
+	recovery := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := cfgSized(4096*4+16*1024, 16*1024)
+			cfg.RecoveryWorkers = workers
+			h := stableheap.Open(cfg)
+			if err := buildStableChains(h, 4096); err != nil {
+				b.Fatal(err)
+			}
+			h.Checkpoint()
+			h.Checkpoint()
+			if err := tailUpdates(h, 500); err != nil {
+				b.Fatal(err)
+			}
+			disk, logDev := h.Crash()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d2, l2 := disk.Snapshot(), logDev.Snapshot()
+				b.StartTimer()
+				if _, err := stableheap.Recover(cfg, d2, l2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	add("recovery/Sequential", recovery(1))
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	add("recovery/Parallel", recovery(workers))
+	return names, fns
+}
+
+// JSONSuite runs the machine-readable benchmark suite and returns the
+// measurements.
+func JSONSuite() []JSONResult {
+	names, fns := jsonKernels()
+	out := make([]JSONResult, 0, len(names))
+	for i, fn := range fns {
+		r := testing.Benchmark(fn)
+		out = append(out, JSONResult{
+			Name:        names[i],
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// WriteJSON runs the suite and writes it to path as a JSON array.
+func WriteJSON(path string) error {
+	data, err := json.MarshalIndent(JSONSuite(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -98,6 +99,11 @@ type Config struct {
 	// CopyContents makes the collector's copy records carry full object
 	// images (the E14 ablation of the paper's content-free records).
 	CopyContents bool
+	// RecoveryWorkers is the number of page-partitioned redo shards used
+	// when repeating history after a crash: 0 picks min(GOMAXPROCS, 8),
+	// 1 forces sequential redo. The parallel replay is state-identical to
+	// the sequential one (see DESIGN.md "Parallel recovery").
+	RecoveryWorkers int
 	// Measure records pause durations in the collectors.
 	Measure bool
 }
@@ -379,11 +385,7 @@ func (hp *Heap) stableSlots() []word.Addr {
 	for a := range hp.srem {
 		out = append(out, a)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -754,12 +756,12 @@ func (t *Tx) SetData(r *Ref, j int, v uint64) error {
 
 // writeWordAction dispatches a word store to the logged or unlogged path.
 func (hp *Heap) writeWordAction(t *Tx, obj word.Addr, d heap.Descriptor, slot word.Addr, v uint64, isPtr bool) {
-	buf := make([]byte, word.WordSize)
-	word.PutWord(buf, 0, v)
+	var buf [word.WordSize]byte
+	word.PutWord(buf[:], 0, v)
 	if hp.isStableObject(obj, d) {
-		hp.txm.Update(t.t, obj, slot, buf, isPtr)
+		hp.txm.Update(t.t, obj, slot, buf[:], isPtr)
 	} else {
-		hp.txm.VolatileWrite(t.t, slot, buf, isPtr)
+		hp.txm.VolatileWrite(t.t, slot, buf[:], isPtr)
 	}
 }
 

@@ -108,10 +108,11 @@ func recoverCommon(cfg Config, disk *storage.Disk, logDev *storage.Log, media bo
 	hp := build(cfg, disk, logDev)
 	var res *recovery.Result
 	var err error
+	opts := recovery.Options{RedoWorkers: cfg.RecoveryWorkers}
 	if media {
-		res, err = recovery.RecoverFromArchive(hp.mem, hp.log)
+		res, err = recovery.RecoverFromArchiveWith(hp.mem, hp.log, opts)
 	} else {
-		res, err = recovery.Recover(hp.mem, hp.log)
+		res, err = recovery.RecoverWith(hp.mem, hp.log, opts)
 	}
 	if err != nil {
 		return nil, err

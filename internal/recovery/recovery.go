@@ -10,11 +10,74 @@ package recovery
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"time"
 
 	"stableheap/internal/vm"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
 )
+
+// Options tunes how Recover repeats history.
+type Options struct {
+	// RedoWorkers is the number of page-partitioned redo shards. 0 picks
+	// min(GOMAXPROCS, 8); 1 forces sequential redo; values above 64 are
+	// clamped (the dispatcher routes with a 64-bit shard mask).
+	RedoWorkers int
+}
+
+// workers resolves the effective shard count.
+func (o Options) workers() int {
+	w := o.RedoWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// Stats reports where recovery spent its time and how the redo work spread
+// across shards.
+type Stats struct {
+	// Analysis, Redo, Undo are the wall-clock durations of the three
+	// passes.
+	Analysis time.Duration
+	Redo     time.Duration
+	Undo     time.Duration
+	// RedoWorkers is the shard count actually used (1 = sequential).
+	RedoWorkers int
+	// Barriers counts redo records that forced a cross-shard
+	// synchronization (content-free collector copy records).
+	Barriers int
+	// ShardRecords counts records delivered to each shard; nil for
+	// sequential redo.
+	ShardRecords []int
+}
+
+// Skew returns max/mean over ShardRecords — 1.0 is a perfectly balanced
+// parallel redo; 0 means no sharded records (or sequential redo).
+func (s Stats) Skew() float64 {
+	if len(s.ShardRecords) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, n := range s.ShardRecords {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(s.ShardRecords)) / float64(total)
+}
 
 // Result is what Recover hands back to the stable-heap core: the
 // checkpoint-equivalent system state advanced through the tail of the log.
@@ -34,6 +97,8 @@ type Result struct {
 	// InDoubt lists prepared transactions awaiting the coordinator:
 	// recovery keeps their effects and the core reacquires their locks.
 	InDoubt []InDoubtTx
+	// Stats breaks down where recovery spent its time.
+	Stats Stats
 
 	translator *undoer
 	txMeta     map[word.TxID]*txInfo
@@ -77,7 +142,12 @@ type copyEntry struct {
 // device. The two-pass structure is §2.2.3's: repeat history, then abort
 // the transactions that were active at the crash.
 func Recover(mem *vm.Store, log *wal.Manager) (*Result, error) {
-	return recover2(mem, log, false)
+	return recover2(mem, log, false, Options{})
+}
+
+// RecoverWith is Recover with explicit tuning options.
+func RecoverWith(mem *vm.Store, log *wal.Manager, opts Options) (*Result, error) {
+	return recover2(mem, log, false, opts)
 }
 
 // RecoverFromArchive is Recover for total media failure (§2.2.2): the disk
@@ -85,10 +155,15 @@ func Recover(mem *vm.Store, log *wal.Manager) (*Result, error) {
 // copy. End-write records are ignored — the pages they certified died with
 // the disk — so redo reconstructs every page from history alone.
 func RecoverFromArchive(mem *vm.Store, log *wal.Manager) (*Result, error) {
-	return recover2(mem, log, true)
+	return recover2(mem, log, true, Options{})
 }
 
-func recover2(mem *vm.Store, log *wal.Manager, media bool) (*Result, error) {
+// RecoverFromArchiveWith is RecoverFromArchive with explicit tuning options.
+func RecoverFromArchiveWith(mem *vm.Store, log *wal.Manager, opts Options) (*Result, error) {
+	return recover2(mem, log, true, opts)
+}
+
+func recover2(mem *vm.Store, log *wal.Manager, media bool, opts Options) (*Result, error) {
 	mem.SetLogFetches(false)
 	defer mem.SetLogFetches(true)
 
@@ -109,25 +184,42 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool) (*Result, error) {
 		return nil, fmt.Errorf("recovery: record at %d is %v, not a checkpoint", cpLSN, rec.Type())
 	}
 
+	phase := time.Now()
 	a := newAnalysis(mem, cp, cpLSN)
 	a.media = media
 	a.scan(log)
 
 	res := &Result{CP: a.cp}
+	res.Stats.Analysis = time.Since(phase)
 
-	// Redo: repeat history from the earliest recLSN of a dirty page.
+	// Redo: repeat history from the earliest recLSN of a dirty page. With
+	// more than one worker the log is replayed by the page-partitioned
+	// parallel engine (parallel.go); its final store state is identical to
+	// the sequential replay. The parallel path requires the recovery
+	// contract's fresh store (no resident pages) so that shard caches can
+	// load pages straight from the disk.
+	phase = time.Now()
 	redoStart := a.redoStart()
 	res.RedoStart = redoStart
+	res.Stats.RedoWorkers = 1
 	if redoStart != word.NilLSN {
-		r := &redoer{mem: mem, dpt: a.dpt}
-		log.Scan(redoStart, true, func(lsn word.LSN, rec wal.Record) bool {
-			res.RedoScanned++
-			if r.apply(lsn, rec) {
-				res.RedoApplied++
-			}
-			return true
-		})
+		if workers := opts.workers(); workers > 1 && len(mem.ResidentPages()) == 0 {
+			runParallelRedo(mem, log, a.dpt, redoStart, workers, res)
+		} else {
+			r := &redoer{mem: mem, dpt: a.dpt}
+			log.ScanBatch(redoStart, true, redoBatchSize, func(lsns []word.LSN, recs []wal.Record) bool {
+				for i, rec := range recs {
+					res.RedoScanned++
+					if r.apply(lsns[i], rec) {
+						res.RedoApplied++
+					}
+				}
+				return true
+			})
+		}
 	}
+	res.Stats.Redo = time.Since(phase)
+	phase = time.Now()
 
 	// Undo: abort every loser, translating undo addresses (and restored
 	// pointer values) through the checkpoint seeds plus the copies
@@ -146,6 +238,7 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool) (*Result, error) {
 			res.InDoubt = append(res.InDoubt, InDoubtTx{ID: id, LastLSN: info.lastLSN})
 		}
 	}
+	res.Stats.Undo = time.Since(phase)
 	res.translator = u
 	res.txMeta = a.txs
 	// Undo may have changed the remembered set; republish it.
@@ -374,6 +467,10 @@ func (a *analysis) scan(log *wal.Manager) {
 	for pg, rec := range a.dpt {
 		a.cp.Dirty = append(a.cp.Dirty, wal.DirtyPage{Page: pg, RecLSN: rec})
 	}
+	// Deterministic order (the map iteration above is not): downstream
+	// checkpoints re-log this table, and equivalent recoveries must
+	// produce byte-identical results.
+	sort.Slice(a.cp.Dirty, func(i, j int) bool { return a.cp.Dirty[i].Page < a.cp.Dirty[j].Page })
 }
 
 // gcAlloc folds an alloc record into the collector state: a filler at the
@@ -440,10 +537,6 @@ func sortedAddrs(set map[word.Addr]bool) []word.Addr {
 	for a := range set {
 		out = append(out, a)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,19 +1,42 @@
 package recovery
 
 import (
+	"fmt"
+
 	"stableheap/internal/heap"
-	"stableheap/internal/vm"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
 )
+
+// pageIO is the page-granular store a redoer replays into. *vm.Store
+// implements it; the parallel engine substitutes per-shard page caches so
+// workers can replay without sharing the (single-threaded) buffer pool.
+type pageIO interface {
+	PageSize() int
+	PageLSN(word.PageID) word.LSN
+	ReadBytes(word.Addr, int) []byte
+	WriteBytes(word.Addr, []byte, word.LSN)
+	ReadWord(word.Addr) uint64
+	WriteWord(word.Addr, uint64, word.LSN)
+}
 
 // redoer repeats history (§2.2.3): every redo record is re-applied to each
 // page it touches unless the page already reflects it (page LSN
 // conditioning), so replaying the stable log reproduces exactly the cache
 // state the crash destroyed.
 type redoer struct {
-	mem *vm.Store
+	mem pageIO
 	dpt map[word.PageID]word.LSN
+	// owns filters which pages this redoer may touch (nil = all). The
+	// parallel engine gives each worker the filter for its shard; a record
+	// spanning several shards is delivered to each of them and every
+	// worker applies only its own pages.
+	owns func(word.PageID) bool
+}
+
+// ownsPage reports whether this redoer is responsible for pg.
+func (r *redoer) ownsPage(pg word.PageID) bool {
+	return r.owns == nil || r.owns(pg)
 }
 
 // relevant reports whether any page of [addr, addr+n) may need this record:
@@ -42,7 +65,7 @@ func (r *redoer) applyConditional(addr word.Addr, data []byte, lsn word.LSN) boo
 		if max := int(pageEnd - cur); n > max {
 			n = max
 		}
-		if r.mem.PageLSN(pg) < lsn {
+		if r.ownsPage(pg) && r.mem.PageLSN(pg) < lsn {
 			r.mem.WriteBytes(cur, data[off:off+n], lsn)
 			applied = true
 		}
@@ -125,6 +148,13 @@ func (r *redoer) applyCopy(lsn word.LSN, t wal.CopyRec) bool {
 			// Content-carrying ablation: self-contained replay.
 			img = t.Contents
 		} else {
+			// Content-free replay reads the replayed from-space image,
+			// which may live on pages owned by other shards: the parallel
+			// engine serializes these records at a barrier and applies
+			// them with an unfiltered redoer over the combined view.
+			if r.owns != nil {
+				panic(fmt.Sprintf("recovery: content-free copy record (LSN %d) reached a sharded redoer", lsn))
+			}
 			img = make([]byte, n)
 			word.PutWord(img, 0, t.Descriptor)
 			if t.SizeWords > 1 {
@@ -134,7 +164,7 @@ func (r *redoer) applyCopy(lsn word.LSN, t wal.CopyRec) bool {
 		applied = r.applyConditional(t.To, img, lsn)
 	}
 	fromPg := t.From.Page(r.mem.PageSize())
-	if rec, ok := r.dpt[fromPg]; ok && rec <= lsn && r.mem.PageLSN(fromPg) < lsn {
+	if rec, ok := r.dpt[fromPg]; ok && rec <= lsn && r.ownsPage(fromPg) && r.mem.PageLSN(fromPg) < lsn {
 		r.mem.WriteWord(t.From, uint64(heap.ForwardingDescriptor(t.To)), lsn)
 		applied = true
 	}
@@ -145,7 +175,7 @@ func (r *redoer) applyCopy(lsn word.LSN, t wal.CopyRec) bool {
 // conditioning (the logical redo of §2.2.4).
 func (r *redoer) applyDelta(addr word.Addr, delta uint64, lsn word.LSN) bool {
 	pg := addr.Page(r.mem.PageSize())
-	if r.mem.PageLSN(pg) >= lsn {
+	if !r.ownsPage(pg) || r.mem.PageLSN(pg) >= lsn {
 		return false
 	}
 	r.mem.WriteWord(addr, r.mem.ReadWord(addr)+delta, lsn)
@@ -158,7 +188,7 @@ func (r *redoer) applyFixes(lsn word.LSN, pg word.PageID, fixes []wal.PtrFix) bo
 	if rec, ok := r.dpt[pg]; !ok || rec > lsn {
 		return false
 	}
-	if r.mem.PageLSN(pg) >= lsn {
+	if !r.ownsPage(pg) || r.mem.PageLSN(pg) >= lsn {
 		return false
 	}
 	for _, f := range fixes {

@@ -166,6 +166,38 @@ func (l *Log) Scan(from word.LSN, stableOnly bool, fn func(lsn word.LSN, data []
 	}
 }
 
+// ScanBatches is Scan with batched delivery: fn receives up to batchSize
+// records at a time, as parallel lsns/frames slices. Both slices are reused
+// across calls — fn must not retain them past its return (the frame bytes
+// themselves are the retained log entries, as in Scan). fn returning false
+// stops the scan.
+func (l *Log) ScanBatches(from word.LSN, stableOnly bool, batchSize int, fn func(lsns []word.LSN, frames [][]byte) bool) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	lsns := make([]word.LSN, 0, batchSize)
+	frames := make([][]byte, 0, batchSize)
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= from })
+	for ; i < len(l.entries); i++ {
+		e := l.entries[i]
+		if stableOnly && e.lsn >= l.stableLSN {
+			break
+		}
+		lsns = append(lsns, e.lsn)
+		frames = append(frames, e.data)
+		if len(lsns) == batchSize {
+			if !fn(lsns, frames) {
+				return
+			}
+			lsns = lsns[:0]
+			frames = frames[:0]
+		}
+	}
+	if len(lsns) > 0 {
+		fn(lsns, frames)
+	}
+}
+
 // RetainedBytes returns the byte count of records still held by the device
 // (stable and volatile): the quantity truncation exists to bound.
 func (l *Log) RetainedBytes() int64 {

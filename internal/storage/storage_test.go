@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -398,5 +399,69 @@ func TestLogCrashPreservesForcedPrefixProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLogScanBatches(t *testing.T) {
+	l := NewLog(1024)
+	var lsns []word.LSN
+	for i := 0; i < 7; i++ {
+		lsns = append(lsns, l.Append([]byte{byte('a' + i)}))
+	}
+	var sizes []int
+	var seen []byte
+	var seenLSNs []word.LSN
+	l.ScanBatches(0, false, 3, func(ls []word.LSN, frames [][]byte) bool {
+		sizes = append(sizes, len(ls))
+		for i := range ls {
+			seenLSNs = append(seenLSNs, ls[i])
+			seen = append(seen, frames[i][0])
+		}
+		return true
+	})
+	if want := []int{3, 3, 1}; !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("batch sizes = %v, want %v", sizes, want)
+	}
+	if string(seen) != "abcdefg" {
+		t.Fatalf("batched scan saw %q, want \"abcdefg\"", seen)
+	}
+	if !reflect.DeepEqual(seenLSNs, lsns) {
+		t.Fatalf("batched scan LSNs = %v, want %v", seenLSNs, lsns)
+	}
+}
+
+func TestLogScanBatchesFromAndStop(t *testing.T) {
+	l := NewLog(1024)
+	var lsns []word.LSN
+	for i := 0; i < 6; i++ {
+		lsns = append(lsns, l.Append([]byte{byte('a' + i)}))
+	}
+	var seen []byte
+	l.ScanBatches(lsns[1], false, 2, func(ls []word.LSN, frames [][]byte) bool {
+		for _, f := range frames {
+			seen = append(seen, f[0])
+		}
+		return false // stop after the first batch
+	})
+	if string(seen) != "bc" {
+		t.Fatalf("scan saw %q, want \"bc\"", seen)
+	}
+}
+
+func TestLogScanBatchesStableOnly(t *testing.T) {
+	l := NewLog(1024)
+	a := l.Append([]byte("s"))
+	b := l.Append([]byte("t"))
+	l.Force(b)
+	l.Append([]byte("v")) // volatile tail: must not be delivered
+	var seen []byte
+	l.ScanBatches(a, true, 0, func(_ []word.LSN, frames [][]byte) bool {
+		for _, f := range frames {
+			seen = append(seen, f[0])
+		}
+		return true
+	})
+	if string(seen) != "st" {
+		t.Fatalf("stable-only batched scan saw %q, want \"st\"", seen)
 	}
 }

@@ -183,10 +183,12 @@ func (m *Manager) Update(t *Tx, obj, addr word.Addr, redo []byte, isPtrSlot bool
 			flags |= wal.UFPtrToVolatile
 		}
 	}
+	// Append encodes the record into the log device before returning, so
+	// the caller's redo buffer need not be copied here.
 	lsn := m.log.Append(wal.UpdateRec{
 		TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
 		Addr:  addr, Obj: obj, Flags: flags,
-		Redo: append([]byte(nil), redo...), Undo: undo,
+		Redo: redo, Undo: undo,
 	})
 	t.lastLSN = lsn
 	m.mem.WriteBytes(addr, redo, lsn)
@@ -251,7 +253,7 @@ func (m *Manager) LogBase(t *Tx, addr word.Addr, img []byte) word.LSN {
 	lsn := m.log.Append(wal.BaseRec{
 		TxHdr:  wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN},
 		Addr:   addr,
-		Object: append([]byte(nil), img...),
+		Object: img,
 	})
 	t.lastLSN = lsn
 	t.newlyStable++

@@ -15,6 +15,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"stableheap/internal/storage"
 	"stableheap/internal/wal"
@@ -273,11 +274,7 @@ func (s *Store) ResidentPages() []word.PageID {
 	for id := range s.pages {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

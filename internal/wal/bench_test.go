@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"testing"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/word"
+)
+
+// Codec benchmarks for the zero-allocation hot path. allocs/op is the
+// headline number: Encode is one allocation (the frame), AppendEncode into
+// a warm buffer and Decode are zero.
+
+func benchRecords() map[string]Record {
+	contents := make([]byte, 64)
+	for i := range contents {
+		contents[i] = byte(i)
+	}
+	fixes := make([]PtrFix, 8)
+	for i := range fixes {
+		fixes[i] = PtrFix{Addr: word.Addr(8 * (i + 1)), NewPtr: word.Addr(8 * (i + 100))}
+	}
+	return map[string]Record{
+		"Update": UpdateRec{TxHdr: TxHdr{TxID: 7, PrevLSN: 41}, Addr: 0x1000, Obj: 0xFF8,
+			Redo: contents[:8], Undo: contents[8:16]},
+		"Commit": CommitRec{TxHdr: TxHdr{TxID: 7, PrevLSN: 42}},
+		"Scan":   ScanRec{Epoch: 3, Page: 9, Full: true, ScanPtr: 0x2000, Fixes: fixes},
+		"Copy":   CopyRec{Epoch: 3, From: 0x3000, To: 0x4000, SizeWords: 8, Descriptor: 0xAB, Contents: contents},
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for name, rec := range benchRecords() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = Encode(rec)
+			}
+		})
+	}
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	for name, rec := range benchRecords() {
+		b.Run(name, func(b *testing.B) {
+			buf := AppendEncode(nil, rec) // warm the buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = AppendEncode(buf[:0], rec)
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for name, rec := range benchRecords() {
+		b.Run(name, func(b *testing.B) {
+			frame := Encode(rec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkManagerAppend(b *testing.B) {
+	for name, rec := range benchRecords() {
+		b.Run(name, func(b *testing.B) {
+			mgr := NewManager(storage.NewLog(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mgr.Append(rec)
+			}
+		})
+	}
+}

@@ -11,40 +11,149 @@ import (
 // Frame layout: [u32 frameLen][u32 crc][u8 type][payload…]. frameLen counts
 // the whole frame; crc covers type+payload. A record's LSN is the byte
 // offset of the frame start in the conceptual infinite log.
+//
+// The encoder is allocation-disciplined: one body-layout function
+// (encodeBody) runs twice over the same enc type, once counting bytes and
+// once storing them, so Encode computes the exact frame size up front and
+// fills a single allocation — there is no intermediate buffer and no way
+// for the two passes to disagree. Decode is
+// zero-copy: byte-slice fields of the returned record alias the frame, so
+// callers that outlive their frame must copy (Manager.ReadAt hands each
+// caller a private frame; Manager.Scan frames alias the log device's
+// retained entries, which are immutable until truncation).
 
 const frameHeader = 8 // len + crc
 
-// Encode serializes a record into a framed byte slice.
+// Encode serializes a record into an exactly-sized framed byte slice with
+// a single allocation.
 func Encode(r Record) []byte {
-	var e encoder
+	return AppendEncode(nil, r)
+}
+
+// AppendEncode appends the framed encoding of r to dst and returns the
+// extended slice (append semantics). When dst has capacity for the frame no
+// allocation happens at all — this is the zero-allocation hot path used by
+// Manager.Append with pooled scratch buffers.
+func AppendEncode(dst []byte, r Record) []byte {
+	var sz enc
+	encodeBody(&sz, r)
+	total := frameHeader + sz.off
+	base := len(dst)
+	dst = growSlice(dst, total)
+	w := enc{buf: dst[base : base+total], off: frameHeader}
+	encodeBody(&w, r)
+	frame := dst[base : base+total]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(total))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[frameHeader:]))
+	return dst
+}
+
+// growSlice extends b by n bytes, reallocating only when capacity is short.
+func growSlice(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[: len(b)+n : cap(b)]
+	}
+	newCap := 2*cap(b) + n
+	if newCap < len(b)+n {
+		newCap = len(b) + n
+	}
+	nb := make([]byte, len(b)+n, newCap)
+	copy(nb, b)
+	return nb
+}
+
+// enc drives both encoding passes with one concrete type: with buf == nil
+// it only counts bytes (sizing pass); with buf set it lays them down. A
+// single non-generic type keeps the hot path free of interface dispatch —
+// and of the heap escapes Go's shared-shape generic stenciling would force
+// on the encoder receivers.
+type enc struct {
+	buf []byte // nil during the sizing pass
+	off int
+}
+
+func (e *enc) u8(v uint8) {
+	if e.buf != nil {
+		e.buf[e.off] = v
+	}
+	e.off++
+}
+
+func (e *enc) u64(v uint64) {
+	if e.buf != nil {
+		binary.LittleEndian.PutUint64(e.buf[e.off:e.off+8], v)
+	}
+	e.off += 8
+}
+
+func (e *enc) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	if e.buf != nil {
+		copy(e.buf[e.off:], b)
+	}
+	e.off += len(b)
+}
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func encodeTxHdr(e *enc, h TxHdr) {
+	e.u64(uint64(h.TxID))
+	e.u64(uint64(h.PrevLSN))
+}
+
+func encodeFixes(e *enc, fixes []PtrFix) {
+	e.u64(uint64(len(fixes)))
+	for _, f := range fixes {
+		e.u64(uint64(f.Addr))
+		e.u64(uint64(f.NewPtr))
+	}
+}
+
+func encodeAddrs(e *enc, addrs []word.Addr) {
+	e.u64(uint64(len(addrs)))
+	for _, a := range addrs {
+		e.u64(uint64(a))
+	}
+}
+
+// encodeBody lays out the type tag and payload of r into e. It is the single
+// source of truth for the record wire format: the sizing and writing passes
+// are the same code, so the precomputed size is exact by construction.
+func encodeBody(e *enc, r Record) {
 	e.u8(uint8(r.Type()))
 	switch rec := r.(type) {
 	case BeginRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 	case UpdateRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 		e.u64(uint64(rec.Addr))
 		e.u64(uint64(rec.Obj))
 		e.u8(rec.Flags)
 		e.bytes(rec.Redo)
 		e.bytes(rec.Undo)
 	case CLRRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 		e.u64(uint64(rec.Addr))
 		e.u8(rec.Flags)
 		e.bytes(rec.Redo)
 		e.u64(uint64(rec.UndoNext))
 	case AllocRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 		e.u64(uint64(rec.Addr))
 		e.u64(rec.Descriptor)
 		e.u64(uint64(rec.SizeWords))
 	case CommitRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 	case AbortRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 	case EndRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 	case FlipRec:
 		e.u64(rec.Epoch)
 		e.u64(uint64(rec.FromLo))
@@ -65,19 +174,15 @@ func Encode(r Record) []byte {
 		e.u64(uint64(rec.Page))
 		e.bool(rec.Full)
 		e.u64(uint64(rec.ScanPtr))
-		e.u64(uint64(len(rec.Fixes)))
-		for _, f := range rec.Fixes {
-			e.u64(uint64(f.Addr))
-			e.u64(uint64(f.NewPtr))
-		}
+		encodeFixes(e, rec.Fixes)
 	case GCEndRec:
 		e.u64(rec.Epoch)
 	case BaseRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 		e.u64(uint64(rec.Addr))
 		e.bytes(rec.Object)
 	case CompleteRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 		e.u64(uint64(rec.Count))
 	case V2SCopyRec:
 		e.u64(uint64(rec.From))
@@ -85,11 +190,7 @@ func Encode(r Record) []byte {
 		e.bytes(rec.Object)
 	case SFixRec:
 		e.u64(uint64(rec.Page))
-		e.u64(uint64(len(rec.Fixes)))
-		for _, f := range rec.Fixes {
-			e.u64(uint64(f.Addr))
-			e.u64(uint64(f.NewPtr))
-		}
+		encodeFixes(e, rec.Fixes)
 	case VFlipRec:
 		e.u64(rec.Epoch)
 		e.u64(uint64(rec.Moved))
@@ -99,22 +200,75 @@ func Encode(r Record) []byte {
 		e.u64(uint64(rec.Page))
 		e.u64(uint64(rec.PageLSN))
 	case CheckpointRec:
-		e.checkpoint(rec)
+		encodeCheckpoint(e, rec)
 	case LogicalRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 		e.u64(uint64(rec.Addr))
 		e.u64(uint64(rec.Obj))
 		e.u64(rec.Delta)
 	case PrepareRec:
-		e.txHdr(rec.TxHdr)
+		encodeTxHdr(e, rec.TxHdr)
 	default:
 		panic(fmt.Sprintf("wal: cannot encode %T", r))
 	}
-	return e.frame()
+}
+
+func encodeCheckpoint(e *enc, c CheckpointRec) {
+	e.u64(uint64(len(c.Dirty)))
+	for _, dp := range c.Dirty {
+		e.u64(uint64(dp.Page))
+		e.u64(uint64(dp.RecLSN))
+	}
+	e.u64(uint64(len(c.Txs)))
+	for _, tx := range c.Txs {
+		e.u64(uint64(tx.TxID))
+		e.u64(uint64(tx.FirstLSN))
+		e.u64(uint64(tx.LastLSN))
+		e.bool(tx.Aborting)
+		e.bool(tx.Prepared)
+		e.u64(uint64(tx.UndoNext))
+		e.u64(uint64(len(tx.UTT)))
+		for _, p := range tx.UTT {
+			e.u64(uint64(p.Orig))
+			e.u64(uint64(p.Cur))
+		}
+	}
+	e.u64(uint64(c.StableCur))
+	e.u64(uint64(c.VolatileCur))
+	e.u64(uint64(c.RootObj))
+	e.u64(uint64(c.StableAlloc))
+	g := c.GC
+	e.bool(g.Active)
+	e.u64(g.Epoch)
+	e.u64(uint64(g.FlipLSN))
+	e.u64(uint64(g.FromLo))
+	e.u64(uint64(g.FromHi))
+	e.u64(uint64(g.ToLo))
+	e.u64(uint64(g.ToHi))
+	e.u64(uint64(g.CopyPtr))
+	e.u64(uint64(g.ScanPtr))
+	e.u64(uint64(g.AllocPtr))
+	e.u64(uint64(len(g.Scanned)))
+	for _, s := range g.Scanned {
+		e.bool(s)
+	}
+	encodeAddrs(e, g.LastObj)
+	encodeAddrs(e, c.LS)
+	encodeAddrs(e, c.SRem)
+	e.u64(uint64(c.VolatileLo))
+	e.u64(uint64(c.VolatileHi))
+	e.u64(uint64(c.NextTx))
+	e.u64(c.NextEpoch)
 }
 
 // Decode parses a framed record. It returns an error on truncation, CRC
 // mismatch, or an unknown type tag.
+//
+// Decode reads in place: byte-slice fields of the returned record (Redo,
+// Undo, Object, Contents) alias the frame rather than copying it. The frame
+// must stay immutable for as long as the record is used; every producer in
+// this repository satisfies that (log entries are retained verbatim until
+// truncation, and ReadAt frames are private copies).
 func Decode(frame []byte) (Record, error) {
 	if len(frame) < frameHeader+1 {
 		return nil, fmt.Errorf("wal: frame too short (%d bytes)", len(frame))
@@ -195,101 +349,6 @@ func Decode(frame []byte) (Record, error) {
 	return r, nil
 }
 
-type encoder struct {
-	buf []byte
-}
-
-func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
-
-func (e *encoder) u64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	e.buf = append(e.buf, b[:]...)
-}
-
-func (e *encoder) bytes(b []byte) {
-	e.u64(uint64(len(b)))
-	e.buf = append(e.buf, b...)
-}
-
-func (e *encoder) bool(v bool) {
-	if v {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
-}
-
-func (e *encoder) txHdr(h TxHdr) {
-	e.u64(uint64(h.TxID))
-	e.u64(uint64(h.PrevLSN))
-}
-
-func (e *encoder) checkpoint(c CheckpointRec) {
-	e.u64(uint64(len(c.Dirty)))
-	for _, dp := range c.Dirty {
-		e.u64(uint64(dp.Page))
-		e.u64(uint64(dp.RecLSN))
-	}
-	e.u64(uint64(len(c.Txs)))
-	for _, tx := range c.Txs {
-		e.u64(uint64(tx.TxID))
-		e.u64(uint64(tx.FirstLSN))
-		e.u64(uint64(tx.LastLSN))
-		e.bool(tx.Aborting)
-		e.bool(tx.Prepared)
-		e.u64(uint64(tx.UndoNext))
-		e.u64(uint64(len(tx.UTT)))
-		for _, p := range tx.UTT {
-			e.u64(uint64(p.Orig))
-			e.u64(uint64(p.Cur))
-		}
-	}
-	e.u64(uint64(c.StableCur))
-	e.u64(uint64(c.VolatileCur))
-	e.u64(uint64(c.RootObj))
-	e.u64(uint64(c.StableAlloc))
-	g := c.GC
-	e.bool(g.Active)
-	e.u64(g.Epoch)
-	e.u64(uint64(g.FlipLSN))
-	e.u64(uint64(g.FromLo))
-	e.u64(uint64(g.FromHi))
-	e.u64(uint64(g.ToLo))
-	e.u64(uint64(g.ToHi))
-	e.u64(uint64(g.CopyPtr))
-	e.u64(uint64(g.ScanPtr))
-	e.u64(uint64(g.AllocPtr))
-	e.u64(uint64(len(g.Scanned)))
-	for _, s := range g.Scanned {
-		e.bool(s)
-	}
-	e.u64(uint64(len(g.LastObj)))
-	for _, a := range g.LastObj {
-		e.u64(uint64(a))
-	}
-	e.u64(uint64(len(c.LS)))
-	for _, a := range c.LS {
-		e.u64(uint64(a))
-	}
-	e.u64(uint64(len(c.SRem)))
-	for _, a := range c.SRem {
-		e.u64(uint64(a))
-	}
-	e.u64(uint64(c.VolatileLo))
-	e.u64(uint64(c.VolatileHi))
-	e.u64(uint64(c.NextTx))
-	e.u64(c.NextEpoch)
-}
-
-func (e *encoder) frame() []byte {
-	frame := make([]byte, frameHeader+len(e.buf))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(frame)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(e.buf))
-	copy(frame[frameHeader:], e.buf)
-	return frame
-}
-
 type decoder struct {
 	buf []byte
 	off int
@@ -322,15 +381,17 @@ func (d *decoder) u64() uint64 {
 	return v
 }
 
+// bytes returns the length-prefixed field as a subslice of the frame
+// (zero-copy; capacity clipped so appends cannot scribble on the frame).
 func (d *decoder) bytes() []byte {
 	n := d.u64()
-	if d.err != nil || d.off+int(n) > len(d.buf) {
+	if d.err != nil || n > uint64(len(d.buf)-d.off) {
 		d.fail()
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.buf[d.off:d.off+int(n)])
-	d.off += int(n)
+	end := d.off + int(n)
+	out := d.buf[d.off:end:end]
+	d.off = end
 	return out
 }
 
@@ -342,7 +403,7 @@ func (d *decoder) txHdr() TxHdr {
 
 func (d *decoder) fixes() []PtrFix {
 	n := d.u64()
-	if d.err != nil || n > uint64(len(d.buf)) {
+	if d.err != nil || n > uint64(len(d.buf)-d.off)/16 {
 		d.fail()
 		return nil
 	}
@@ -358,7 +419,7 @@ func (d *decoder) fixes() []PtrFix {
 
 func (d *decoder) addrs() []word.Addr {
 	n := d.u64()
-	if d.err != nil || n > uint64(len(d.buf)) {
+	if d.err != nil || n > uint64(len(d.buf)-d.off)/8 {
 		d.fail()
 		return nil
 	}
@@ -409,7 +470,7 @@ func (d *decoder) checkpoint() CheckpointRec {
 	c.GC.ScanPtr = word.Addr(d.u64())
 	c.GC.AllocPtr = word.Addr(d.u64())
 	ns := d.u64()
-	if d.err == nil && ns <= uint64(len(d.buf)) {
+	if d.err == nil && ns <= uint64(len(d.buf)-d.off) {
 		if ns > 0 {
 			c.GC.Scanned = make([]bool, 0, ns)
 			for i := uint64(0); i < ns; i++ {

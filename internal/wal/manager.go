@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"sync"
 
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
@@ -25,12 +26,23 @@ func NewManager(dev *storage.Log) *Manager {
 // Device exposes the underlying log device (for crash simulation and stats).
 func (m *Manager) Device() *storage.Log { return m.dev }
 
+// encPool holds scratch buffers for Append's encode step: the framed record
+// only lives until the device copies it into its own storage, so the buffer
+// is returned immediately and the steady-state commit path encodes without
+// allocating.
+var encPool = sync.Pool{New: func() any { return &encBuf{} }}
+
+type encBuf struct{ b []byte }
+
 // Append spools a record to the volatile log and returns its LSN.
 func (m *Manager) Append(r Record) word.LSN {
-	frame := Encode(r)
+	eb := encPool.Get().(*encBuf)
+	frame := AppendEncode(eb.b[:0], r)
 	lsn := m.dev.Append(frame)
 	m.count[r.Type()]++
 	m.bytes[r.Type()] += int64(len(frame))
+	eb.b = frame
+	encPool.Put(eb)
 	return lsn
 }
 
@@ -79,6 +91,30 @@ func (m *Manager) Scan(from word.LSN, stableOnly bool, fn func(lsn word.LSN, r R
 			panic(fmt.Sprintf("wal: undecodable record at LSN %d: %v", lsn, err))
 		}
 		return fn(lsn, r)
+	})
+}
+
+// ScanBatch is Scan with batched delivery: records are decoded in LSN order
+// and handed to fn up to batchSize at a time, as parallel lsns/recs slices
+// that are reused across calls (fn must not retain the slices themselves;
+// the records stay valid, though their byte fields alias retained log
+// entries — see Decode). This amortizes per-record scan overhead on the
+// recovery redo path.
+func (m *Manager) ScanBatch(from word.LSN, stableOnly bool, batchSize int, fn func(lsns []word.LSN, recs []Record) bool) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	recs := make([]Record, 0, batchSize)
+	m.dev.ScanBatches(from, stableOnly, batchSize, func(lsns []word.LSN, frames [][]byte) bool {
+		recs = recs[:0]
+		for i, frame := range frames {
+			r, err := Decode(frame)
+			if err != nil {
+				panic(fmt.Sprintf("wal: undecodable record at LSN %d: %v", lsns[i], err))
+			}
+			recs = append(recs, r)
+		}
+		return fn(lsns, recs)
 	})
 }
 

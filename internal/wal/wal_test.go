@@ -2,6 +2,8 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -129,21 +131,31 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 }
 
+// rawFrame wraps an arbitrary payload (type tag + body) in a valid frame
+// header, for tests that need well-framed but semantically bogus records.
+func rawFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	copy(frame[frameHeader:], payload)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[frameHeader:]))
+	return frame
+}
+
 func TestDecodeRejectsUnknownType(t *testing.T) {
-	var e encoder
-	e.u8(uint8(maxType) + 5)
-	e.u64(1)
-	if _, err := Decode(e.frame()); err == nil {
+	payload := make([]byte, 9)
+	payload[0] = uint8(maxType) + 5
+	binary.LittleEndian.PutUint64(payload[1:], 1)
+	if _, err := Decode(rawFrame(payload)); err == nil {
 		t.Fatal("unknown type must be rejected")
 	}
 }
 
 func TestDecodeRejectsTrailingBytes(t *testing.T) {
-	var e encoder
-	e.u8(uint8(TGCEnd))
-	e.u64(1)
-	e.u64(99) // junk beyond the GCEnd payload
-	if _, err := Decode(e.frame()); err == nil {
+	payload := make([]byte, 17)
+	payload[0] = uint8(TGCEnd)
+	binary.LittleEndian.PutUint64(payload[1:], 1)
+	binary.LittleEndian.PutUint64(payload[9:], 99) // junk beyond the GCEnd payload
+	if _, err := Decode(rawFrame(payload)); err == nil {
 		t.Fatal("trailing bytes must be rejected")
 	}
 }
