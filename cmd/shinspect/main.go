@@ -5,14 +5,16 @@
 // taxonomy of the paper (update/CLR, base/complete, V2SCopy/SFix,
 // flip/copy/scan/GCEnd, checkpoint) can be read off a real run.
 //
-// Usage: shinspect [-n maxRecords]
+// Usage: shinspect [-n maxRecords] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"stableheap"
 	"stableheap/internal/wal"
@@ -21,6 +23,7 @@ import (
 
 func main() {
 	maxRecords := flag.Int("n", 200, "maximum records to print")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON, one object per log record")
 	flag.Parse()
 
 	cfg := stableheap.DefaultConfig()
@@ -54,6 +57,22 @@ func main() {
 	}
 	h.Checkpoint()
 
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		n := 0
+		h.Internal().Log().Scan(1, false, func(lsn word.LSN, r wal.Record) bool {
+			n++
+			if n > *maxRecords {
+				return false
+			}
+			if err := enc.Encode(jsonRecord{LSN: uint64(lsn), Type: typeName(r), Record: r}); err != nil {
+				log.Fatal(err)
+			}
+			return true
+		})
+		return
+	}
+
 	fmt.Println("log records (LSN order):")
 	n := 0
 	h.Internal().Log().Scan(1, false, func(lsn word.LSN, r wal.Record) bool {
@@ -68,6 +87,23 @@ func main() {
 	dev := h.Internal().Log().Device()
 	fmt.Printf("\n%d records, %d bytes appended, %d bytes stable, %d synchronous forces\n",
 		dev.Stats().Appends, dev.Stats().BytesAppended, dev.Stats().BytesStable, dev.Stats().Forces)
+}
+
+// jsonRecord is the machine-readable form: one object per line (NDJSON),
+// so the dump streams into jq or a script without loading the whole log.
+type jsonRecord struct {
+	LSN    uint64     `json:"lsn"`
+	Type   string     `json:"type"`
+	Record wal.Record `json:"record"`
+}
+
+// typeName derives a stable lowercase record-type name from the Go type
+// (wal.CommitRec → "commit").
+func typeName(r wal.Record) string {
+	name := fmt.Sprintf("%T", r)
+	name = strings.TrimPrefix(name, "wal.")
+	name = strings.TrimSuffix(name, "Rec")
+	return strings.ToLower(name)
 }
 
 func describe(r wal.Record) string {

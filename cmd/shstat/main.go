@@ -1,0 +1,149 @@
+// Command shstat exercises a stable heap and reports its live metrics: it
+// runs a bank-transfer workload (with an in-flight incremental collection),
+// crashes and recovers mid-run so recovery phase times are populated, runs
+// a second burst against the recovered heap, and then prints the unified
+// metrics snapshot — every counter plus p50/p90/p99/max for every latency
+// histogram.
+//
+// Usage:
+//
+//	shstat                          # human-readable summary
+//	shstat -json                    # the Metrics snapshot as JSON
+//	shstat -prom                    # Prometheus text exposition
+//	shstat -trace trace.json        # also write a Chrome trace (about://tracing)
+//	shstat -serve localhost:8077    # keep serving /metrics, /metrics.json, /trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"stableheap"
+	"stableheap/internal/workload"
+)
+
+func main() {
+	ops := flag.Int("ops", 2000, "transfer transactions per burst (two bursts run)")
+	accounts := flag.Int("accounts", 128, "bank accounts")
+	asJSON := flag.Bool("json", false, "print the metrics snapshot as JSON")
+	asProm := flag.Bool("prom", false, "print Prometheus text exposition")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	serveAddr := flag.String("serve", "", "serve /metrics, /metrics.json and /trace on this address and block")
+	flag.Parse()
+
+	cfg := stableheap.DefaultConfig()
+	cfg.StableWords = 64 * 1024
+	cfg.VolatileWords = 16 * 1024
+	cfg.GroupCommitWindow = 200 * time.Microsecond
+	// Tracing is the one opt-in: turn it on whenever its output is wanted.
+	cfg.Trace = *tracePath != "" || *serveAddr != ""
+
+	rng := rand.New(rand.NewSource(42))
+	h := stableheap.Open(cfg)
+	fanout := 1
+	for fanout*fanout < *accounts {
+		fanout++
+	}
+	bank, err := workload.NewBank(h, 0, *accounts, fanout, 1000)
+	check(err)
+
+	// Burst one, with an incremental stable collection in flight so flip,
+	// scan-step and trap histograms fill.
+	h.CollectVolatile()
+	h.StartStableCollection()
+	if _, err := bank.RunMix(rng, *ops, 50); err != nil {
+		check(err)
+	}
+	for h.StepStable() {
+	}
+
+	// Crash and recover: populates the recovery phase histograms.
+	disk, logDev := h.Crash()
+	h, err = stableheap.Recover(cfg, disk, logDev)
+	check(err)
+	bank.Reattach(h)
+
+	// Burst two against the recovered heap, again with a collection in
+	// flight (metrics live with the heap instance, so the reported GC
+	// histograms must come from post-recovery activity).
+	h.CollectVolatile()
+	h.StartStableCollection()
+	if _, err := bank.RunMix(rng, *ops, 50); err != nil {
+		check(err)
+	}
+	for h.StepStable() {
+	}
+	total, err := bank.Total()
+	check(err)
+	fmt.Fprintf(os.Stderr, "workload: %d accounts, 2×%d transfer txs, crash+recover in between; invariant total=%d\n",
+		*accounts, *ops, total)
+
+	m := h.Metrics()
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(m))
+	case *asProm:
+		check(m.WritePrometheus(os.Stdout))
+	default:
+		printSummary(m)
+	}
+
+	if *tracePath != "" {
+		check(os.WriteFile(*tracePath, h.TraceJSON(), 0o644))
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in about://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if *serveAddr != "" {
+		srv, err := h.ServeMetrics(*serveAddr)
+		check(err)
+		fmt.Fprintf(os.Stderr, "serving http://%s/ (metrics, metrics.json, trace); ctrl-c to stop\n", srv.Addr())
+		select {}
+	}
+}
+
+// printSummary renders the snapshot for humans: counters alphabetically,
+// then every histogram as count / p50 / p90 / p99 / max.
+func printSummary(m stableheap.Metrics) {
+	fmt.Println("counters:")
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-34s %d\n", n, m.Counters[n])
+	}
+	fmt.Println("\nlatency histograms (count / p50 / p90 / p99 / max):")
+	names = names[:0]
+	for n := range m.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := m.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		if strings.HasSuffix(n, "_ns") {
+			fmt.Printf("  %-34s %6d  %10v %10v %10v %10v\n", n, h.Count,
+				h.QuantileDur(0.5), h.QuantileDur(0.9), h.QuantileDur(0.99), h.MaxDur())
+		} else {
+			fmt.Printf("  %-34s %6d  %10d %10d %10d %10d\n", n, h.Count,
+				h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal("shstat: ", err)
+	}
+}

@@ -17,7 +17,6 @@ import (
 
 func main() {
 	cfg := stableheap.DefaultConfig()
-	cfg.Measure = true // record collector pause times
 	h := stableheap.Open(cfg)
 
 	rng := rand.New(rand.NewSource(7))
@@ -67,10 +66,10 @@ func main() {
 	gcs := h.Internal().GCStats()
 	fmt.Printf("stable collections: %d (copied %d objects, %d pages scanned)\n",
 		gcs.Collections, gcs.CopiedObjs, gcs.ScannedPages)
-	p := gcs.Pauses
-	if p.Flips > 0 {
-		fmt.Printf("pause profile: flip max %v; scan-step max %v over %d steps; %d barrier traps (max %v)\n",
-			p.FlipMax, p.StepMax, p.Steps, p.Traps, p.TrapMax)
+	if gcs.Flip.Count > 0 {
+		fmt.Printf("pause profile: flip max %v; scan-step p99 %v / max %v over %d steps; %d barrier traps (max %v)\n",
+			gcs.Flip.MaxDur(), gcs.Step.QuantileDur(0.99), gcs.Step.MaxDur(), gcs.Step.Count,
+			gcs.Trap.Count, gcs.Trap.MaxDur())
 	}
 
 	// End of day: crash instead of clean shutdown, then reopen tomorrow.

@@ -104,7 +104,6 @@ func cfgSized(stableWords, volatileWords int) stableheap.Config {
 		Divided:       true,
 		Barrier:       stableheap.Ellis,
 		Incremental:   true,
-		Measure:       true,
 	}
 }
 

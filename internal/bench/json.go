@@ -2,14 +2,17 @@ package bench
 
 import (
 	"encoding/json"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 
 	"stableheap"
+	"stableheap/internal/obs"
 	"stableheap/internal/storage"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
+	"stableheap/internal/workload"
 )
 
 // JSONResult is one benchmark measurement in machine-readable form, for
@@ -20,6 +23,15 @@ type JSONResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// JSONReport is the full machine-readable payload: the benchmark kernels
+// plus a heap metrics snapshot from a reference mixed workload, so the
+// report carries latency distributions (WAL append, commit, GC pause),
+// not just per-kernel means.
+type JSONReport struct {
+	Benchmarks []JSONResult `json:"benchmarks"`
+	Metrics    obs.Snapshot `json:"metrics"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -138,9 +150,38 @@ func JSONSuite() []JSONResult {
 	return out
 }
 
-// WriteJSON runs the suite and writes it to path as a JSON array.
+// metricsWorkload runs the reference mixed workload — bank transfers with
+// an incremental stable collection in flight — and returns the heap's
+// metrics snapshot.
+func metricsWorkload() (obs.Snapshot, error) {
+	h := stableheap.Open(cfgSized(64*1024, 16*1024))
+	bank, err := workload.NewBank(h, 0, 64, 8, 1000)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := h.CollectVolatile(); err != nil {
+		return obs.Snapshot{}, err
+	}
+	h.StartStableCollection()
+	if _, err := bank.RunMix(rng, 1000, 50); err != nil {
+		return obs.Snapshot{}, err
+	}
+	for h.StepStable() {
+	}
+	return h.Metrics(), nil
+}
+
+// WriteJSON runs the suite plus the reference workload and writes the
+// combined report to path.
 func WriteJSON(path string) error {
-	data, err := json.MarshalIndent(JSONSuite(), "", "  ")
+	report := JSONReport{Benchmarks: JSONSuite()}
+	m, err := metricsWorkload()
+	if err != nil {
+		return err
+	}
+	report.Metrics = m
+	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -158,7 +158,9 @@ func E2GCSteps() Table {
 
 	copies := gcs.CopiedObjs - gcsBefore.CopiedObjs
 	pages := gcs.ScannedPages - gcsBefore.ScannedPages
-	p := gcs.Pauses
+	// Always-on pause histograms; this run's deltas are the whole story
+	// because the heap is fresh.
+	flip, step, trap := gcs.Flip, gcs.Step, gcs.Trap
 
 	t := Table{
 		ID:     "E2",
@@ -167,10 +169,10 @@ func E2GCSteps() Table {
 		Header: []string{"step", "count", "avg", "max"},
 	}
 	t.Rows = append(t.Rows,
-		[]string{"flip (roots + protect)", fmt.Sprintf("%d", p.Flips), dur(p.FlipTotal / time.Duration(max64(int64(p.Flips), 1))), dur(p.FlipMax)},
-		[]string{"scan step (1 page)", fmt.Sprintf("%d", p.Steps), dur(p.StepTotal / time.Duration(max64(int64(p.Steps), 1))), dur(p.StepMax)},
-		[]string{"copy step (derived)", fmt.Sprintf("%d", copies), dur((total - p.FlipTotal) / time.Duration(max64(copies, 1))), "-"},
-		[]string{"read-barrier trap", fmt.Sprintf("%d", p.Traps), dur(safeDiv(p.TrapTotal, int64(p.Traps))), dur(p.TrapMax)},
+		[]string{"flip (roots + protect)", fmt.Sprintf("%d", flip.Count), dur(flip.MeanDur()), dur(flip.MaxDur())},
+		[]string{"scan step (1 page)", fmt.Sprintf("%d", step.Count), dur(step.MeanDur()), dur(step.MaxDur())},
+		[]string{"copy step (derived)", fmt.Sprintf("%d", copies), dur((total - time.Duration(flip.Sum)) / time.Duration(max64(copies, 1))), "-"},
+		[]string{"read-barrier trap", fmt.Sprintf("%d", trap.Count), dur(trap.MeanDur()), dur(trap.MaxDur())},
 	)
 	t.Rows = append(t.Rows, []string{
 		"whole collection", "1", dur(total),

@@ -49,15 +49,12 @@ func E3Pauses() Table {
 				}
 			}
 		}
-		p := h2.Internal().GCStats().Pauses
-		avgStep := time.Duration(0)
-		if p.Steps > 0 {
-			avgStep = p.StepTotal / time.Duration(p.Steps)
-		}
+		gcs := h2.Internal().GCStats()
+		avgStep := gcs.Step.MeanDur()
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", live),
 			dur(stw),
-			dur(p.FlipMax), dur(avgStep), dur(p.StepMax),
+			dur(gcs.Flip.MaxDur()), dur(avgStep), dur(gcs.Step.MaxDur()),
 			ratio(stw, avgStep),
 		})
 	}

@@ -96,17 +96,17 @@ func E11Throughput() Table {
 			elapsed := time.Since(start)
 			gcs := h.Internal().GCStats()
 			vp := h.Internal().VGCStats()
-			worst := gcs.Pauses.FlipMax
-			if gcs.Pauses.StepMax > worst {
-				worst = gcs.Pauses.StepMax
+			worst := gcs.Flip.MaxDur()
+			if d := gcs.Step.MaxDur(); d > worst {
+				worst = d
 			}
-			if gcs.Pauses.TrapMax > worst {
-				worst = gcs.Pauses.TrapMax
+			if d := gcs.Trap.MaxDur(); d > worst {
+				worst = d
 			}
 			if !m.incremental {
-				// The whole STW collection is the pause; Measure only
-				// records the flip, which contains it all.
-				worst = gcs.Pauses.FlipMax
+				// The whole STW collection is the pause; the flip
+				// histogram contains it all.
+				worst = gcs.Flip.MaxDur()
 			}
 			t.Rows = append(t.Rows, []string{
 				wl, m.name,

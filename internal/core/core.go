@@ -28,6 +28,7 @@ import (
 	"stableheap/internal/gc"
 	"stableheap/internal/heap"
 	"stableheap/internal/lock"
+	"stableheap/internal/obs"
 	"stableheap/internal/recovery"
 	"stableheap/internal/stability"
 	"stableheap/internal/storage"
@@ -104,8 +105,14 @@ type Config struct {
 	// 1 forces sequential redo. The parallel replay is state-identical to
 	// the sequential one (see DESIGN.md "Parallel recovery").
 	RecoveryWorkers int
-	// Measure records pause durations in the collectors.
-	Measure bool
+	// Trace enables the trace-event ring: collector pauses, log forces,
+	// commits and recovery phases are recorded and exportable as Chrome
+	// trace_event JSON (Heap.TraceJSON). Latency histograms are always on
+	// regardless; tracing is the only opt-in piece.
+	Trace bool
+	// TraceEvents bounds the trace ring (default obs.DefaultTraceEvents);
+	// the oldest events are overwritten — and counted — beyond it.
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +189,11 @@ type Heap struct {
 	// group batches commit forces when Config.GroupCommitWindow > 0.
 	group *groupCommitter
 
+	// met holds the heap-level latency histograms (always on); tr is the
+	// optional trace ring (nil unless Config.Trace).
+	met heapMetrics
+	tr  *obs.Trace
+
 	// area bounds
 	stableLo, stableHi word.Addr
 	volLo, volHi       word.Addr
@@ -240,9 +252,14 @@ func build(cfg Config, disk *storage.Disk, logDev *storage.Log) *Heap {
 		Atomic:       true,
 		StepPages:    cfg.StepPages,
 		StepWords:    cfg.StepWords,
-		Measure:      cfg.Measure,
 		CopyContents: cfg.CopyContents,
 	}, mem, h, log, hp.stableLo, hp.stableHi)
+
+	if cfg.Trace {
+		hp.tr = obs.NewTrace(cfg.TraceEvents)
+	}
+	log.SetTrace(hp.tr)
+	hp.sgc.SetTrace(hp.tr)
 
 	hp.ckpt = recovery.NewCheckpointer(log, mem, word.NilLSN)
 
@@ -253,7 +270,8 @@ func build(cfg Config, disk *storage.Disk, logDev *storage.Log) *Heap {
 	mem.SetTrapHandler(hp.sgc.Trap)
 
 	if cfg.Divided {
-		hp.vgc = gc.NewVolatile(mem, h, log, hp.volLo, hp.volHi, cfg.Measure)
+		hp.vgc = gc.NewVolatile(mem, h, log, hp.volLo, hp.volHi)
+		hp.vgc.SetTrace(hp.tr)
 		hp.vgc.SetHooks(gc.VolatileHooks{
 			ForEachRoot:       hp.forEachVolatileRoot,
 			StableSlots:       hp.stableSlots,
@@ -558,25 +576,36 @@ func (t *Tx) ID() word.TxID { return t.t.ID() }
 // table on every copy.
 func (t *Tx) lockAddr(read func() word.Addr, m lock.Mode) error {
 	hp := t.hp
-	var deadline time.Time
+	// Lock-wait timing starts lazily on the first contention: the
+	// uncontended fast path takes no clock readings.
+	var waitStart, deadline time.Time
 	for {
 		hp.mu.Lock()
 		a := read()
 		err := hp.locks.TryAcquire(t.t.ID(), a, m)
 		hp.mu.Unlock()
 		if err == nil {
+			if !waitStart.IsZero() {
+				hp.met.lockWait.Since(waitStart)
+			}
 			return nil
 		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		if hp.cfg.LockWait == 0 {
+			hp.met.lockWait.Since(waitStart)
 			return t.fail(ErrConflict)
 		}
 		now := time.Now()
 		if deadline.IsZero() {
 			deadline = now.Add(hp.cfg.LockWait)
 		} else if now.After(deadline) {
+			hp.met.lockWait.Since(waitStart)
 			return t.fail(ErrConflict)
 		}
 		if !hp.locks.WaitFree(t.t.ID(), a, m, deadline.Sub(now)) {
+			hp.met.lockWait.Since(waitStart)
 			return t.fail(ErrConflict)
 		}
 	}
@@ -926,12 +955,14 @@ func (t *Tx) Commit() error {
 		return ErrTxDone
 	}
 	hp := t.hp
+	start := time.Now()
 	hp.mu.Lock()
 	if t.err == nil && hp.track != nil && !t.t.Prepared() {
 		if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
 			delete(hp.candidates, t.t.ID())
 			hp.txm.Abort(t.t)
 			hp.mu.Unlock()
+			hp.met.txConflict.Since(start)
 			return t.fail(ErrConflict)
 		}
 	}
@@ -939,12 +970,16 @@ func (t *Tx) Commit() error {
 	if t.err != nil {
 		hp.txm.Abort(t.t)
 		hp.mu.Unlock()
+		hp.met.txAbort.Since(start)
 		return t.err
 	}
 	if hp.group == nil {
 		hp.txm.Commit(t.t)
 		hp.ckpt.Promote()
 		hp.mu.Unlock()
+		d := time.Since(start)
+		hp.met.txCommit.Observe(uint64(d))
+		hp.tr.Complete("tx", "commit", start, d)
 		return nil
 	}
 	// Group commit: append the commit record, park outside the latch
@@ -956,6 +991,9 @@ func (t *Tx) Commit() error {
 	hp.mu.Lock()
 	hp.txm.FinishCommit(t.t)
 	hp.mu.Unlock()
+	d := time.Since(start)
+	hp.met.txCommit.Observe(uint64(d))
+	hp.tr.Complete("tx", "commit", start, d)
 	return nil
 }
 
@@ -995,9 +1033,11 @@ func (t *Tx) Abort() error {
 		return ErrTxDone
 	}
 	hp := t.hp
+	start := time.Now()
 	hp.mu.Lock()
 	defer hp.mu.Unlock()
 	delete(hp.candidates, t.t.ID())
 	hp.txm.Abort(t.t)
+	hp.met.txAbort.Since(start)
 	return nil
 }

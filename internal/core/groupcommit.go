@@ -124,6 +124,9 @@ func (g *groupCommitter) flusher() {
 			}
 			g.cond.Broadcast()
 			g.mu.Unlock()
+			// Batch-size distribution: how many committers each force
+			// covered (the group-commit amortization factor).
+			g.hp.met.groupBatch.Observe(uint64(released))
 		}
 		timer.Reset(g.window)
 	}

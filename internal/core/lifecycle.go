@@ -108,7 +108,7 @@ func recoverCommon(cfg Config, disk *storage.Disk, logDev *storage.Log, media bo
 	hp := build(cfg, disk, logDev)
 	var res *recovery.Result
 	var err error
-	opts := recovery.Options{RedoWorkers: cfg.RecoveryWorkers}
+	opts := recovery.Options{RedoWorkers: cfg.RecoveryWorkers, Trace: hp.tr}
 	if media {
 		res, err = recovery.RecoverFromArchiveWith(hp.mem, hp.log, opts)
 	} else {
@@ -118,6 +118,9 @@ func recoverCommon(cfg Config, disk *storage.Disk, logDev *storage.Log, media bo
 		return nil, err
 	}
 	hp.lastRecovery = res
+	hp.met.recAnalysis.Observe(uint64(res.Stats.Analysis))
+	hp.met.recRedo.Observe(uint64(res.Stats.Redo))
+	hp.met.recUndo.Observe(uint64(res.Stats.Undo))
 	cp := res.CP
 
 	hp.rootObj = cp.RootObj

@@ -1,0 +1,131 @@
+package core
+
+import "stableheap/internal/obs"
+
+// heapMetrics holds the heap-level latency histograms. All of them are
+// always on: Observe is a few atomic adds, so there is no measurement mode
+// to enable and every run can answer "what was the p99 commit latency".
+// Subsystem histograms (WAL append/force, GC pauses) live with their
+// subsystems; this struct covers the latencies only the core can see —
+// whole-commit latency including the group-commit park, lock waits, and
+// recovery phase times.
+type heapMetrics struct {
+	txCommit    obs.Histogram // Tx.Commit wall time (tracking + force + finish)
+	txAbort     obs.Histogram // Tx.Abort / failed-commit rollback wall time
+	txConflict  obs.Histogram // commits rejected by stability-tracking conflicts
+	lockWait    obs.Histogram // contended lock-acquire wait time
+	groupBatch  obs.Histogram // committers released per group-commit force
+	recAnalysis obs.Histogram // recovery analysis pass wall time
+	recRedo     obs.Histogram // recovery redo pass wall time
+	recUndo     obs.Histogram // recovery undo pass wall time
+}
+
+// Metrics returns the unified observability snapshot: every subsystem's
+// counters and latency histograms under one namespace. Counter names end
+// in _total, nanosecond histograms in _ns; the one unitless histogram is
+// group_commit_batch (committers per force).
+func (hp *Heap) Metrics() obs.Snapshot {
+	s := obs.NewSnapshot()
+
+	ts := hp.txm.Stats()
+	s.SetCounter("tx_begun_total", ts.Begun)
+	s.SetCounter("tx_committed_total", ts.Committed)
+	s.SetCounter("tx_aborted_total", ts.Aborted)
+	s.SetCounter("tx_updates_total", ts.Updates)
+	s.SetCounter("tx_volatile_writes_total", ts.VolWrites)
+	s.SetCounter("tx_clrs_total", ts.CLRs)
+
+	gs := hp.sgc.Stats()
+	s.SetCounter("gc_collections_total", int64(gs.Collections))
+	s.SetCounter("gc_copied_objects_total", gs.CopiedObjs)
+	s.SetCounter("gc_copied_words_total", gs.CopiedWords)
+	s.SetCounter("gc_scanned_pages_total", gs.ScannedPages)
+	s.SetCounter("gc_scanned_slots_total", gs.ScannedSlots)
+	s.SetCounter("gc_filler_words_total", gs.FillerWords)
+	s.SetCounter("gc_end_flushes_total", gs.GCEndFlushes)
+	s.SetHist("gc_flip_ns", gs.Flip)
+	s.SetHist("gc_step_ns", gs.Step)
+	s.SetHist("gc_trap_ns", gs.Trap)
+
+	if hp.vgc != nil {
+		vs := hp.vgc.Stats()
+		s.SetCounter("vgc_collections_total", int64(vs.Collections))
+		s.SetCounter("vgc_copied_objects_total", vs.CopiedObjs)
+		s.SetCounter("vgc_moved_objects_total", vs.MovedObjs)
+		s.SetCounter("vgc_moved_words_total", vs.MovedWords)
+		s.SetHist("vgc_pause_ns", vs.Pause)
+	}
+
+	ms := hp.mem.Stats()
+	s.SetCounter("cache_hits_total", ms.Hits)
+	s.SetCounter("cache_misses_total", ms.Misses())
+	s.SetCounter("cache_fetches_total", ms.Fetches)
+	s.SetCounter("cache_flushes_total", ms.Flushes)
+	s.SetCounter("cache_evictions_total", ms.Evictions)
+	s.SetCounter("cache_fresh_pages_total", ms.FreshPages)
+	s.SetCounter("barrier_traps_total", ms.Traps)
+	s.SetCounter("wal_constraint_forces_total", ms.LogForces)
+
+	ls := hp.logDev.Stats()
+	s.SetCounter("log_appends_total", ls.Appends)
+	s.SetCounter("log_forces_total", ls.Forces)
+	s.SetCounter("log_bytes_appended_total", ls.BytesAppended)
+	s.SetCounter("log_bytes_stable_total", ls.BytesStable)
+	s.SetHist("wal_append_ns", hp.log.AppendHist())
+	s.SetHist("wal_force_ns", hp.log.ForceHist())
+
+	ks := hp.locks.Stats()
+	s.SetCounter("lock_acquires_total", ks.Acquires)
+	s.SetCounter("lock_conflicts_total", ks.Conflicts)
+	s.SetCounter("lock_timeouts_total", ks.Timeouts)
+	s.SetCounter("lock_rekeys_total", ks.Rekeys)
+
+	cs := hp.ckpt.Stats()
+	s.SetCounter("checkpoints_total", cs.Taken)
+	s.SetCounter("checkpoints_promoted_total", cs.Promoted)
+	s.SetCounter("checkpoint_cleaned_pages_total", cs.Cleaned)
+
+	if hp.track != nil {
+		rs := hp.track.Stats()
+		s.SetCounter("track_batches_total", rs.Batches)
+		s.SetCounter("track_objects_total", rs.Objects)
+		s.SetCounter("track_words_total", rs.Words)
+	}
+
+	if hp.group != nil {
+		gcs := hp.group.Stats()
+		s.SetCounter("group_commits_total", gcs.Commits)
+		s.SetCounter("group_forces_total", gcs.Forces)
+		s.SetHist("group_commit_batch", hp.met.groupBatch.Snapshot())
+	}
+
+	s.SetHist("tx_commit_ns", hp.met.txCommit.Snapshot())
+	s.SetHist("tx_abort_ns", hp.met.txAbort.Snapshot())
+	s.SetHist("tx_conflict_ns", hp.met.txConflict.Snapshot())
+	s.SetHist("lock_wait_ns", hp.met.lockWait.Snapshot())
+	lcommit, labort := hp.txm.LifetimeHists()
+	s.SetHist("tx_lifetime_commit_ns", lcommit)
+	s.SetHist("tx_lifetime_abort_ns", labort)
+
+	if hp.lastRecovery != nil {
+		s.SetHist("recovery_analysis_ns", hp.met.recAnalysis.Snapshot())
+		s.SetHist("recovery_redo_ns", hp.met.recRedo.Snapshot())
+		s.SetHist("recovery_undo_ns", hp.met.recUndo.Snapshot())
+		s.SetCounter("recovery_redo_scanned_total", int64(hp.lastRecovery.RedoScanned))
+		s.SetCounter("recovery_redo_applied_total", int64(hp.lastRecovery.RedoApplied))
+	}
+
+	if hp.tr != nil {
+		s.SetCounter("trace_events_total", int64(hp.tr.Len()))
+		s.SetCounter("trace_dropped_total", int64(hp.tr.Dropped()))
+	}
+	return s
+}
+
+// Trace returns the heap's trace ring (nil unless Config.Trace).
+func (hp *Heap) Trace() *obs.Trace { return hp.tr }
+
+// TraceJSON returns the run's trace in Chrome trace_event JSON form,
+// loadable in about://tracing or ui.perfetto.dev. With tracing disabled it
+// returns an empty, still-loadable trace document.
+func (hp *Heap) TraceJSON() []byte { return hp.tr.JSON() }

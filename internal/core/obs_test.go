@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// obsWorkload drives a mixed workload: allocations, pointer and data
+// writes, commits, aborts, and a full stable collection.
+func obsWorkload(t *testing.T, hp *Heap) {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		tx := hp.Begin()
+		obj, err := tx.Alloc(1, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.SetData(obj, 0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.SetRoot(i%8, obj); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 4 {
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hp.CollectVolatile()
+	hp.CollectStable()
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	hp := Open(DefaultConfig())
+	defer hp.Close()
+	obsWorkload(t, hp)
+
+	m := hp.Metrics()
+	// The acceptance bar: non-zero WAL append, GC pause and tx commit
+	// histograms after a mixed workload, with no measurement mode set.
+	for _, name := range []string{"wal_append_ns", "wal_force_ns", "gc_flip_ns", "tx_commit_ns", "tx_abort_ns", "tx_lifetime_commit_ns", "vgc_pause_ns"} {
+		h := m.Hist(name)
+		if h.Count == 0 {
+			t.Errorf("histogram %s is empty after a mixed workload", name)
+		} else if h.Sum == 0 {
+			t.Errorf("histogram %s recorded %d observations of zero time", name, h.Count)
+		}
+	}
+	for _, name := range []string{"tx_committed_total", "tx_aborted_total", "gc_collections_total", "cache_hits_total", "log_appends_total", "log_forces_total"} {
+		if m.Counter(name) == 0 {
+			t.Errorf("counter %s is zero after a mixed workload", name)
+		}
+	}
+	// Quantiles must be readable and ordered.
+	c := m.Hist("tx_commit_ns")
+	p50, p99 := c.Quantile(0.5), c.Quantile(0.99)
+	if p50 > p99 || p99 > c.Max {
+		t.Errorf("quantiles out of order: p50=%d p99=%d max=%d", p50, p99, c.Max)
+	}
+	// The snapshot must marshal (it is embedded in bench JSON reports).
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	// And render as Prometheus text.
+	if text := m.Prometheus(); len(text) == 0 {
+		t.Fatal("empty Prometheus exposition")
+	}
+}
+
+func TestTraceEnabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trace = true
+	hp := Open(cfg)
+	defer hp.Close()
+	obsWorkload(t, hp)
+
+	raw := hp.TraceJSON()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "" {
+			cats[ev.Cat] = true
+		}
+	}
+	for _, want := range []string{"wal", "gc", "vgc", "tx"} {
+		if !cats[want] {
+			t.Errorf("trace has no %q events (categories: %v)", want, cats)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	hp := Open(DefaultConfig())
+	defer hp.Close()
+	obsWorkload(t, hp)
+	if hp.Trace() != nil {
+		t.Fatal("trace ring exists without Config.Trace")
+	}
+	// Still a loadable (empty) document.
+	var doc map[string]any
+	if err := json.Unmarshal(hp.TraceJSON(), &doc); err != nil {
+		t.Fatalf("disabled trace JSON does not parse: %v", err)
+	}
+}
+
+func TestRecoveryMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trace = true
+	hp := Open(cfg)
+	obsWorkload(t, hp)
+	disk, logDev := hp.Crash()
+	h2, err := Recover(cfg, disk, logDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	m := h2.Metrics()
+	for _, name := range []string{"recovery_analysis_ns", "recovery_redo_ns", "recovery_undo_ns"} {
+		if m.Hist(name).Count != 1 {
+			t.Errorf("histogram %s count = %d, want 1", name, m.Hist(name).Count)
+		}
+	}
+	if m.Counter("recovery_redo_scanned_total") == 0 {
+		t.Error("no redo records scanned")
+	}
+	// The recovery phases landed in the trace.
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(h2.TraceJSON(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "recovery" {
+			phases[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"analysis", "redo", "undo"} {
+		if !phases[want] {
+			t.Errorf("trace missing recovery phase %q", want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"stableheap/internal/heap"
+	"stableheap/internal/obs"
 	"stableheap/internal/vm"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
@@ -67,9 +68,6 @@ type Config struct {
 	// StepWords is the Baker-mode quantum: how many to-space words a
 	// Step call scans.
 	StepWords int
-	// Measure records pause durations (flip, scan step, trap) for the
-	// pause-time experiments.
-	Measure bool
 	// CopyContents makes copy records carry the full object image (the
 	// E14 ablation of the paper's content-free copy records): replay
 	// becomes self-contained — no from-space reads, no GCEnd write-back
@@ -91,20 +89,9 @@ type Hooks struct {
 	OnCopy func(from, to word.Addr, sizeWords int)
 }
 
-// Pauses aggregates collector pause times (only when Config.Measure).
-type Pauses struct {
-	Flips     int
-	FlipMax   time.Duration
-	FlipTotal time.Duration
-	Steps     int
-	StepMax   time.Duration
-	StepTotal time.Duration
-	Traps     int
-	TrapMax   time.Duration
-	TrapTotal time.Duration
-}
-
-// Stats counts collector work.
+// Stats counts collector work. The pause histograms (flip, scan step,
+// trap) are always on: recording is a few atomic adds, so there is no
+// measurement mode to forget — every run yields the E3 pause table.
 type Stats struct {
 	Collections  int
 	CopiedObjs   int64
@@ -113,7 +100,9 @@ type Stats struct {
 	ScannedSlots int64
 	FillerWords  int64
 	GCEndFlushes int64 // to-space pages written back at collection ends
-	Pauses       Pauses
+	Flip         obs.HistSnapshot
+	Step         obs.HistSnapshot
+	Trap         obs.HistSnapshot
 }
 
 // Collector manages one area of the heap with two semispaces.
@@ -141,6 +130,10 @@ type Collector struct {
 	lot    *heap.LastObjTable
 
 	stats Stats
+	flipH obs.Histogram
+	stepH obs.Histogram
+	trapH obs.Histogram
+	tr    *obs.Trace
 }
 
 // New creates a collector for the area [lo, mid) ∪ [mid, hi) split into two
@@ -168,11 +161,25 @@ func (c *Collector) SetHooks(h Hooks) { c.hooks = h }
 // Config returns the collector's configuration.
 func (c *Collector) Config() Config { return c.cfg }
 
-// Stats returns accumulated counters.
-func (c *Collector) Stats() Stats { return c.stats }
+// Stats returns accumulated counters and pause-histogram snapshots.
+func (c *Collector) Stats() Stats {
+	s := c.stats
+	s.Flip = c.flipH.Snapshot()
+	s.Step = c.stepH.Snapshot()
+	s.Trap = c.trapH.Snapshot()
+	return s
+}
 
-// ResetStats zeroes the counters.
-func (c *Collector) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the counters and pause histograms.
+func (c *Collector) ResetStats() {
+	c.stats = Stats{}
+	c.flipH.Reset()
+	c.stepH.Reset()
+	c.trapH.Reset()
+}
+
+// SetTrace wires an optional trace ring; nil disables tracing.
+func (c *Collector) SetTrace(t *obs.Trace) { c.tr = t }
 
 // Active reports whether a collection is in progress.
 func (c *Collector) Active() bool { return c.active }
@@ -244,10 +251,7 @@ func (c *Collector) StartCollection(rootObj word.Addr) word.Addr {
 	if c.active {
 		panic("gc: flip during active collection")
 	}
-	var start time.Time
-	if c.cfg.Measure {
-		start = time.Now()
-	}
+	start := time.Now()
 	c.epoch++
 	c.active = true
 	c.from = c.spaces[c.cur]
@@ -317,14 +321,9 @@ func (c *Collector) StartCollection(rootObj word.Addr) word.Addr {
 		// Stop the world: the whole collection is this one pause.
 		c.Finish()
 	}
-	if c.cfg.Measure {
-		d := time.Since(start)
-		c.stats.Pauses.Flips++
-		c.stats.Pauses.FlipTotal += d
-		if d > c.stats.Pauses.FlipMax {
-			c.stats.Pauses.FlipMax = d
-		}
-	}
+	d := time.Since(start)
+	c.flipH.Observe(uint64(d))
+	c.tr.Complete("gc", "flip", start, d)
 	return newRoot
 }
 
@@ -376,26 +375,18 @@ func (c *Collector) Step() bool {
 	if !c.active {
 		return false
 	}
-	var start time.Time
-	if c.cfg.Measure {
-		start = time.Now()
-	}
+	start := time.Now()
 	quantum := c.cfg.StepWords
 	if c.cfg.Barrier != Baker {
 		quantum = c.cfg.StepPages * word.BytesToWords(c.pageSize())
 	}
 	c.sequentialScan(quantum)
-	if c.cfg.Measure {
-		// Collection-end work (the GCEnd write-back) is asynchronous
-		// disk traffic, not a mutator pause; it is excluded here and
-		// reported separately.
-		d := time.Since(start)
-		c.stats.Pauses.Steps++
-		c.stats.Pauses.StepTotal += d
-		if d > c.stats.Pauses.StepMax {
-			c.stats.Pauses.StepMax = d
-		}
-	}
+	// Collection-end work (the GCEnd write-back) is asynchronous disk
+	// traffic, not a mutator pause; it is excluded here and reported
+	// separately.
+	d := time.Since(start)
+	c.stepH.Observe(uint64(d))
+	c.tr.Complete("gc", "step", start, d)
 	c.maybeFinish()
 	return c.active
 }
@@ -456,29 +447,21 @@ func (c *Collector) maybeFinish() {
 // protected page; scan it and unprotect (§3.2.1). The core installs it as
 // the store's trap handler.
 func (c *Collector) Trap(pg word.PageID) {
-	var start time.Time
-	if c.cfg.Measure {
-		start = time.Now()
-	}
 	if !c.active || !c.to.Contains(pg.Base(c.pageSize())) {
 		// A stale protection (e.g. page of another area) — nothing to
-		// scan.
+		// scan, and nothing recorded: only real barrier pauses count.
 		c.mem.Unprotect(pg)
 		return
 	}
+	start := time.Now()
 	c.scanPage(pg)
 	// Scan-ahead: amortize the trap with one background quantum, so a
 	// pointer-chasing mutator does not take a trap (and plant a filler)
 	// on every page — the sweep catches up and unprotects ahead of it.
 	c.sequentialScan(c.cfg.StepPages * word.BytesToWords(c.pageSize()))
-	if c.cfg.Measure {
-		d := time.Since(start)
-		c.stats.Pauses.Traps++
-		c.stats.Pauses.TrapTotal += d
-		if d > c.stats.Pauses.TrapMax {
-			c.stats.Pauses.TrapMax = d
-		}
-	}
+	d := time.Since(start)
+	c.trapH.Observe(uint64(d))
+	c.tr.Complete("gc", "trap", start, d)
 	c.maybeFinish()
 }
 

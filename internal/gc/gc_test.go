@@ -498,7 +498,7 @@ func TestVolatileCollectorBasics(t *testing.T) {
 	log := wal.NewManager(storage.NewLog(0))
 	mem := vm.New(vm.Config{PageSize: ps}, disk, log)
 	h := heap.New(mem)
-	v := NewVolatile(mem, h, log, ps, ps+4096, false)
+	v := NewVolatile(mem, h, log, ps, ps+4096)
 	var roots []word.Addr
 	v.SetHooks(VolatileHooks{
 		ForEachRoot: func(visit func(get func() word.Addr, set func(word.Addr))) {
@@ -551,7 +551,7 @@ func TestVolatileMovesNewlyStableToStableArea(t *testing.T) {
 	stableLo := word.Addr(ps)
 	stableSpace := heap.NewSpace(stableLo, stableLo+2048)
 	volLo := stableLo + 4096
-	v := NewVolatile(mem, h, log, volLo, volLo+4096, false)
+	v := NewVolatile(mem, h, log, volLo, volLo+4096)
 
 	// A stable object S with one slot pointing at volatile object O,
 	// which has the AS bit (newly stable), which points at volatile P
@@ -640,7 +640,7 @@ func TestVolatileResetEmptiesBothSpaces(t *testing.T) {
 	log := wal.NewManager(storage.NewLog(0))
 	mem := vm.New(vm.Config{PageSize: ps}, disk, log)
 	h := heap.New(mem)
-	v := NewVolatile(mem, h, log, ps, ps+2048, false)
+	v := NewVolatile(mem, h, log, ps, ps+2048)
 	v.Alloc(8)
 	v.Reset()
 	if v.Current().CopyPtr != v.Current().Lo {
@@ -650,15 +650,22 @@ func TestVolatileResetEmptiesBothSpaces(t *testing.T) {
 }
 
 func TestPauseMeasurement(t *testing.T) {
-	e := newEnv(t, Config{Barrier: Ellis, Incremental: true, Atomic: true, Measure: true}, 8192)
+	e := newEnv(t, Config{Barrier: Ellis, Incremental: true, Atomic: true}, 8192)
 	rng := rand.New(rand.NewSource(3))
 	buildGraph(t, e, rng, 40)
 	e.c.StartCollection(word.NilAddr)
 	for e.c.Active() {
 		e.c.Step()
 	}
-	p := e.c.Stats().Pauses
-	if p.Flips != 1 || p.Steps == 0 {
-		t.Fatalf("pauses = %+v", p)
+	s := e.c.Stats()
+	if s.Flip.Count != 1 || s.Step.Count == 0 {
+		t.Fatalf("pause histograms: flip=%d steps=%d", s.Flip.Count, s.Step.Count)
+	}
+	if s.Flip.Max == 0 || s.Step.Sum == 0 {
+		t.Fatalf("pause histograms recorded zero time: flip max=%d step sum=%d", s.Flip.Max, s.Step.Sum)
+	}
+	e.c.ResetStats()
+	if s2 := e.c.Stats(); s2.Flip.Count != 0 || s2.Step.Count != 0 {
+		t.Fatalf("ResetStats left histogram counts: %+v", s2)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"stableheap/internal/heap"
+	"stableheap/internal/obs"
 	"stableheap/internal/vm"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
@@ -35,15 +36,15 @@ type VolatileHooks struct {
 	OnStableSlotFixed func(slot, newPtr word.Addr, stillVolatile bool)
 }
 
-// VolatileStats counts volatile-area collections.
+// VolatileStats counts volatile-area collections. Pause is the always-on
+// stop-the-world pause histogram.
 type VolatileStats struct {
 	Collections int
 	CopiedObjs  int64
 	CopiedWords int64
 	MovedObjs   int64 // evacuated into the stable area
 	MovedWords  int64
-	PauseMax    time.Duration
-	PauseTotal  time.Duration
+	Pause       obs.HistSnapshot
 }
 
 // VolatileCollector is the plain, unlogged stop-the-world Cheney collector
@@ -59,25 +60,26 @@ type VolatileCollector struct {
 	log   *wal.Manager
 	hooks VolatileHooks
 
-	spaces  [2]*heap.Space
-	cur     int
-	epoch   uint64
-	measure bool
+	spaces [2]*heap.Space
+	cur    int
+	epoch  uint64
 
 	// collection-local state
 	from, to *heap.Space
 	movedQ   []word.Addr // stable-area addresses of moved objects to scan
 	stats    VolatileStats
+	pauseH   obs.Histogram
+	tr       *obs.Trace
 }
 
 // NewVolatile creates the volatile-area collector over [lo, hi), split into
 // two equal semispaces.
-func NewVolatile(mem *vm.Store, h *heap.Heap, log *wal.Manager, lo, hi word.Addr, measure bool) *VolatileCollector {
+func NewVolatile(mem *vm.Store, h *heap.Heap, log *wal.Manager, lo, hi word.Addr) *VolatileCollector {
 	if (hi-lo)%2 != 0 {
 		panic("gc: volatile area not splittable")
 	}
 	mid := lo + (hi-lo)/2
-	v := &VolatileCollector{mem: mem, h: h, log: log, measure: measure}
+	v := &VolatileCollector{mem: mem, h: h, log: log}
 	v.spaces[0] = heap.NewSpace(lo, mid)
 	v.spaces[1] = heap.NewSpace(mid, hi)
 	return v
@@ -86,8 +88,15 @@ func NewVolatile(mem *vm.Store, h *heap.Heap, log *wal.Manager, lo, hi word.Addr
 // SetHooks installs the environment callbacks.
 func (v *VolatileCollector) SetHooks(h VolatileHooks) { v.hooks = h }
 
-// Stats returns accumulated counters.
-func (v *VolatileCollector) Stats() VolatileStats { return v.stats }
+// SetTrace wires an optional trace ring; nil disables tracing.
+func (v *VolatileCollector) SetTrace(t *obs.Trace) { v.tr = t }
+
+// Stats returns accumulated counters and the pause-histogram snapshot.
+func (v *VolatileCollector) Stats() VolatileStats {
+	s := v.stats
+	s.Pause = v.pauseH.Snapshot()
+	return s
+}
 
 // Epoch returns the number of volatile collections performed.
 func (v *VolatileCollector) Epoch() uint64 { return v.epoch }
@@ -126,10 +135,7 @@ func (v *VolatileCollector) Reset() {
 // Collect runs one stop-the-world volatile collection, returning the number
 // of newly stable objects moved into the stable area.
 func (v *VolatileCollector) Collect() int {
-	var start time.Time
-	if v.measure {
-		start = time.Now()
-	}
+	start := time.Now()
 	v.epoch++
 	v.stats.Collections++
 	v.from = v.spaces[v.cur]
@@ -185,13 +191,9 @@ func (v *VolatileCollector) Collect() int {
 	v.mem.DiscardRange(v.from.Lo, v.from.Hi)
 	v.from.Reset()
 	v.from = nil
-	if v.measure {
-		d := time.Since(start)
-		v.stats.PauseTotal += d
-		if d > v.stats.PauseMax {
-			v.stats.PauseMax = d
-		}
-	}
+	d := time.Since(start)
+	v.pauseH.Observe(uint64(d))
+	v.tr.Complete("vgc", "collect", start, d)
 	return moved
 }
 

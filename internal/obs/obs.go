@@ -1,0 +1,50 @@
+// Package obs is the stable heap's unified observability layer: lock-free
+// atomic counters and gauges, log-bucketed latency histograms with
+// mergeable snapshots, a bounded trace-event ring exportable as Chrome
+// trace_event JSON, and a live exposition endpoint (Prometheus text +
+// trace JSON over HTTP).
+//
+// The package is dependency-free (standard library only) and designed so
+// the hot recording paths — Counter.Add, Histogram.Observe — are a handful
+// of atomic adds with zero allocations, cheap enough to leave on in every
+// configuration. The paper's claims are quantitative (bounded pauses,
+// logging overhead, recovery time), and distributions, not averages, are
+// what bound them: every pause and latency source records into a
+// fixed-size power-of-two-bucketed histogram from which p50/p90/p99/max
+// are read off at snapshot time.
+//
+// Tracing is the one opt-in piece: when a *Trace is wired in (Config.Trace
+// at the heap level), begin/end and instant events from the mutator, the
+// collectors, the log and recovery land in a bounded ring (oldest events
+// dropped, counted) and export as JSON loadable in about://tracing.
+package obs
+
+import "sync/atomic"
+
+// Counter is a lock-free monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

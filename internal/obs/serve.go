@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Server is a live exposition endpoint: Prometheus-style text at /metrics,
+// the raw snapshot as JSON at /metrics.json, and the Chrome trace at
+// /trace. It holds no metric state itself — it re-evaluates the snapshot
+// function on every scrape.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP listener on addr (e.g. "localhost:0") exposing the
+// snapshot and trace. The trace may be nil, in which case /trace serves an
+// empty (still loadable) trace document.
+func Serve(addr string, snap func() Snapshot, trace *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		trace.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<!doctype html><title>stableheap</title><h1>stableheap observability</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/metrics.json">/metrics.json</a> — snapshot as JSON</li>
+<li><a href="/trace">/trace</a> — Chrome trace_event JSON (load in about://tracing or ui.perfetto.dev)</li>
+</ul>`))
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

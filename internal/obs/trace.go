@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace is a bounded ring of trace events exportable in the Chrome
+// trace_event format, so a whole run — mutator commits interleaved with
+// collector flips, scan steps, barrier traps, log forces and recovery
+// phases — can be opened in about://tracing (or https://ui.perfetto.dev).
+//
+// All methods are safe on a nil *Trace and do nothing, so subsystems hold
+// a possibly-nil pointer and record unconditionally; tracing costs nothing
+// when disabled. When the ring fills, the oldest events are overwritten
+// and counted as dropped.
+type Trace struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	cap     int
+	events  []traceEvent
+	next    int // overwrite cursor once len(events) == cap
+	dropped uint64
+	tids    map[string]int // category → synthetic thread id
+	order   []string       // categories in first-seen order
+}
+
+type traceEvent struct {
+	name string
+	cat  string
+	ph   byte  // 'X' complete, 'i' instant
+	ts   int64 // ns since epoch
+	dur  int64 // ns ('X' only)
+}
+
+// DefaultTraceEvents is the default ring capacity.
+const DefaultTraceEvents = 64 * 1024
+
+// NewTrace creates a trace ring holding up to capacity events
+// (DefaultTraceEvents if capacity ≤ 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{
+		epoch: time.Now(),
+		cap:   capacity,
+		tids:  make(map[string]int),
+	}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Instant records a zero-duration event.
+func (t *Trace) Instant(cat, name string) {
+	if t == nil {
+		return
+	}
+	t.record(traceEvent{name: name, cat: cat, ph: 'i', ts: int64(time.Since(t.epoch))})
+}
+
+// Complete records a span that started at start and lasted dur.
+func (t *Trace) Complete(cat, name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(traceEvent{name: name, cat: cat, ph: 'X', ts: int64(start.Sub(t.epoch)), dur: int64(dur)})
+}
+
+// Span starts a span and returns the function that ends it:
+//
+//	defer tr.Span("gc", "flip")()
+func (t *Trace) Span(cat, name string) func() {
+	if t == nil {
+		return nopEnd
+	}
+	start := time.Now()
+	return func() { t.Complete(cat, name, start, time.Since(start)) }
+}
+
+var nopEnd = func() {}
+
+func (t *Trace) record(ev traceEvent) {
+	t.mu.Lock()
+	if _, ok := t.tids[ev.cat]; !ok {
+		t.tids[ev.cat] = len(t.tids) + 1
+		t.order = append(t.order, ev.cat)
+	}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.next] = ev
+		t.next = (t.next + 1) % t.cap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns how many events the ring currently retains.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// jsonEvent is the Chrome trace_event wire form. Timestamps and durations
+// are microseconds (the format's unit); sub-microsecond precision is kept
+// as fractions.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // metadata events
+}
+
+type jsonTrace struct {
+	TraceEvents     []jsonEvent       `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the retained events as a Chrome trace_event JSON
+// object. Each category gets its own synthetic thread (named via metadata
+// events) so categories render as separate tracks.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	// Oldest-first: once wrapped, the oldest retained event is at next.
+	evs := make([]traceEvent, 0, len(t.events))
+	evs = append(evs, t.events[t.next:]...)
+	evs = append(evs, t.events[:t.next]...)
+	out := jsonTrace{
+		TraceEvents:     make([]jsonEvent, 0, len(evs)+len(t.order)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, cat := range t.order {
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: t.tids[cat],
+			Args: map[string]any{"name": cat},
+		})
+	}
+	for _, ev := range evs {
+		je := jsonEvent{
+			Name: ev.name, Cat: ev.cat, Ph: string(ev.ph),
+			TS: float64(ev.ts) / 1e3, PID: 1, TID: t.tids[ev.cat],
+		}
+		if ev.ph == 'X' {
+			je.Dur = float64(ev.dur) / 1e3
+		} else {
+			je.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	if t.dropped > 0 {
+		out.OtherData = map[string]string{
+			"droppedEvents": itoa64(t.dropped),
+		}
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// JSON returns the Chrome trace as a byte slice (nil receiver yields an
+// empty, still-loadable trace).
+func (t *Trace) JSON() []byte {
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func itoa64(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

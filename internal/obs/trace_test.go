@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chromeTrace mirrors the subset of the Chrome trace_event JSON object
+// format that about://tracing requires: a traceEvents array whose entries
+// carry name/ph/ts/pid/tid.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		TS   *float64        `json:"ts"`
+		Dur  float64         `json:"dur"`
+		PID  *int            `json:"pid"`
+		TID  *int            `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+func TestTraceJSONWellFormed(t *testing.T) {
+	tr := NewTrace(128)
+	start := time.Now()
+	tr.Complete("gc", "flip", start, 150*time.Microsecond)
+	tr.Complete("wal", "force", start, 2*time.Millisecond)
+	tr.Instant("tx", "abort")
+	end := tr.Span("gc", "step")
+	end()
+
+	var got chromeTrace
+	if err := json.Unmarshal(tr.JSON(), &got); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	// 3 categories → 3 thread_name metadata events, plus 4 real events.
+	if len(got.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7", len(got.TraceEvents))
+	}
+	var meta, complete, instant int
+	tids := map[string]int{}
+	for _, ev := range got.TraceEvents {
+		if ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %q missing pid/tid", ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event named %q", ev.Name)
+			}
+			continue
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Errorf("complete event %q has dur %v", ev.Name, ev.Dur)
+			}
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.TS == nil {
+			t.Fatalf("event %q missing ts", ev.Name)
+		}
+		// Events in the same category must share a track.
+		if prev, ok := tids[ev.Cat]; ok && prev != *ev.TID {
+			t.Errorf("category %q on two tids: %d and %d", ev.Cat, prev, *ev.TID)
+		}
+		tids[ev.Cat] = *ev.TID
+	}
+	if meta != 3 || complete != 3 || instant != 1 {
+		t.Fatalf("meta=%d complete=%d instant=%d", meta, complete, instant)
+	}
+	// The 150µs flip must round-trip as ~150 in µs units.
+	for _, ev := range got.TraceEvents {
+		if ev.Name == "flip" && (ev.Dur < 149 || ev.Dur > 151) {
+			t.Errorf("flip dur = %vµs, want ~150", ev.Dur)
+		}
+	}
+}
+
+func TestTraceRingOverflow(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("cat", "ev")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(tr.JSON(), &got); err != nil {
+		t.Fatalf("overflowed trace does not parse: %v", err)
+	}
+	if got.OtherData["droppedEvents"] != "6" {
+		t.Fatalf("droppedEvents = %q, want 6", got.OtherData["droppedEvents"])
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	tr.Instant("a", "b")
+	tr.Complete("a", "b", time.Now(), time.Second)
+	tr.Span("a", "b")()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil trace has state")
+	}
+	var got chromeTrace
+	if err := json.Unmarshal(tr.JSON(), &got); err != nil {
+		t.Fatalf("nil trace JSON does not parse: %v", err)
+	}
+	if len(got.TraceEvents) != 0 {
+		t.Fatalf("nil trace has %d events", len(got.TraceEvents))
+	}
+}

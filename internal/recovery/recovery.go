@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"stableheap/internal/obs"
 	"stableheap/internal/vm"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
@@ -25,6 +26,9 @@ type Options struct {
 	// min(GOMAXPROCS, 8); 1 forces sequential redo; values above 64 are
 	// clamped (the dispatcher routes with a 64-bit shard mask).
 	RedoWorkers int
+	// Trace, when non-nil, receives one span per recovery phase
+	// (analysis, redo, undo) under the "recovery" category.
+	Trace *obs.Trace
 }
 
 // workers resolves the effective shard count.
@@ -191,6 +195,7 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool, opts Options) (*Resul
 
 	res := &Result{CP: a.cp}
 	res.Stats.Analysis = time.Since(phase)
+	opts.Trace.Complete("recovery", "analysis", phase, res.Stats.Analysis)
 
 	// Redo: repeat history from the earliest recLSN of a dirty page. With
 	// more than one worker the log is replayed by the page-partitioned
@@ -219,6 +224,7 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool, opts Options) (*Resul
 		}
 	}
 	res.Stats.Redo = time.Since(phase)
+	opts.Trace.Complete("recovery", "redo", phase, res.Stats.Redo)
 	phase = time.Now()
 
 	// Undo: abort every loser, translating undo addresses (and restored
@@ -239,6 +245,7 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool, opts Options) (*Resul
 		}
 	}
 	res.Stats.Undo = time.Since(phase)
+	opts.Trace.Complete("recovery", "undo", phase, res.Stats.Undo)
 	res.translator = u
 	res.txMeta = a.txs
 	// Undo may have changed the remembered set; republish it.

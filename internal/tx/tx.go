@@ -14,9 +14,11 @@ package tx
 
 import (
 	"fmt"
+	"time"
 
 	"stableheap/internal/heap"
 	"stableheap/internal/lock"
+	"stableheap/internal/obs"
 	"stableheap/internal/vm"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
@@ -55,6 +57,7 @@ type volWrite struct {
 type Tx struct {
 	id       word.TxID
 	status   Status
+	begun    time.Time // for the lifetime histograms (zero when recovered)
 	firstLSN word.LSN
 	lastLSN  word.LSN
 	handles  []*Handle
@@ -110,6 +113,11 @@ type Manager struct {
 	nextTx word.TxID
 	active map[word.TxID]*Tx
 	stats  Stats
+	// Lifetime histograms: begin→commit and begin→abort wall time, always
+	// on (in-doubt transactions restored by recovery have no begin time
+	// and are excluded).
+	commitH obs.Histogram
+	abortH  obs.Histogram
 }
 
 // Stats counts transaction outcomes and work.
@@ -139,6 +147,12 @@ func (m *Manager) inVolatile(a word.Addr) bool {
 // Stats returns accumulated counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// LifetimeHists snapshots the begin→commit and begin→abort lifetime
+// histograms (nanoseconds).
+func (m *Manager) LifetimeHists() (commit, abort obs.HistSnapshot) {
+	return m.commitH.Snapshot(), m.abortH.Snapshot()
+}
+
 // NextTxID returns the next id to be issued (checkpointed so ids are not
 // reused after recovery).
 func (m *Manager) NextTxID() word.TxID { return m.nextTx }
@@ -151,7 +165,7 @@ func (m *Manager) ActiveCount() int { return len(m.active) }
 
 // Begin starts a transaction and logs its begin record.
 func (m *Manager) Begin() *Tx {
-	t := &Tx{id: m.nextTx, trans: make(map[word.Addr]word.Addr)}
+	t := &Tx{id: m.nextTx, begun: time.Now(), trans: make(map[word.Addr]word.Addr)}
 	m.nextTx++
 	t.firstLSN = m.log.Append(wal.BeginRec{TxHdr: wal.TxHdr{TxID: t.id}})
 	t.lastLSN = t.firstLSN
@@ -378,6 +392,9 @@ func (m *Manager) FinishCommit(t *Tx) {
 	m.log.Append(wal.EndRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
 	delete(m.active, t.id)
 	m.stats.Committed++
+	if !t.begun.IsZero() {
+		m.commitH.Since(t.begun)
+	}
 }
 
 // Abort rolls the transaction back in place: logged updates are undone in
@@ -400,6 +417,9 @@ func (m *Manager) Abort(t *Tx) {
 	t.lastLSN = m.log.Append(wal.EndRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
 	delete(m.active, t.id)
 	m.stats.Aborted++
+	if !t.begun.IsZero() {
+		m.abortH.Since(t.begun)
+	}
 }
 
 // undoFrom walks the transaction's log chain backwards from the record

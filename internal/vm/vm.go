@@ -26,15 +26,22 @@ import (
 // read-barrier trap). The handler must leave the page unprotected.
 type TrapHandler func(pg word.PageID)
 
-// Stats counts one-level-store activity.
+// Stats counts one-level-store activity. Hits plus misses
+// (Fetches + FreshPages) is the total page-lookup traffic; the hit ratio
+// is what cache-size tuning optimizes.
 type Stats struct {
 	Traps      int64 // read-barrier traps taken
-	Fetches    int64 // pages read from disk into the cache
+	Hits       int64 // page lookups satisfied by the cache
+	Fetches    int64 // pages read from disk into the cache (misses)
 	Flushes    int64 // dirty pages written to disk
 	Evictions  int64 // pages dropped from the cache by replacement
 	LogForces  int64 // log forces triggered by the WAL flush constraint
 	FreshPages int64 // pages materialized zero-filled (never on disk)
 }
+
+// Misses is the page lookups the cache could not satisfy (disk fetches plus
+// zero-fill materializations).
+func (s Stats) Misses() int64 { return s.Fetches + s.FreshPages }
 
 // Config parameterizes the store.
 type Config struct {
@@ -117,6 +124,7 @@ func (s *Store) ResetStats() { s.stats = Stats{} }
 func (s *Store) resident(id word.PageID) *page {
 	if p, ok := s.pages[id]; ok {
 		p.ref = true
+		s.stats.Hits++
 		return p
 	}
 	s.makeRoom()

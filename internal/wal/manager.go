@@ -3,7 +3,9 @@ package wal
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"stableheap/internal/obs"
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
 )
@@ -11,11 +13,15 @@ import (
 // Manager spools records to the log device and decodes them back. It is the
 // "log manager" of §2.2: Append writes to the volatile log (the buffer);
 // Force makes a prefix stable. Per-type volume counters feed the logging
-// overhead experiments (E6).
+// overhead experiments (E6); always-on latency histograms over Append and
+// Force feed the logging-overhead distributions.
 type Manager struct {
-	dev   *storage.Log
-	count [maxType]int64
-	bytes [maxType]int64
+	dev    *storage.Log
+	count  [maxType]int64
+	bytes  [maxType]int64
+	append obs.Histogram
+	force  obs.Histogram
+	tr     *obs.Trace
 }
 
 // NewManager wraps a log device.
@@ -36,6 +42,7 @@ type encBuf struct{ b []byte }
 
 // Append spools a record to the volatile log and returns its LSN.
 func (m *Manager) Append(r Record) word.LSN {
+	start := time.Now()
 	eb := encPool.Get().(*encBuf)
 	frame := AppendEncode(eb.b[:0], r)
 	lsn := m.dev.Append(frame)
@@ -43,14 +50,36 @@ func (m *Manager) Append(r Record) word.LSN {
 	m.bytes[r.Type()] += int64(len(frame))
 	eb.b = frame
 	encPool.Put(eb)
+	m.append.Since(start)
 	return lsn
 }
 
 // Force synchronously writes the log through lsn to stable storage.
-func (m *Manager) Force(lsn word.LSN) { m.dev.Force(lsn) }
+func (m *Manager) Force(lsn word.LSN) {
+	start := time.Now()
+	m.dev.Force(lsn)
+	d := time.Since(start)
+	m.force.Observe(uint64(d))
+	m.tr.Complete("wal", "force", start, d)
+}
 
 // ForceAll forces the entire volatile tail.
-func (m *Manager) ForceAll() { m.dev.ForceAll() }
+func (m *Manager) ForceAll() {
+	start := time.Now()
+	m.dev.ForceAll()
+	d := time.Since(start)
+	m.force.Observe(uint64(d))
+	m.tr.Complete("wal", "force-all", start, d)
+}
+
+// AppendHist snapshots the Append latency histogram (nanoseconds).
+func (m *Manager) AppendHist() obs.HistSnapshot { return m.append.Snapshot() }
+
+// ForceHist snapshots the Force latency histogram (nanoseconds).
+func (m *Manager) ForceHist() obs.HistSnapshot { return m.force.Snapshot() }
+
+// SetTrace wires an optional trace ring; nil disables tracing.
+func (m *Manager) SetTrace(t *obs.Trace) { m.tr = t }
 
 // StableLSN returns the first LSN not guaranteed durable.
 func (m *Manager) StableLSN() word.LSN { return m.dev.StableLSN() }

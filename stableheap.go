@@ -48,6 +48,7 @@ package stableheap
 import (
 	"stableheap/internal/core"
 	"stableheap/internal/gc"
+	"stableheap/internal/obs"
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
 )
@@ -238,6 +239,37 @@ func (h *Heap) Stats() Stats {
 		LogBytesAppended: dev.BytesAppended,
 		CheckpointsTaken: cps.Taken,
 	}
+}
+
+// Metrics is the unified observability snapshot: every subsystem's
+// counters and latency histograms (power-of-two buckets with
+// p50/p90/p99/max) under one namespace. It marshals to JSON and renders
+// Prometheus text exposition via WritePrometheus.
+type Metrics = obs.Snapshot
+
+// HistSnapshot is one latency histogram inside a Metrics snapshot.
+type HistSnapshot = obs.HistSnapshot
+
+// MetricsServer is a live exposition endpoint started by ServeMetrics.
+type MetricsServer = obs.Server
+
+// Metrics returns the unified observability snapshot. The histograms are
+// always on — recording is a handful of atomic adds — so any run can
+// report latency distributions without a measurement mode.
+func (h *Heap) Metrics() Metrics { return h.inner.Metrics() }
+
+// TraceJSON returns the run's trace in Chrome trace_event JSON form
+// (loadable in about://tracing or ui.perfetto.dev). Tracing records only
+// when Config.Trace is set; otherwise the document is empty but still
+// loadable.
+func (h *Heap) TraceJSON() []byte { return h.inner.TraceJSON() }
+
+// ServeMetrics starts an HTTP endpoint (e.g. addr "localhost:8077")
+// exposing /metrics (Prometheus text), /metrics.json (the snapshot as
+// JSON) and /trace (Chrome trace JSON). Close the returned server when
+// done.
+func (h *Heap) ServeMetrics(addr string) (*MetricsServer, error) {
+	return obs.Serve(addr, h.inner.Metrics, h.inner.Trace())
 }
 
 // Internal exposes the underlying core heap for the benchmark harness and
