@@ -4,21 +4,45 @@
 // arbitrary fraction of dirty pages flushed — recovers, verifies every
 // committed value against the model, and reports what recovery did.
 //
+// With -repl each round fails over to a warm log-shipping standby instead
+// of recovering in place: a standby is bootstrapped from a base backup,
+// streams the log while the workload runs, and is promoted after the
+// primary crashes; the report then shows the resume LSN and promotion
+// stats instead of in-place recovery phases.
+//
 // Usage:
 //
-//	shrecover [-seed n] [-steps n] [-flush f] [-midgc] [-rounds n]
+//	shrecover [-seed n] [-steps n] [-flush f] [-midgc] [-rounds n] [-repl] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"stableheap"
 	"stableheap/internal/core"
 	"stableheap/internal/crashtest"
 )
+
+// roundResult is one crash/recover (or crash/promote) round, for -json.
+type roundResult struct {
+	Round      int    `json:"round"`
+	Replicated bool   `json:"replicated"`
+	GCActive   bool   `json:"gc_active"`
+	ElapsedNs  int64  `json:"elapsed_ns"`
+	ResumeLSN  uint64 `json:"resume_lsn"` // where repeating history began
+	Scanned    int    `json:"redo_scanned"`
+	Applied    int    `json:"redo_applied,omitempty"`
+	Losers     int    `json:"losers"`
+	InDoubt    int    `json:"in_doubt"`
+	GCResumed  bool   `json:"gc_resumed"`
+	AppliedLSN uint64 `json:"applied_lsn,omitempty"` // replicated rounds: shipped prefix at promotion
+	Workers    int    `json:"redo_workers,omitempty"`
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -27,7 +51,15 @@ func main() {
 	midGC := flag.Bool("midgc", false, "crash in the middle of a stable collection")
 	rounds := flag.Int("rounds", 3, "crash/recover rounds")
 	workers := flag.Int("workers", 0, "redo workers (0 = min(GOMAXPROCS, 8), 1 = sequential)")
+	replicate := flag.Bool("repl", false, "fail over to a warm log-shipping standby instead of recovering in place")
+	asJSON := flag.Bool("json", false, "print per-round results and totals as JSON")
 	flag.Parse()
+
+	say := func(format string, args ...any) {
+		if !*asJSON {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
 
 	cfg := core.Config{
 		PageSize:        1024,
@@ -40,7 +72,31 @@ func main() {
 	}
 	d := crashtest.New(cfg, *seed)
 
+	results := make([]roundResult, 0, *rounds)
 	for round := 1; round <= *rounds; round++ {
+		if *replicate {
+			start := time.Now()
+			pstats, err := d.ReplicatedCrashAndPromote(*steps, *midGC)
+			if err != nil {
+				log.Fatalf("round %d: VIOLATION: %v", round, err)
+			}
+			results = append(results, roundResult{
+				Round: round, Replicated: true, GCActive: pstats.GCResumed,
+				ElapsedNs: time.Since(start).Nanoseconds(),
+				ResumeLSN: uint64(pstats.RedoStart), Scanned: pstats.Scanned,
+				Losers: pstats.Losers, InDoubt: pstats.InDoubt,
+				GCResumed: pstats.GCResumed, AppliedLSN: uint64(pstats.AppliedLSN),
+			})
+			say("round %d: replicated failover (midgc=%v) → promoted in %s",
+				round, *midGC, pstats.Duration.Round(time.Microsecond))
+			say("  standby applied LSN %d; redo from LSN %d: %d records scanned",
+				pstats.AppliedLSN, pstats.RedoStart, pstats.Scanned)
+			say("  %d losers rolled back, %d in-doubt resolved, gc-resumed=%v",
+				pstats.Losers, pstats.InDoubt, pstats.GCResumed)
+			say("  model verified against the promoted heap")
+			continue
+		}
+
 		for i := 0; i < *steps; i++ {
 			if err := d.Step(); err != nil {
 				log.Fatalf("round %d step %d: %v", round, i, err)
@@ -56,23 +112,43 @@ func main() {
 			log.Fatalf("round %d: VIOLATION: %v", round, err)
 		}
 		res := d.Heap().LastRecovery()
-		fmt.Printf("round %d: crash (gc-active=%v, %.0f%% flushed) → recovered in %s\n",
-			round, gcActive, *flush*100, time.Since(start).Round(time.Microsecond))
-		fmt.Printf("  redo from LSN %d: %d records scanned, %d applied; %d losers rolled back\n",
-			res.RedoStart, res.RedoScanned, res.RedoApplied, len(res.Losers))
 		st := res.Stats
-		fmt.Printf("  phases: analysis %s, redo %s, undo %s\n",
+		results = append(results, roundResult{
+			Round: round, GCActive: gcActive,
+			ElapsedNs: time.Since(start).Nanoseconds(),
+			ResumeLSN: uint64(res.RedoStart), Scanned: res.RedoScanned,
+			Applied: res.RedoApplied, Losers: len(res.Losers),
+			GCResumed: d.Heap().StableCollector().Active(),
+			Workers:   st.RedoWorkers,
+		})
+		say("round %d: crash (gc-active=%v, %.0f%% flushed) → recovered in %s",
+			round, gcActive, *flush*100, time.Since(start).Round(time.Microsecond))
+		say("  redo from LSN %d: %d records scanned, %d applied; %d losers rolled back",
+			res.RedoStart, res.RedoScanned, res.RedoApplied, len(res.Losers))
+		say("  phases: analysis %s, redo %s, undo %s",
 			st.Analysis.Round(time.Microsecond), st.Redo.Round(time.Microsecond),
 			st.Undo.Round(time.Microsecond))
 		if st.RedoWorkers > 1 {
-			fmt.Printf("  parallel redo: %d workers, %d barriers, shard skew %.2f\n",
+			say("  parallel redo: %d workers, %d barriers, shard skew %.2f",
 				st.RedoWorkers, st.Barriers, st.Skew())
 		} else {
-			fmt.Printf("  sequential redo (1 worker)\n")
+			say("  sequential redo (1 worker)")
 		}
-		fmt.Printf("  model verified twice (primary + independent twin recovery)\n")
+		say("  model verified twice (primary + independent twin recovery)")
 	}
+
 	s := d.Stats()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Rounds []roundResult   `json:"rounds"`
+			Totals crashtest.Stats `json:"totals"`
+		}{results, s}); err != nil {
+			log.Fatal("shrecover: ", err)
+		}
+		return
+	}
 	fmt.Printf("\ntotal: %d operations, %d commits, %d aborts, %d crashes, 0 violations\n",
 		s.Steps, s.Commits, s.Aborts, s.Crashes)
 }

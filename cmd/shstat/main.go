@@ -1,9 +1,10 @@
 // Command shstat exercises a stable heap and reports its live metrics: it
 // runs a bank-transfer workload (with an in-flight incremental collection),
 // crashes and recovers mid-run so recovery phase times are populated, runs
-// a second burst against the recovered heap, and then prints the unified
-// metrics snapshot — every counter plus p50/p90/p99/max for every latency
-// histogram.
+// a second burst against the recovered heap — with a warm log-shipping
+// standby attached so the replication counters, apply latencies and lag
+// gauges populate too — and then prints the unified metrics snapshot —
+// every counter plus p50/p90/p99/max for every latency histogram.
 //
 // Usage:
 //
@@ -20,12 +21,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"stableheap"
+	"stableheap/internal/repl"
 	"stableheap/internal/workload"
 )
 
@@ -70,6 +73,18 @@ func main() {
 	check(err)
 	bank.Reattach(h)
 
+	// Attach a warm standby to the recovered heap so burst two streams
+	// over the log-shipping path and the repl_* counters, apply-latency
+	// histograms and lag gauge populate alongside the heap's own metrics.
+	prim := repl.NewPrimary(h.Internal(), repl.PrimaryConfig{})
+	sbDisk, sbLog := h.Internal().BaseBackup()
+	sb, err := repl.NewStandby(repl.StandbyConfig{Name: "shstat-standby", Heap: cfg}, sbDisk, sbLog)
+	check(err)
+	resumeLSN := sb.AppliedLSN()
+	server, client := net.Pipe()
+	go prim.Serve(server)
+	go sb.RunConn(client)
+
 	// Burst two against the recovered heap, again with a collection in
 	// flight (metrics live with the heap instance, so the reported GC
 	// histograms must come from post-recovery activity).
@@ -85,7 +100,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "workload: %d accounts, 2×%d transfer txs, crash+recover in between; invariant total=%d\n",
 		*accounts, *ops, total)
 
+	// Drain the standby and take one consistent snapshot read before
+	// folding its metrics in.
+	h.Internal().Log().ForceAll()
+	check(sb.WaitCaughtUp(h.Internal().LogStableLSN(), 10*time.Second))
+	_, at, err := sb.ReadSnapshot()
+	check(err)
+	fmt.Fprintf(os.Stderr, "replication: standby resumed from LSN %d, snapshot read at LSN %d, lag %d bytes\n",
+		resumeLSN, at, sb.LagBytes())
+	sb.Close()
+
 	m := h.Metrics()
+	m.Merge(prim.Metrics())
+	m.Merge(sb.Metrics())
 	switch {
 	case *asJSON:
 		enc := json.NewEncoder(os.Stdout)

@@ -32,6 +32,9 @@ type JSONResult struct {
 type JSONReport struct {
 	Benchmarks []JSONResult `json:"benchmarks"`
 	Metrics    obs.Snapshot `json:"metrics"`
+	// Failover is the E16 failover-time-vs-lag table (log-shipping
+	// replication: promote a warm standby after a primary crash).
+	Failover *Table `json:"failover,omitempty"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -181,6 +184,12 @@ func WriteJSON(path string) error {
 		return err
 	}
 	report.Metrics = m
+	failover, replMetrics, err := replicationReport()
+	if err != nil {
+		return err
+	}
+	report.Failover = &failover
+	report.Metrics.Merge(replMetrics)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -567,14 +567,20 @@ func (c *Collector) sequentialScan(quantum int) {
 	ps := c.pageSize()
 	var fixes []wal.PtrFix
 	curPage := word.PageID(0)
-	flush := func(full bool) {
+	flush := func() {
 		if len(fixes) == 0 {
 			return
 		}
 		var lsn word.LSN
 		if c.cfg.Atomic {
+			// Sweep records never claim their page complete: curPage is the
+			// page of the last *slot* fixed, which (for an object spanning a
+			// page boundary) can be ahead of the sweep. Completion is
+			// conveyed by ScanPtr — recovery marks every page wholly behind
+			// it scanned, exactly mirroring markThrough below. Only trap
+			// records (scanPage) set Full: they really scan a whole page.
 			lsn = c.log.Append(wal.ScanRec{
-				Epoch: c.epoch, Page: curPage, Full: full, ScanPtr: c.scanPtr, Fixes: fixes,
+				Epoch: c.epoch, Page: curPage, ScanPtr: c.scanPtr, Fixes: fixes,
 			})
 		}
 		for _, f := range fixes {
@@ -609,7 +615,7 @@ func (c *Collector) sequentialScan(quantum int) {
 				}
 				pg := slot.Page(ps)
 				if pg != curPage {
-					flush(false)
+					flush()
 					curPage = pg
 				}
 				p := word.Addr(c.mem.ReadWord(slot))
@@ -622,11 +628,11 @@ func (c *Collector) sequentialScan(quantum int) {
 		c.scanPtr = c.scanPtr.Add(size)
 		budget -= size
 		if c.scanPtr.Page(ps) != prevPage {
-			flush(true)
+			flush()
 			markThrough(c.scanPtr)
 		}
 	}
-	flush(c.scanPtr >= c.to.CopyPtr)
+	flush()
 	markThrough(c.scanPtr)
 }
 

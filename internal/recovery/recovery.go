@@ -420,12 +420,27 @@ func (a *analysis) scan(log *wal.Manager) {
 				a.dirty(r.Fixes[0].Addr, lsn)
 			}
 			if a.cp.GC.Active {
+				// Full is set only by trap scans, which fix every slot on
+				// their page in this one record — the page is safe for the
+				// mutator. Sweep records instead advance ScanPtr; pages
+				// wholly behind the sweep are scanned (the collector's
+				// markThrough rule). Marking the sweep record's own Page
+				// would over-claim: it names the page of the last slot
+				// fixed, which for an object spanning a page boundary lies
+				// ahead of the sweep and still has unscanned slots.
 				base := r.Page.Base(a.mem.PageSize())
 				if r.Full && base >= a.cp.GC.ToLo && base < a.cp.GC.ToHi {
 					a.cp.GC.Scanned[a.gcPageIndex(base)] = true
 				}
 				if r.ScanPtr > a.cp.GC.ScanPtr {
 					a.cp.GC.ScanPtr = r.ScanPtr
+					ps := word.Addr(a.mem.PageSize())
+					for i := range a.cp.GC.Scanned {
+						if a.cp.GC.ToLo+word.Addr(i+1)*ps > r.ScanPtr {
+							break
+						}
+						a.cp.GC.Scanned[i] = true
+					}
 				}
 			}
 		case wal.GCEndRec:

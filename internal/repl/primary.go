@@ -1,0 +1,243 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"stableheap/internal/obs"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Source is the slice of a primary heap the shipper needs: verbatim
+// stable-frame copies, the shipping horizon, and retention floors.
+// *core.Heap implements it (all four run under the heap's action latch).
+type Source interface {
+	ShipLog(from word.LSN, maxBytes int) ([]byte, word.LSN, error)
+	LogStableLSN() word.LSN
+	SetLogRetainFloor(owner string, lsn word.LSN)
+	ClearLogRetainFloor(owner string)
+}
+
+// PrimaryConfig tunes the shipper.
+type PrimaryConfig struct {
+	// BatchBytes bounds one FRAMES message (default 64 KiB). At least one
+	// whole frame always ships, so oversized records still make progress.
+	BatchBytes int
+	// MaxUnackedBytes bounds how far shipping may run ahead of the
+	// standby's acks (default 1 MiB). A slow standby stalls its own
+	// session at this bound — backpressure — rather than buffering
+	// unboundedly inside the kernel socket queues.
+	MaxUnackedBytes int
+	// PollInterval is how often a caught-up session re-checks the stable
+	// horizon (default 200µs). Shipping is pull-based polling: the force
+	// path stays untouched, at the cost of up to one interval of added
+	// lag.
+	PollInterval time.Duration
+}
+
+func (c PrimaryConfig) withDefaults() PrimaryConfig {
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
+	if c.MaxUnackedBytes <= 0 {
+		c.MaxUnackedBytes = 1 << 20
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Primary ships the stable log to standbys. One Primary serves any
+// number of concurrent sessions (one goroutine each, via Serve); each
+// session's acks maintain a retention floor keyed by the standby's
+// stable name, so reconnects move the same floor instead of leaking a
+// new one, and Truncate never reclaims frames an attached standby has
+// not yet durably applied.
+type Primary struct {
+	src Source
+	cfg PrimaryConfig
+
+	handshakes     obs.Counter
+	rejects        obs.Counter
+	shipBatches    obs.Counter
+	shipBytes      obs.Counter
+	stalls         obs.Counter
+	shipNs         obs.Histogram
+	ackedLSN       obs.Gauge
+	shipLagBytes   obs.Gauge
+	activeSessions obs.Gauge
+}
+
+// NewPrimary wraps a log source (normally a *core.Heap) as a shipper.
+func NewPrimary(src Source, cfg PrimaryConfig) *Primary {
+	return &Primary{src: src, cfg: cfg.withDefaults()}
+}
+
+// session is the shared state between a Serve loop and its ack reader.
+type session struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	acked word.LSN
+	dead  bool
+	err   error
+}
+
+func (st *session) fail(err error) {
+	st.mu.Lock()
+	if !st.dead {
+		st.dead, st.err = true, err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// Serve runs one replication session over conn until the connection
+// drops or the handshake is rejected. It blocks; run it in a goroutine
+// per standby. The standby's retention floor survives disconnection (so
+// a reconnect can resume) — call Forget to decommission a standby for
+// good.
+func (p *Primary) Serve(conn net.Conn) error {
+	defer conn.Close()
+	kind, payload, err := readMsg(conn)
+	if err != nil {
+		return fmt.Errorf("repl: reading handshake: %w", err)
+	}
+	if kind != msgHello {
+		return fmt.Errorf("repl: expected HELLO, got %s", kindName(kind))
+	}
+	resume, name, err := parseHello(payload)
+	if err != nil {
+		return err
+	}
+	p.handshakes.Inc()
+
+	// Probe the resume point before accepting: a truncated LSN means the
+	// standby fell behind the retention window (e.g. while detached with
+	// no floor) and re-shipping is impossible.
+	if _, _, err := p.src.ShipLog(resume, 1); err != nil {
+		if errors.Is(err, wal.ErrTruncated) {
+			p.rejects.Inc()
+			writeMsg(conn, msgHelloAck, helloAckPayload(helloAckTruncated, p.src.LogStableLSN()))
+			return ErrResumeTruncated
+		}
+		return fmt.Errorf("repl: probing resume LSN %d: %w", resume, err)
+	}
+
+	// Pin the log from the resume point BEFORE acknowledging, so no
+	// truncation can race into the window between handshake and first
+	// ack.
+	owner := floorOwner(name)
+	p.src.SetLogRetainFloor(owner, resume)
+	if err := writeMsg(conn, msgHelloAck, helloAckPayload(helloAckOK, resume)); err != nil {
+		return err
+	}
+
+	st := &session{acked: resume}
+	st.cond = sync.NewCond(&st.mu)
+	go p.readAcks(conn, owner, st)
+
+	p.activeSessions.Add(1)
+	defer p.activeSessions.Add(-1)
+
+	cursor := resume
+	for {
+		// Backpressure: wait for acks when too far ahead of the standby.
+		st.mu.Lock()
+		if !st.dead && cursor-st.acked > word.LSN(p.cfg.MaxUnackedBytes) {
+			p.stalls.Inc()
+			for !st.dead && cursor-st.acked > word.LSN(p.cfg.MaxUnackedBytes) {
+				st.cond.Wait()
+			}
+		}
+		dead, serr := st.dead, st.err
+		st.mu.Unlock()
+		if dead {
+			return serr
+		}
+
+		data, next, err := p.src.ShipLog(cursor, p.cfg.BatchBytes)
+		if err != nil {
+			return fmt.Errorf("repl: shipping from %d: %w", cursor, err)
+		}
+		if len(data) == 0 {
+			// Caught up: poll for new stable frames.
+			time.Sleep(p.cfg.PollInterval)
+			continue
+		}
+		start := time.Now()
+		if err := writeMsg(conn, msgFrames, framesPayload(cursor, p.src.LogStableLSN(), data)); err != nil {
+			return err
+		}
+		p.shipNs.Since(start)
+		p.shipBatches.Inc()
+		p.shipBytes.Add(uint64(len(data)))
+		cursor = next
+	}
+}
+
+// readAcks drains the standby's acks: each one advances the retention
+// floor (the standby has durably applied everything below it) and wakes
+// a ship loop stalled on backpressure.
+func (p *Primary) readAcks(conn net.Conn, owner string, st *session) {
+	for {
+		kind, payload, err := readMsg(conn)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		if kind != msgAck {
+			st.fail(fmt.Errorf("repl: expected ACK, got %s", kindName(kind)))
+			return
+		}
+		applied, err := parseAck(payload)
+		if err != nil {
+			st.fail(err)
+			return
+		}
+		p.src.SetLogRetainFloor(owner, applied)
+		p.ackedLSN.Set(int64(applied))
+		if stable := p.src.LogStableLSN(); stable > applied {
+			p.shipLagBytes.Set(int64(stable - applied))
+		} else {
+			p.shipLagBytes.Set(0)
+		}
+		st.mu.Lock()
+		if applied > st.acked {
+			st.acked = applied
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// Forget decommissions a standby: its retention floor is dropped and the
+// log may truncate past its resume point. A later reconnect from the
+// same standby is rejected with ErrResumeTruncated once truncation has
+// actually passed it.
+func (p *Primary) Forget(standbyName string) {
+	p.src.ClearLogRetainFloor(floorOwner(standbyName))
+}
+
+// floorOwner namespaces standby floors in the wal manager's floor map.
+func floorOwner(name string) string { return "repl:" + name }
+
+// Metrics snapshots the shipper's counters and latency distributions
+// under the repl_ namespace.
+func (p *Primary) Metrics() obs.Snapshot {
+	s := obs.NewSnapshot()
+	s.SetCounter("repl_handshakes_total", int64(p.handshakes.Load()))
+	s.SetCounter("repl_resume_rejected_total", int64(p.rejects.Load()))
+	s.SetCounter("repl_ship_batches_total", int64(p.shipBatches.Load()))
+	s.SetCounter("repl_shipped_bytes_total", int64(p.shipBytes.Load()))
+	s.SetCounter("repl_backpressure_stalls_total", int64(p.stalls.Load()))
+	s.SetCounter("repl_active_sessions", p.activeSessions.Load())
+	s.SetCounter("repl_acked_lsn", p.ackedLSN.Load())
+	s.SetCounter("repl_ship_lag_bytes", p.shipLagBytes.Load())
+	s.SetHist("repl_ship_ns", p.shipNs.Snapshot())
+	return s
+}

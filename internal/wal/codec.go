@@ -24,6 +24,20 @@ import (
 
 const frameHeader = 8 // len + crc
 
+// FrameLen returns the total length of the frame beginning at b[0], from its
+// length prefix alone (no CRC check). It lets a stream of concatenated
+// frames — e.g. a replication batch — be split without decoding.
+func FrameLen(b []byte) (int, error) {
+	if len(b) < frameHeader+1 {
+		return 0, fmt.Errorf("wal: frame prefix too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:4]))
+	if n < frameHeader+1 || n > len(b) {
+		return 0, fmt.Errorf("wal: frame length %d out of range (buffer %d)", n, len(b))
+	}
+	return n, nil
+}
+
 // Encode serializes a record into an exactly-sized framed byte slice with
 // a single allocation.
 func Encode(r Record) []byte {

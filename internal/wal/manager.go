@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,12 @@ import (
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
 )
+
+// ErrTruncated reports a read below the log's truncation point: the record
+// existed but its segment has been reclaimed. Callers that hold an LSN from
+// an external source (a replication resume point, an archive cursor) match
+// it with errors.Is to distinguish "gone forever" from "never written".
+var ErrTruncated = errors.New("wal: LSN below the truncation point")
 
 // Manager spools records to the log device and decodes them back. It is the
 // "log manager" of §2.2: Append writes to the volatile log (the buffer);
@@ -22,6 +29,10 @@ type Manager struct {
 	append obs.Histogram
 	force  obs.Histogram
 	tr     *obs.Trace
+	// retain holds per-owner retention floors: Truncate never drops
+	// records at or above any floor. Replication connections register the
+	// LSN their standby still needs (see SetRetainFloor).
+	retain map[string]word.LSN
 }
 
 // NewManager wraps a log device.
@@ -90,10 +101,16 @@ func (m *Manager) EndLSN() word.LSN { return m.dev.EndLSN() }
 // IsStable reports whether the record at lsn is durable.
 func (m *Manager) IsStable(lsn word.LSN) bool { return m.dev.IsStable(lsn) }
 
-// ReadAt decodes the record at lsn.
+// ReadAt decodes the record at lsn. An LSN below the truncation point
+// returns an error wrapping ErrTruncated (the record is gone, not absent);
+// any other failure means no record starts at lsn.
 func (m *Manager) ReadAt(lsn word.LSN) (Record, error) {
 	frame, ok := m.dev.ReadAt(lsn)
 	if !ok {
+		if lsn < m.dev.TruncLSN() {
+			return nil, fmt.Errorf("wal: record at LSN %d reclaimed (truncation point %d): %w",
+				lsn, m.dev.TruncLSN(), ErrTruncated)
+		}
 		return nil, fmt.Errorf("wal: no record at LSN %d", lsn)
 	}
 	return Decode(frame)
@@ -147,8 +164,90 @@ func (m *Manager) ScanBatch(from word.LSN, stableOnly bool, batchSize int, fn fu
 	})
 }
 
-// Truncate releases log space below keep (segment granularity).
-func (m *Manager) Truncate(keep word.LSN) { m.dev.Truncate(keep) }
+// Truncate releases log space below keep (segment granularity), clamped so
+// no registered retention floor is violated: a replication standby that has
+// not acknowledged past a floor keeps its resume window alive no matter how
+// far checkpoints advance.
+func (m *Manager) Truncate(keep word.LSN) {
+	if f := m.RetainFloor(); f != word.NilLSN && f < keep {
+		keep = f
+	}
+	if keep <= m.dev.TruncLSN() {
+		return // nothing new to free (possibly floor-clamped to zero work)
+	}
+	m.dev.Truncate(keep)
+}
+
+// SetRetainFloor registers (or moves) owner's retention floor: Truncate will
+// keep every record at or above lsn until the floor is raised or cleared.
+// Floors deliberately survive connection loss — a disconnected standby's
+// resume window must not be reclaimed while it is reconnecting.
+func (m *Manager) SetRetainFloor(owner string, lsn word.LSN) {
+	if m.retain == nil {
+		m.retain = make(map[string]word.LSN)
+	}
+	m.retain[owner] = lsn
+}
+
+// ClearRetainFloor removes owner's retention floor.
+func (m *Manager) ClearRetainFloor(owner string) { delete(m.retain, owner) }
+
+// RetainFloor returns the lowest registered retention floor (NilLSN if none).
+func (m *Manager) RetainFloor() word.LSN {
+	min := word.NilLSN
+	for _, lsn := range m.retain {
+		if min == word.NilLSN || lsn < min {
+			min = lsn
+		}
+	}
+	return min
+}
+
+// CopyStableTail returns the raw frames of the stable log starting exactly
+// at the record boundary from, concatenated, up to roughly maxBytes (always
+// at least one whole frame when any is available). The second result is the
+// LSN of the first record NOT included — the cursor for the next call. The
+// frames keep their on-device encoding (length-prefixed, CRC-framed), so a
+// replication shipper can put them on the wire verbatim and the standby can
+// append them at identical LSNs.
+//
+// An exhausted window (from == StableLSN) returns an empty slice; a from
+// below the truncation point returns an error wrapping ErrTruncated (the
+// resume point is unserviceable — the standby needs a fresh base backup).
+func (m *Manager) CopyStableTail(from word.LSN, maxBytes int) ([]byte, word.LSN, error) {
+	if from < m.dev.TruncLSN() {
+		return nil, from, fmt.Errorf("wal: cannot ship from LSN %d (truncation point %d): %w",
+			from, m.dev.TruncLSN(), ErrTruncated)
+	}
+	if from > m.dev.StableLSN() {
+		return nil, from, fmt.Errorf("wal: ship cursor %d beyond stable LSN %d", from, m.dev.StableLSN())
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 * 1024
+	}
+	var out []byte
+	next := from
+	boundary := true
+	var scanErr error
+	m.dev.ScanBatches(from, true, 64, func(lsns []word.LSN, frames [][]byte) bool {
+		for i, frame := range frames {
+			if boundary {
+				if lsns[i] != from {
+					scanErr = fmt.Errorf("wal: ship cursor %d is not a record boundary (next record at %d)", from, lsns[i])
+					return false
+				}
+				boundary = false
+			}
+			if len(out) > 0 && len(out)+len(frame) > maxBytes {
+				return false
+			}
+			out = append(out, frame...)
+			next = lsns[i] + word.LSN(len(frame))
+		}
+		return true
+	})
+	return out, next, scanErr
+}
 
 // TypeStats reports how many records of type t were appended and their
 // total framed bytes.
