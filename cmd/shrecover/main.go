@@ -19,7 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -45,20 +45,34 @@ type roundResult struct {
 }
 
 func main() {
-	seed := flag.Int64("seed", 1, "workload seed")
-	steps := flag.Int("steps", 150, "workload operations before each crash")
-	flush := flag.Float64("flush", 0.5, "fraction of dirty pages flushed before the crash")
-	midGC := flag.Bool("midgc", false, "crash in the middle of a stable collection")
-	rounds := flag.Int("rounds", 3, "crash/recover rounds")
-	workers := flag.Int("workers", 0, "redo workers (0 = min(GOMAXPROCS, 8), 1 = sequential)")
-	replicate := flag.Bool("repl", false, "fail over to a warm log-shipping standby instead of recovering in place")
-	asJSON := flag.Bool("json", false, "print per-round results and totals as JSON")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags in, exit code out (0 = verified,
+// 1 = violation or internal failure, 2 = bad usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shrecover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "workload seed")
+	steps := fs.Int("steps", 150, "workload operations before each crash")
+	flush := fs.Float64("flush", 0.5, "fraction of dirty pages flushed before the crash")
+	midGC := fs.Bool("midgc", false, "crash in the middle of a stable collection")
+	rounds := fs.Int("rounds", 3, "crash/recover rounds")
+	workers := fs.Int("workers", 0, "redo workers (0 = min(GOMAXPROCS, 8), 1 = sequential)")
+	replicate := fs.Bool("repl", false, "fail over to a warm log-shipping standby instead of recovering in place")
+	asJSON := fs.Bool("json", false, "print per-round results and totals as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	say := func(format string, args ...any) {
 		if !*asJSON {
-			fmt.Printf(format+"\n", args...)
+			fmt.Fprintf(stdout, format+"\n", args...)
 		}
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "shrecover: "+format+"\n", args...)
+		return 1
 	}
 
 	cfg := core.Config{
@@ -78,7 +92,7 @@ func main() {
 			start := time.Now()
 			pstats, err := d.ReplicatedCrashAndPromote(*steps, *midGC)
 			if err != nil {
-				log.Fatalf("round %d: VIOLATION: %v", round, err)
+				return fail("round %d: VIOLATION: %v", round, err)
 			}
 			results = append(results, roundResult{
 				Round: round, Replicated: true, GCActive: pstats.GCResumed,
@@ -99,7 +113,7 @@ func main() {
 
 		for i := 0; i < *steps; i++ {
 			if err := d.Step(); err != nil {
-				log.Fatalf("round %d step %d: %v", round, i, err)
+				return fail("round %d step %d: %v", round, i, err)
 			}
 		}
 		if *midGC {
@@ -109,7 +123,7 @@ func main() {
 		gcActive := d.Heap().StableCollector().Active()
 		start := time.Now()
 		if err := d.CrashAndRecover(*flush, true); err != nil {
-			log.Fatalf("round %d: VIOLATION: %v", round, err)
+			return fail("round %d: VIOLATION: %v", round, err)
 		}
 		res := d.Heap().LastRecovery()
 		st := res.Stats
@@ -139,16 +153,17 @@ func main() {
 
 	s := d.Stats()
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
 			Rounds []roundResult   `json:"rounds"`
 			Totals crashtest.Stats `json:"totals"`
 		}{results, s}); err != nil {
-			log.Fatal("shrecover: ", err)
+			return fail("%v", err)
 		}
-		return
+		return 0
 	}
-	fmt.Printf("\ntotal: %d operations, %d commits, %d aborts, %d crashes, 0 violations\n",
+	fmt.Fprintf(stdout, "\ntotal: %d operations, %d commits, %d aborts, %d crashes, 0 violations\n",
 		s.Steps, s.Commits, s.Aborts, s.Crashes)
+	return 0
 }

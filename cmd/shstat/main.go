@@ -19,7 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -33,36 +33,55 @@ import (
 )
 
 func main() {
-	ops := flag.Int("ops", 2000, "transfer transactions per burst (two bursts run)")
-	accounts := flag.Int("accounts", 128, "bank accounts")
-	asJSON := flag.Bool("json", false, "print the metrics snapshot as JSON")
-	asProm := flag.Bool("prom", false, "print Prometheus text exposition")
-	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
-	serveAddr := flag.String("serve", "", "serve /metrics, /metrics.json and /trace on this address and block")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: flags in, exit code out (0 = success,
+// 1 = failure, 2 = bad usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ops := fs.Int("ops", 2000, "transfer transactions per burst (two bursts run)")
+	accounts := fs.Int("accounts", 128, "bank accounts")
+	asJSON := fs.Bool("json", false, "print the metrics snapshot as JSON")
+	asProm := fs.Bool("prom", false, "print Prometheus text exposition")
+	tracePath := fs.String("trace", "", "write Chrome trace_event JSON to this file")
+	serveAddr := fs.String("serve", "", "serve /metrics, /metrics.json and /trace on this address and block")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := body(*ops, *accounts, *asJSON, *asProm, *tracePath, *serveAddr, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "shstat: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func body(ops, accounts int, asJSON, asProm bool, tracePath, serveAddr string, stdout, stderr io.Writer) error {
 	cfg := stableheap.DefaultConfig()
 	cfg.StableWords = 64 * 1024
 	cfg.VolatileWords = 16 * 1024
 	cfg.GroupCommitWindow = 200 * time.Microsecond
 	// Tracing is the one opt-in: turn it on whenever its output is wanted.
-	cfg.Trace = *tracePath != "" || *serveAddr != ""
+	cfg.Trace = tracePath != "" || serveAddr != ""
 
 	rng := rand.New(rand.NewSource(42))
 	h := stableheap.Open(cfg)
 	fanout := 1
-	for fanout*fanout < *accounts {
+	for fanout*fanout < accounts {
 		fanout++
 	}
-	bank, err := workload.NewBank(h, 0, *accounts, fanout, 1000)
-	check(err)
+	bank, err := workload.NewBank(h, 0, accounts, fanout, 1000)
+	if err != nil {
+		return err
+	}
 
 	// Burst one, with an incremental stable collection in flight so flip,
 	// scan-step and trap histograms fill.
 	h.CollectVolatile()
 	h.StartStableCollection()
-	if _, err := bank.RunMix(rng, *ops, 50); err != nil {
-		check(err)
+	if _, err := bank.RunMix(rng, ops, 50); err != nil {
+		return err
 	}
 	for h.StepStable() {
 	}
@@ -70,7 +89,9 @@ func main() {
 	// Crash and recover: populates the recovery phase histograms.
 	disk, logDev := h.Crash()
 	h, err = stableheap.Recover(cfg, disk, logDev)
-	check(err)
+	if err != nil {
+		return err
+	}
 	bank.Reattach(h)
 
 	// Attach a warm standby to the recovered heap so burst two streams
@@ -79,7 +100,9 @@ func main() {
 	prim := repl.NewPrimary(h.Internal(), repl.PrimaryConfig{})
 	sbDisk, sbLog := h.Internal().BaseBackup()
 	sb, err := repl.NewStandby(repl.StandbyConfig{Name: "shstat-standby", Heap: cfg}, sbDisk, sbLog)
-	check(err)
+	if err != nil {
+		return err
+	}
 	resumeLSN := sb.AppliedLSN()
 	server, client := net.Pipe()
 	go prim.Serve(server)
@@ -90,23 +113,29 @@ func main() {
 	// histograms must come from post-recovery activity).
 	h.CollectVolatile()
 	h.StartStableCollection()
-	if _, err := bank.RunMix(rng, *ops, 50); err != nil {
-		check(err)
+	if _, err := bank.RunMix(rng, ops, 50); err != nil {
+		return err
 	}
 	for h.StepStable() {
 	}
 	total, err := bank.Total()
-	check(err)
-	fmt.Fprintf(os.Stderr, "workload: %d accounts, 2×%d transfer txs, crash+recover in between; invariant total=%d\n",
-		*accounts, *ops, total)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "workload: %d accounts, 2×%d transfer txs, crash+recover in between; invariant total=%d\n",
+		accounts, ops, total)
 
 	// Drain the standby and take one consistent snapshot read before
 	// folding its metrics in.
 	h.Internal().Log().ForceAll()
-	check(sb.WaitCaughtUp(h.Internal().LogStableLSN(), 10*time.Second))
+	if err := sb.WaitCaughtUp(h.Internal().LogStableLSN(), 10*time.Second); err != nil {
+		return err
+	}
 	_, at, err := sb.ReadSnapshot()
-	check(err)
-	fmt.Fprintf(os.Stderr, "replication: standby resumed from LSN %d, snapshot read at LSN %d, lag %d bytes\n",
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "replication: standby resumed from LSN %d, snapshot read at LSN %d, lag %d bytes\n",
 		resumeLSN, at, sb.LagBytes())
 	sb.Close()
 
@@ -114,41 +143,50 @@ func main() {
 	m.Merge(prim.Metrics())
 	m.Merge(sb.Metrics())
 	switch {
-	case *asJSON:
-		enc := json.NewEncoder(os.Stdout)
+	case asJSON:
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		check(enc.Encode(m))
-	case *asProm:
-		check(m.WritePrometheus(os.Stdout))
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	case asProm:
+		if err := m.WritePrometheus(stdout); err != nil {
+			return err
+		}
 	default:
-		printSummary(m)
+		printSummary(stdout, m)
 	}
 
-	if *tracePath != "" {
-		check(os.WriteFile(*tracePath, h.TraceJSON(), 0o644))
-		fmt.Fprintf(os.Stderr, "trace written to %s (open in about://tracing or ui.perfetto.dev)\n", *tracePath)
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, h.TraceJSON(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "trace written to %s (open in about://tracing or ui.perfetto.dev)\n", tracePath)
 	}
-	if *serveAddr != "" {
-		srv, err := h.ServeMetrics(*serveAddr)
-		check(err)
-		fmt.Fprintf(os.Stderr, "serving http://%s/ (metrics, metrics.json, trace); ctrl-c to stop\n", srv.Addr())
+	if serveAddr != "" {
+		srv, err := h.ServeMetrics(serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "serving http://%s/ (metrics, metrics.json, trace); ctrl-c to stop\n", srv.Addr())
 		select {}
 	}
+	return nil
 }
 
 // printSummary renders the snapshot for humans: counters alphabetically,
 // then every histogram as count / p50 / p90 / p99 / max.
-func printSummary(m stableheap.Metrics) {
-	fmt.Println("counters:")
+func printSummary(w io.Writer, m stableheap.Metrics) {
+	fmt.Fprintln(w, "counters:")
 	names := make([]string, 0, len(m.Counters))
 	for n := range m.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Printf("  %-34s %d\n", n, m.Counters[n])
+		fmt.Fprintf(w, "  %-34s %d\n", n, m.Counters[n])
 	}
-	fmt.Println("\nlatency histograms (count / p50 / p90 / p99 / max):")
+	fmt.Fprintln(w, "\nlatency histograms (count / p50 / p90 / p99 / max):")
 	names = names[:0]
 	for n := range m.Histograms {
 		names = append(names, n)
@@ -160,17 +198,11 @@ func printSummary(m stableheap.Metrics) {
 			continue
 		}
 		if strings.HasSuffix(n, "_ns") {
-			fmt.Printf("  %-34s %6d  %10v %10v %10v %10v\n", n, h.Count,
+			fmt.Fprintf(w, "  %-34s %6d  %10v %10v %10v %10v\n", n, h.Count,
 				h.QuantileDur(0.5), h.QuantileDur(0.9), h.QuantileDur(0.99), h.MaxDur())
 		} else {
-			fmt.Printf("  %-34s %6d  %10d %10d %10d %10d\n", n, h.Count,
+			fmt.Fprintf(w, "  %-34s %6d  %10d %10d %10d %10d\n", n, h.Count,
 				h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max)
 		}
-	}
-}
-
-func check(err error) {
-	if err != nil {
-		log.Fatal("shstat: ", err)
 	}
 }

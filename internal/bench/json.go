@@ -115,7 +115,7 @@ func jsonKernels() (names []string, fns []func(b *testing.B)) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				d2, l2 := disk.Snapshot(), logDev.Snapshot()
+				d2, l2 := disk.Clone(), logDev.Clone()
 				b.StartTimer()
 				if _, err := stableheap.Recover(cfg, d2, l2); err != nil {
 					b.Fatal(err)

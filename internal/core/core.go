@@ -154,8 +154,8 @@ type Ref = tx.Handle
 // Heap is a stable heap instance.
 type Heap struct {
 	cfg    Config
-	disk   *storage.Disk
-	logDev *storage.Log
+	disk   storage.PageStore
+	logDev storage.LogDevice
 	log    *wal.Manager
 	mem    *vm.Store
 	h      *heap.Heap
@@ -211,15 +211,21 @@ type Tx struct {
 // Open creates a freshly formatted stable heap on new simulated devices.
 func Open(cfg Config) *Heap {
 	cfg = cfg.withDefaults()
-	disk := storage.NewDisk(cfg.PageSize)
-	logDev := storage.NewLog(cfg.LogSegBytes)
+	return OpenOn(cfg, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
+}
+
+// OpenOn creates a freshly formatted stable heap on the provided devices —
+// the entry point for fault-injection wrappers (internal/faultfs) and any
+// other PageStore/LogDevice implementation. The devices must be empty.
+func OpenOn(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
+	cfg = cfg.withDefaults()
 	hp := build(cfg, disk, logDev)
 	hp.format()
 	return hp
 }
 
 // build wires the subsystems over existing devices (no formatting).
-func build(cfg Config, disk *storage.Disk, logDev *storage.Log) *Heap {
+func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 	log := wal.NewManager(logDev)
 	mem := vm.New(vm.Config{PageSize: cfg.PageSize, CachePages: cfg.CachePages, LogFetches: true}, disk, log)
 	h := heap.New(mem)
@@ -580,10 +586,16 @@ func (t *Tx) lockAddr(read func() word.Addr, m lock.Mode) error {
 	// uncontended fast path takes no clock readings.
 	var waitStart, deadline time.Time
 	for {
-		hp.mu.Lock()
-		a := read()
-		err := hp.locks.TryAcquire(t.t.ID(), a, m)
-		hp.mu.Unlock()
+		var a word.Addr
+		var err error
+		func() {
+			// Deferred unlock: read() can fault on a wrapped device
+			// (internal/faultfs) and the latch must not leak with it.
+			hp.mu.Lock()
+			defer hp.mu.Unlock()
+			a = read()
+			err = hp.locks.TryAcquire(t.t.ID(), a, m)
+		}()
 		if err == nil {
 			if !waitStart.IsZero() {
 				hp.met.lockWait.Since(waitStart)
@@ -956,41 +968,49 @@ func (t *Tx) Commit() error {
 	}
 	hp := t.hp
 	start := time.Now()
-	hp.mu.Lock()
-	if t.err == nil && hp.track != nil && !t.t.Prepared() {
-		if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
-			delete(hp.candidates, t.t.ID())
-			hp.txm.Abort(t.t)
-			hp.mu.Unlock()
-			hp.met.txConflict.Since(start)
-			return t.fail(ErrConflict)
+	// The latched sections use deferred unlocks: commit touches the log
+	// device, which a fault-injection wrapper can fail with a typed panic,
+	// and the latch must unwind with it.
+	var parked word.LSN
+	committed := false
+	err := func() error {
+		hp.mu.Lock()
+		defer hp.mu.Unlock()
+		if t.err == nil && hp.track != nil && !t.t.Prepared() {
+			if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
+				delete(hp.candidates, t.t.ID())
+				hp.txm.Abort(t.t)
+				hp.met.txConflict.Since(start)
+				return t.fail(ErrConflict)
+			}
 		}
-	}
-	delete(hp.candidates, t.t.ID())
-	if t.err != nil {
-		hp.txm.Abort(t.t)
-		hp.mu.Unlock()
-		hp.met.txAbort.Since(start)
-		return t.err
-	}
-	if hp.group == nil {
-		hp.txm.Commit(t.t)
-		hp.ckpt.Promote()
-		hp.mu.Unlock()
-		d := time.Since(start)
-		hp.met.txCommit.Observe(uint64(d))
-		hp.tr.Complete("tx", "commit", start, d)
+		delete(hp.candidates, t.t.ID())
+		if t.err != nil {
+			hp.txm.Abort(t.t)
+			hp.met.txAbort.Since(start)
+			return t.err
+		}
+		if hp.group == nil {
+			hp.txm.Commit(t.t)
+			hp.ckpt.Promote()
+			committed = true
+			return nil
+		}
+		// Group commit: append the commit record here, park outside the
+		// latch until a shared force covers it, then finish. Locks stay
+		// held throughout, so isolation is unchanged.
+		parked = hp.txm.PrepareCommit(t.t)
 		return nil
+	}()
+	if err != nil {
+		return err
 	}
-	// Group commit: append the commit record, park outside the latch
-	// until a shared force covers it, then finish. Locks stay held
-	// throughout, so isolation is unchanged.
-	lsn := hp.txm.PrepareCommit(t.t)
-	hp.mu.Unlock()
-	hp.group.waitDurable(lsn)
-	hp.mu.Lock()
-	hp.txm.FinishCommit(t.t)
-	hp.mu.Unlock()
+	if !committed {
+		hp.group.waitDurable(parked)
+		hp.mu.Lock()
+		hp.txm.FinishCommit(t.t)
+		hp.mu.Unlock()
+	}
 	d := time.Since(start)
 	hp.met.txCommit.Observe(uint64(d))
 	hp.tr.Complete("tx", "commit", start, d)

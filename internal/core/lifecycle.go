@@ -76,7 +76,7 @@ func (hp *Heap) Close() {
 // log tail, the lock table and the transaction table vanish; the disk and
 // the stable log survive. The heap is unusable afterwards; call Recover
 // with the surviving devices.
-func (hp *Heap) Crash() (*storage.Disk, *storage.Log) {
+func (hp *Heap) Crash() (storage.PageStore, storage.LogDevice) {
 	if hp.group != nil {
 		hp.group.close()
 	}
@@ -91,7 +91,7 @@ func (hp *Heap) Crash() (*storage.Disk, *storage.Log) {
 
 // Devices exposes the simulated devices (for the crash harness, which
 // controls which pages reach disk before a crash).
-func (hp *Heap) Devices() (*storage.Disk, *storage.Log) { return hp.disk, hp.logDev }
+func (hp *Heap) Devices() (storage.PageStore, storage.LogDevice) { return hp.disk, hp.logDev }
 
 // Recover rebuilds a stable heap from surviving devices: repeating
 // history, loser rollback, collector-state restoration, and the
@@ -99,11 +99,24 @@ func (hp *Heap) Devices() (*storage.Disk, *storage.Log) { return hp.disk, hp.log
 // volatile area. Recovery work is bounded by the log written since the
 // last checkpoint — independent of heap size (Ch. 4) — even if the crash
 // interrupted a collection (§3.5.3).
-func Recover(cfg Config, disk *storage.Disk, logDev *storage.Log) (*Heap, error) {
+func Recover(cfg Config, disk storage.PageStore, logDev storage.LogDevice) (*Heap, error) {
 	return recoverCommon(cfg, disk, logDev, false)
 }
 
-func recoverCommon(cfg Config, disk *storage.Disk, logDev *storage.Log, media bool) (*Heap, error) {
+func recoverCommon(cfg Config, disk storage.PageStore, logDev storage.LogDevice, media bool) (hpOut *Heap, errOut error) {
+	// The detectable-failure contract: device wrappers report corruption
+	// and surfaced I/O faults as typed panics from deep inside scans and
+	// page reads; recovery must turn them into errors naming the corrupt
+	// page or LSN, never admit a half-recovered heap.
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := storage.AsDeviceError(v); ok {
+				hpOut, errOut = nil, fmt.Errorf("core: recovery failed detectably: %w", e)
+				return
+			}
+			panic(v)
+		}
+	}()
 	cfg = cfg.withDefaults()
 	hp := build(cfg, disk, logDev)
 	var res *recovery.Result
@@ -132,8 +145,8 @@ func recoverCommon(cfg Config, disk *storage.Disk, logDev *storage.Log, media bo
 	// state.
 	for _, idt := range res.InDoubt {
 		id := idt.ID
-		_, objs := hp.txm.RestoreInDoubt(id, idt.LastLSN, func(a word.Addr) word.Addr {
-			return res.Translate(id, a)
+		_, objs := hp.txm.RestoreInDoubt(id, idt.LastLSN, func(a word.Addr, at word.LSN) word.Addr {
+			return res.Translate(id, a, at)
 		})
 		for _, obj := range objs {
 			if err := hp.locks.TryAcquire(id, obj, lock.Write); err != nil {
@@ -370,7 +383,18 @@ func (hp *Heap) GroupCommitStats() GroupCommitStats {
 // media failure". It requires the log to be untruncated back to its first
 // checkpoint (the archive discipline); repeating history then reconstructs
 // every page from scratch.
-func RecoverFromLog(cfg Config, logDev *storage.Log) (*Heap, error) {
+func RecoverFromLog(cfg Config, logDev storage.LogDevice) (hpOut *Heap, errOut error) {
+	// The probe scan below panics with a typed error on a corrupt frame;
+	// convert it (recoverCommon guards its own scans the same way).
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := storage.AsDeviceError(v); ok {
+				hpOut, errOut = nil, fmt.Errorf("core: media recovery failed detectably: %w", e)
+				return
+			}
+			panic(v)
+		}
+	}()
 	cfg = cfg.withDefaults()
 	if logDev.TruncLSN() > 1 {
 		// A truncated log cannot rebuild a lost disk: later checkpoints
@@ -383,6 +407,11 @@ func RecoverFromLog(cfg Config, logDev *storage.Log) (*Heap, error) {
 	// checkpoint and recover from there — everything after it replays.
 	var firstCP word.LSN
 	probe := wal.NewManager(logDev)
+	// A torn final record (crash mid-force) must be rewound before the
+	// probe scan walks into it; complete-frame corruption is fatal here.
+	if _, err := probe.RepairTornTail(logDev.TruncLSN()); err != nil {
+		return nil, fmt.Errorf("core: media recovery failed detectably: %w", err)
+	}
 	probe.Scan(logDev.TruncLSN(), true, func(lsn word.LSN, r wal.Record) bool {
 		if r.Type() == wal.TCheckpoint {
 			firstCP = lsn

@@ -17,11 +17,11 @@ import (
 // exactly the state a crash right now would leave behind, which is the
 // invariant a standby maintains (DESIGN.md §9). The standby resumes
 // shipping from the returned log's EndLSN.
-func (hp *Heap) BaseBackup() (*storage.Disk, *storage.Log) {
+func (hp *Heap) BaseBackup() (storage.PageStore, storage.LogDevice) {
 	hp.mu.Lock()
 	defer hp.mu.Unlock()
-	disk := hp.disk.Snapshot()
-	logCopy := hp.logDev.Snapshot()
+	disk := hp.disk.Clone()
+	logCopy := hp.logDev.Clone()
 	logCopy.Crash() // stable prefix only: unforced records never ship
 	return disk, logCopy
 }

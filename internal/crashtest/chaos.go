@@ -1,0 +1,457 @@
+// Chaos explorer: the crashtest Driver run over fault-injected devices
+// (internal/faultfs). Where the plain harness proves crash-consistency
+// under clean hardware, the explorer sweeps PRNG seeds over deterministic
+// fault plans — torn page writes, partial log forces, at-rest bit rot,
+// transient I/O bursts — and classifies every recovery attempt:
+//
+//	Clean          recovery succeeded and the I4/I6 model audit passed
+//	DetectedOnline a typed fault surfaced during live operation (the run
+//	               then crashes and recovers, as an operator would)
+//	Detected       recovery refused the devices with a typed error naming
+//	               the corrupt page or LSN; if media recovery from the
+//	               full log also fails, the state is unrecoverable but
+//	               was never silently admitted
+//	Repaired       media recovery (RecoverFromLog over the retained log)
+//	               rebuilt a heap that passes the audit
+//	Violation      recovery "succeeded" but the audit failed, or an
+//	               untyped error escaped — the one verdict that must
+//	               never occur
+//
+// Every decision — the fault plan, each injection, the workload, the
+// flush subsets — derives from the single seed, so a failing seed replays
+// bit-identically and its minimal reproducer can be computed by greedy
+// plan shrinking (ShrinkPlan).
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"stableheap/internal/core"
+	"stableheap/internal/faultfs"
+	"stableheap/internal/storage"
+)
+
+// Verdict classifies one chaos round's outcome.
+type Verdict int
+
+// Verdicts, in escalating order of interest.
+const (
+	Clean Verdict = iota
+	DetectedOnline
+	Detected
+	Repaired
+	Violation
+	numVerdicts
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Clean:
+		return "clean"
+	case DetectedOnline:
+		return "detected-online"
+	case Detected:
+		return "detected"
+	case Repaired:
+		return "repaired"
+	case Violation:
+		return "VIOLATION"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Scenario shapes one chaos run (how much workload between crashes, how
+// many crash/recover rounds, which extra paths to exercise). The zero
+// value is normalized by withDefaults.
+type Scenario struct {
+	Steps     int     // workload steps per round (default 40)
+	Crashes   int     // crash/recover rounds per seed (default 4)
+	FlushFrac float64 // fraction of resident pages flushed before a crash
+	MidGC     bool    // leave an incremental stable collection in flight at crashes
+	Repl      bool    // end the seed with a primary/standby failover round
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Steps == 0 {
+		sc.Steps = 40
+	}
+	if sc.Crashes == 0 {
+		sc.Crashes = 4
+	}
+	if sc.FlushFrac == 0 {
+		sc.FlushFrac = 0.5
+	}
+	return sc
+}
+
+// ChaosConfig is the heap configuration chaos runs use: group commit off
+// (a returned Commit means the commit record was forced — the harness
+// relies on acked commits surviving any torn force) and one huge log
+// segment (truncation never reclaims, so RecoverFromLog's full-log
+// archive discipline holds and the media-repair path stays live).
+func ChaosConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.LogSegBytes = 1 << 30
+	cfg.GroupCommitWindow = 0
+	return cfg.WithDefaults()
+}
+
+// SeedResult is one seed's complete, reproducible outcome.
+type SeedResult struct {
+	Seed     int64
+	Plan     faultfs.Plan
+	Verdicts []Verdict
+	Matrix   [numVerdicts]int
+	Retries  int // recovery attempts retried past transient I/O errors
+	Faults   faultfs.Stats
+	// Failure carries the diagnostic for the worst round (always set for
+	// a Violation; set to the detection message otherwise when one
+	// occurred). It embeds Plan.String(), so the failure is reproducible
+	// from the message alone.
+	Failure string
+}
+
+// Failed reports whether the seed produced a Violation.
+func (r SeedResult) Failed() bool { return r.Matrix[Violation] > 0 }
+
+// record notes one round's verdict, keeping the first Violation (or, in
+// its absence, the latest detection) as the result's Failure message.
+func (r *SeedResult) record(v Verdict, msg string) {
+	r.Verdicts = append(r.Verdicts, v)
+	r.Matrix[v]++
+	if msg != "" {
+		detail := fmt.Sprintf("chaos: %s [%s] round=%d: %s", v, r.Plan, len(r.Verdicts)-1, msg)
+		if v == Violation && !containsViolation(r.Failure) {
+			r.Failure = detail
+		} else if r.Failure == "" || (!containsViolation(r.Failure) && v != Violation) {
+			r.Failure = detail
+		}
+	}
+}
+
+func containsViolation(s string) bool {
+	return len(s) >= len("chaos: VIOLATION") && s[:len("chaos: VIOLATION")] == "chaos: VIOLATION"
+}
+
+// chaosRun carries one seed's state through its rounds.
+type chaosRun struct {
+	sc   Scenario
+	d    *Driver
+	inj  *faultfs.Injector
+	rng  *rand.Rand // flush-subset decisions (separate stream from Driver/Injector)
+	res  SeedResult
+	dead bool // devices unrecoverable or replaced; no further rounds
+}
+
+// RunSeed derives seed's fault plan and runs the scenario under it.
+func RunSeed(sc Scenario, seed int64) SeedResult {
+	return RunSeedWithPlan(sc, faultfs.PlanFromSeed(seed))
+}
+
+// RunSeedWithPlan runs the scenario under an explicit plan (the shrinker
+// replays progressively weaker plans; -seed replay uses the derived one).
+func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
+	sc = sc.withDefaults()
+	cfg := ChaosConfig()
+	inj := faultfs.New(plan, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
+	r := &chaosRun{
+		sc:  sc,
+		d:   NewOn(cfg, plan.Seed, inj.Disk, inj.Log),
+		inj: inj,
+		rng: rand.New(rand.NewSource(plan.Seed ^ 0x5eed)),
+		res: SeedResult{Seed: plan.Seed, Plan: plan},
+	}
+	inj.Arm()
+	for round := 0; round < sc.Crashes && !r.dead; round++ {
+		r.round(round)
+	}
+	if sc.Repl && !r.dead {
+		r.replRound()
+	}
+	r.res.Faults = inj.Stats()
+	return r.res
+}
+
+// guard runs fn, converting a typed device panic into its error (second
+// return); other panics propagate.
+func guard(fn func() error) (err, fault error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := storage.AsDeviceError(v); ok {
+				fault = e
+				return
+			}
+			panic(v)
+		}
+	}()
+	return fn(), nil
+}
+
+// round is one armed workload burst, at-rest corruption, a partial
+// flush, a crash (with the plan's crash-time tears) and a classified
+// recovery.
+func (r *chaosRun) round(round int) {
+	online := r.workload(round)
+	r.inj.CorruptAtRest()
+	if !online {
+		// Flush a random page subset; a surfaced I/O fault mid-flush is
+		// an online detection and the run proceeds straight to the crash.
+		_, fault := guard(func() error {
+			mem := r.d.hp.Mem()
+			for _, pg := range mem.ResidentPages() {
+				if r.rng.Float64() < r.sc.FlushFrac {
+					mem.FlushPage(pg)
+					r.d.stats.PagesKept++
+				}
+			}
+			return nil
+		})
+		if fault != nil {
+			online = true
+			r.res.record(DetectedOnline, fault.Error())
+		}
+	}
+	r.d.hp.Crash() // applies the plan's torn page write and torn log tail
+	r.d.stats.Crashes++
+	r.recoverAndAudit(online)
+}
+
+// workload runs the round's steps with faults armed. A typed fault
+// surfacing mid-step is recorded as an online detection and ends the
+// burst (true is returned); the caller crashes and recovers, as a real
+// deployment would after an unrecoverable device error.
+func (r *chaosRun) workload(round int) (online bool) {
+	for i := 0; i < r.sc.Steps; i++ {
+		stepErr, fault := guard(r.d.Step)
+		if fault != nil {
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		}
+		if stepErr != nil {
+			r.res.record(Violation, fmt.Sprintf("workload step %d: %v", i, stepErr))
+			r.dead = true
+			return true
+		}
+	}
+	if r.sc.MidGC && round%2 == 1 {
+		_, fault := guard(func() error {
+			r.d.hp.Checkpoint()
+			r.d.stats.Checkpoints++
+			r.d.hp.StartStableCollection()
+			r.d.stats.StableGCs++
+			for i := 0; i < 4; i++ {
+				r.d.hp.StepStable()
+			}
+			return nil
+		})
+		if fault != nil {
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		}
+	}
+	return false
+}
+
+// recoverAndAudit classifies recovery over the crashed wrapped devices.
+// onlineAlready suppresses a duplicate verdict when the round already
+// recorded an online detection (the recovery outcome is still recorded).
+func (r *chaosRun) recoverAndAudit(onlineAlready bool) {
+	disk, logDev := r.d.hp.Devices()
+
+	var hp *core.Heap
+	var err error
+	for attempt := 0; ; attempt++ {
+		hp, err = core.Recover(r.d.cfg, disk, logDev)
+		if err == nil || attempt >= 2 || !errors.Is(err, storage.ErrIO) {
+			break
+		}
+		// A transient I/O burst failed the attempt; the operator retries.
+		r.res.Retries++
+	}
+	if err != nil {
+		if errors.Is(err, storage.ErrCorrupt) || errors.Is(err, storage.ErrIO) {
+			r.res.record(Detected, err.Error())
+			r.mediaRepair(logDev)
+			return
+		}
+		r.res.record(Violation, fmt.Sprintf("recovery failed with an untyped error: %v", err))
+		r.dead = true
+		return
+	}
+
+	r.d.hp = hp
+	r.d.stats.Recoveries++
+	auditErr, fault := guard(func() error {
+		if err := r.d.resolveInDoubt(hp); err != nil {
+			return err
+		}
+		return r.d.Verify()
+	})
+	switch {
+	case fault != nil:
+		// Recovery succeeded but the audit read rot on a page redo never
+		// touched: detected at first use, exactly like production reads.
+		r.res.record(DetectedOnline, fault.Error())
+	case auditErr != nil:
+		r.res.record(Violation, fmt.Sprintf("recovery succeeded but the audit failed: %v", auditErr))
+		r.dead = true
+	case !onlineAlready:
+		r.res.record(Clean, "")
+	}
+	// (With an online detection already recorded, a clean recovery adds
+	// no verdict of its own: the round's classification stands.)
+}
+
+// mediaRepair is the fallback after a Detected recovery failure: rebuild
+// everything from the retained log (possible because ChaosConfig never
+// truncates). Success that passes the audit is Repaired; a detectable
+// failure leaves the Detected verdict standing. Either way the seed ends:
+// the devices were either replaced (a fresh unwrapped disk) or declared
+// unrecoverable.
+func (r *chaosRun) mediaRepair(logDev storage.LogDevice) {
+	r.dead = true
+	if logDev.TruncLSN() != 1 {
+		return
+	}
+	hp, err := core.RecoverFromLog(r.d.cfg, logDev)
+	if err != nil {
+		if !errors.Is(err, storage.ErrCorrupt) && !errors.Is(err, storage.ErrIO) {
+			r.res.record(Violation, fmt.Sprintf("media recovery failed with an untyped error: %v", err))
+		}
+		return // detected: the log itself is rotten; nothing was admitted
+	}
+	r.d.hp = hp
+	r.d.stats.Recoveries++
+	auditErr, fault := guard(func() error {
+		if err := r.d.resolveInDoubt(hp); err != nil {
+			return err
+		}
+		return r.d.Verify()
+	})
+	switch {
+	case fault != nil:
+		r.res.record(DetectedOnline, fault.Error())
+	case auditErr != nil:
+		r.res.record(Violation, fmt.Sprintf("media recovery succeeded but the audit failed: %v", auditErr))
+	default:
+		r.res.record(Repaired, "")
+	}
+}
+
+// replRound ends the seed with a failover: attach a warm standby (its
+// base backup is a fault-free Clone — pristine replacement hardware),
+// stream the workload, crash the primary and promote. A fault surfacing
+// on the primary during the round is an online detection followed by
+// recover-in-place; otherwise the promoted heap must pass the audit.
+func (r *chaosRun) replRound() {
+	var pErr error
+	_, fault := guard(func() error {
+		_, pErr = r.d.ReplicatedCrashAndPromote(r.sc.Steps, r.sc.MidGC)
+		return pErr
+	})
+	switch {
+	case fault != nil:
+		r.res.record(DetectedOnline, fault.Error())
+		r.d.hp.Crash()
+		r.d.stats.Crashes++
+		r.recoverAndAudit(true)
+	case pErr != nil:
+		r.res.record(Violation, fmt.Sprintf("replicated failover: %v", pErr))
+	default:
+		r.res.record(Clean, "")
+		r.dead = true // the promoted heap runs on unwrapped devices
+	}
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Scenario Scenario
+	Results  []SeedResult
+	Matrix   [numVerdicts]int
+	Failures []string // one reproducible message per violating seed
+}
+
+// Violations returns how many seeds violated the detectability contract.
+func (rep Report) Violations() int { return len(rep.Failures) }
+
+// MatrixMap renders the verdict matrix with string keys (JSON-friendly).
+func (rep Report) MatrixMap() map[string]int {
+	m := make(map[string]int, numVerdicts)
+	for v := Verdict(0); v < numVerdicts; v++ {
+		m[v.String()] = rep.Matrix[v]
+	}
+	return m
+}
+
+// Sweep runs the scenario over seeds [from, from+n).
+func Sweep(sc Scenario, from int64, n int) Report {
+	rep := Report{Scenario: sc.withDefaults()}
+	for i := 0; i < n; i++ {
+		res := RunSeed(sc, from+int64(i))
+		for v, c := range res.Matrix {
+			rep.Matrix[v] += c
+		}
+		if res.Failed() {
+			rep.Failures = append(rep.Failures, res.Failure)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// ShrinkPlan greedily minimizes a failing fault plan: each pass tries to
+// disable one fault class (or reduce its intensity) and keeps the change
+// when fails still reports failure, until no single change does. The
+// result is the minimal reproducer for a chaos failure — usually a
+// single fault class. fails must be deterministic (RunSeedWithPlan is).
+func ShrinkPlan(p faultfs.Plan, fails func(faultfs.Plan) bool) faultfs.Plan {
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range shrinkCandidates(p) {
+			if fails(cand) {
+				p = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return p
+}
+
+// shrinkCandidates enumerates single-simplification neighbours of p.
+func shrinkCandidates(p faultfs.Plan) []faultfs.Plan {
+	var out []faultfs.Plan
+	add := func(q faultfs.Plan) {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	q := p
+	q.TornPage = false
+	add(q)
+	q = p
+	q.TornForce = false
+	add(q)
+	q = p
+	q.PageFlips = 0
+	add(q)
+	q = p
+	q.LogFlips = 0
+	add(q)
+	q = p
+	q.IOProb = 0
+	add(q)
+	if p.PageFlips > 1 {
+		q = p
+		q.PageFlips = p.PageFlips / 2
+		add(q)
+	}
+	if p.LogFlips > 1 {
+		q = p
+		q.LogFlips = p.LogFlips / 2
+		add(q)
+	}
+	return out
+}

@@ -78,6 +78,20 @@ func New(cfg core.Config, seed int64) *Driver {
 	return d
 }
 
+// NewOn creates a driver over a fresh heap formatted onto the provided
+// devices — the chaos explorer passes fault-injection wrappers here.
+func NewOn(cfg core.Config, seed int64, disk storage.PageStore, logDev storage.LogDevice) *Driver {
+	d := &Driver{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		model:   make(map[int][]uint64),
+		slots:   8,
+		decided: make(map[word.TxID]pendingPrepared),
+	}
+	d.hp = core.OpenOn(cfg, disk, logDev)
+	return d
+}
+
 // Heap returns the current heap instance.
 func (d *Driver) Heap() *core.Heap { return d.hp }
 
@@ -394,11 +408,11 @@ func (d *Driver) CrashAndRecover(flushFrac float64, checkTwin bool) error {
 	disk, logDev := d.hp.Crash()
 	d.stats.Crashes++
 
-	var twinDisk *storage.Disk
-	var twinLog *storage.Log
+	var twinDisk storage.PageStore
+	var twinLog storage.LogDevice
 	if checkTwin {
-		twinDisk = disk.Snapshot()
-		twinLog = logDev.Snapshot()
+		twinDisk = disk.Clone()
+		twinLog = logDev.Clone()
 	}
 
 	hp, err := core.Recover(d.cfg, disk, logDev)

@@ -23,7 +23,7 @@ import (
 
 // recoverImage runs the recovery engine directly over a crash image with
 // the given redo worker count.
-func recoverImage(t *testing.T, pageSize int, disk *storage.Disk, logDev *storage.Log, workers int) (*recovery.Result, *vm.Store) {
+func recoverImage(t *testing.T, pageSize int, disk storage.PageStore, logDev storage.LogDevice, workers int) (*recovery.Result, *vm.Store) {
 	t.Helper()
 	mgr := wal.NewManager(logDev)
 	mem := vm.New(vm.Config{PageSize: pageSize, LogFetches: true}, disk, mgr)
@@ -36,7 +36,7 @@ func recoverImage(t *testing.T, pageSize int, disk *storage.Disk, logDev *storag
 
 // logImage captures every retained log frame (undo appends records during
 // recovery, so equivalent recoveries must leave equivalent logs).
-func logImage(dev *storage.Log) ([]word.LSN, [][]byte) {
+func logImage(dev storage.LogDevice) ([]word.LSN, [][]byte) {
 	var lsns []word.LSN
 	var frames [][]byte
 	dev.Scan(dev.TruncLSN(), false, func(lsn word.LSN, data []byte) bool {
@@ -49,10 +49,10 @@ func logImage(dev *storage.Log) ([]word.LSN, [][]byte) {
 
 // compareRecoveries asserts that the sequential and parallel recoveries of
 // the same crash image are byte-identical.
-func compareRecoveries(t *testing.T, pageSize int, disk *storage.Disk, logDev *storage.Log, workers int) {
+func compareRecoveries(t *testing.T, pageSize int, disk storage.PageStore, logDev storage.LogDevice, workers int) {
 	t.Helper()
-	seqDisk, seqLog := disk.Snapshot(), logDev.Snapshot()
-	parDisk, parLog := disk.Snapshot(), logDev.Snapshot()
+	seqDisk, seqLog := disk.Clone(), logDev.Clone()
+	parDisk, parLog := disk.Clone(), logDev.Clone()
 
 	seqRes, seqMem := recoverImage(t, pageSize, seqDisk, seqLog, 1)
 	parRes, parMem := recoverImage(t, pageSize, parDisk, parLog, workers)
@@ -125,7 +125,7 @@ func compareRecoveries(t *testing.T, pageSize int, disk *storage.Disk, logDev *s
 
 // crashImage drives a random workload to a crash point, flushing a random
 // subset of pages, and returns the surviving devices.
-func crashImage(t *testing.T, c core.Config, seed int64, steps int, flushFrac float64, midGC bool) (*storage.Disk, *storage.Log) {
+func crashImage(t *testing.T, c core.Config, seed int64, steps int, flushFrac float64, midGC bool) (storage.PageStore, storage.LogDevice) {
 	t.Helper()
 	d := New(c, seed)
 	for i := 0; i < steps; i++ {

@@ -57,7 +57,19 @@ type ApplierStats struct {
 // the backup's stable-only log device. Fetch/flush logging is disabled on
 // mem for the applier's lifetime — a standby never generates log records of
 // its own.
-func StartApplier(mem *vm.Store, log *wal.Manager, opts Options) (*Applier, error) {
+func StartApplier(mem *vm.Store, log *wal.Manager, opts Options) (ap *Applier, err error) {
+	// Scan and redo panic with typed device errors on corrupt frames or
+	// surfaced I/O faults; convert them into the detectable-failure error
+	// contract instead of crashing the standby process.
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := storage.AsDeviceError(v); ok {
+				ap, err = nil, fmt.Errorf("recovery: applier bootstrap failed: %w", e)
+				return
+			}
+			panic(v)
+		}
+	}()
 	mem.SetLogFetches(false)
 
 	master := mem.Disk().Master()
@@ -77,7 +89,7 @@ func StartApplier(mem *vm.Store, log *wal.Manager, opts Options) (*Applier, erro
 		return nil, fmt.Errorf("recovery: record at %d is %v, not a checkpoint", cpLSN, rec.Type())
 	}
 
-	ap := &Applier{mem: mem, log: log, cpLSN: cpLSN}
+	ap = &Applier{mem: mem, log: log, cpLSN: cpLSN}
 
 	phase := time.Now()
 	a := newAnalysis(mem, cp, cpLSN)

@@ -124,7 +124,7 @@ func (c *Checkpointer) Stats() CheckpointStats { return c.stats }
 
 // InitMaster formats a fresh disk's master block (used by core when
 // creating a new stable heap). The first checkpoint follows immediately.
-func InitMaster(disk *storage.Disk) {
+func InitMaster(disk storage.PageStore) {
 	m := disk.Master()
 	m.Formatted = true
 	disk.SetMaster(m)

@@ -50,12 +50,12 @@ type shardPage struct {
 type shardedMem struct {
 	ps      int
 	nShards int
-	disk    *storage.Disk
+	disk    storage.PageStore
 	diskMu  sync.Mutex
 	shards  []map[word.PageID]*shardPage
 }
 
-func newShardedMem(disk *storage.Disk, pageSize, nShards int) *shardedMem {
+func newShardedMem(disk storage.PageStore, pageSize, nShards int) *shardedMem {
 	m := &shardedMem{ps: pageSize, nShards: nShards, disk: disk,
 		shards: make([]map[word.PageID]*shardPage, nShards)}
 	for i := range m.shards {

@@ -96,6 +96,9 @@ type Result struct {
 	// actually modified a page.
 	RedoScanned int
 	RedoApplied int
+	// TornTail is the LSN of a torn final log record that was classified
+	// and rewound before analysis (NilLSN when the log tail was whole).
+	TornTail word.LSN
 	// Losers lists the transactions that were rolled back.
 	Losers []word.TxID
 	// InDoubt lists prepared transactions awaiting the coordinator:
@@ -114,14 +117,16 @@ type InDoubtTx struct {
 	LastLSN word.LSN
 }
 
-// Translate maps an address logged by the given in-doubt transaction to
-// its current location (chasing checkpoint seeds and replayed copies).
-func (r *Result) Translate(id word.TxID, addr word.Addr) word.Addr {
+// Translate maps an address logged by the given in-doubt transaction at
+// LSN at to its current location (chasing checkpoint seeds and the copies
+// replayed after the record was written — earlier copies cannot have
+// moved an object whose address was current when logged).
+func (r *Result) Translate(id word.TxID, addr word.Addr, at word.LSN) word.Addr {
 	info := r.txMeta[id]
 	if info == nil {
 		return addr
 	}
-	return r.translator.translate(info, addr)
+	return r.translator.translate(info, addr, at)
 }
 
 // txInfo is the analysis pass's view of one transaction.
@@ -179,9 +184,18 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool, opts Options) (*Resul
 	if cpLSN == word.NilLSN {
 		return nil, fmt.Errorf("recovery: master block has no checkpoint")
 	}
+	// A crash that interrupted a log force can leave a torn final record on
+	// the device. Classify and repair it before any scan: a physically
+	// incomplete tail was never acknowledged and is rewound; a complete
+	// frame that fails its CRC is bit rot and recovery must refuse to
+	// proceed rather than repeat corrupted history.
+	torn, err := log.RepairTornTail(cpLSN)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: log scan from checkpoint %d: %w", cpLSN, err)
+	}
 	rec, err := log.ReadAt(cpLSN)
 	if err != nil {
-		return nil, fmt.Errorf("recovery: cannot read checkpoint at %d: %v", cpLSN, err)
+		return nil, fmt.Errorf("recovery: cannot read checkpoint at %d: %w", cpLSN, err)
 	}
 	cp, ok := rec.(wal.CheckpointRec)
 	if !ok {
@@ -193,7 +207,7 @@ func recover2(mem *vm.Store, log *wal.Manager, media bool, opts Options) (*Resul
 	a.media = media
 	a.scan(log)
 
-	res := &Result{CP: a.cp}
+	res := &Result{CP: a.cp, TornTail: torn}
 	res.Stats.Analysis = time.Since(phase)
 	opts.Trace.Complete("recovery", "analysis", phase, res.Stats.Analysis)
 

@@ -41,15 +41,26 @@ func (u *undoer) applyDelta(cur word.Addr, delta uint64, lsn word.LSN) {
 	u.mem.WriteWord(cur, u.mem.ReadWord(cur)+delta, lsn)
 }
 
-// translate chases an undo address to the object slot's current location:
-// first through the transaction's checkpointed seed, then forward through
-// every later copy whose source range covers the running address.
-func (u *undoer) translate(info *txInfo, a word.Addr) word.Addr {
-	if cur, ok := info.seed[a]; ok {
-		a = cur
+// translate chases an undo address to the object slot's current location.
+// lsn is the LSN of the record that logged the address: the address was
+// current THEN, so only copies performed after it may move the object —
+// an earlier copy whose from-space range happens to cover the address
+// (because the allocator reused the space after the collection) must not
+// be applied, or the translation lands in an unrelated object. Addresses
+// logged before the checkpoint go through the transaction's checkpointed
+// UTT seed first, which brings them current as of the checkpoint; every
+// entry in u.copies is from after the checkpoint, so the same > filter
+// then applies with the checkpoint as the baseline.
+func (u *undoer) translate(info *txInfo, a word.Addr, lsn word.LSN) word.Addr {
+	since := lsn
+	if lsn == word.NilLSN || lsn < u.cpLSN {
+		if cur, ok := info.seed[a]; ok {
+			a = cur
+		}
+		since = u.cpLSN
 	}
 	for _, c := range u.copies {
-		if a >= c.from && a < c.from.Add(c.size) {
+		if c.lsn > since && a >= c.from && a < c.from.Add(c.size) {
 			a = c.to + (a - c.from)
 		}
 	}
@@ -71,7 +82,7 @@ func (u *undoer) rollback(id word.TxID, info *txInfo) {
 		}
 		switch r := rec.(type) {
 		case wal.UpdateRec:
-			cur := u.translate(info, r.Addr)
+			cur := u.translate(info, r.Addr, lsn)
 			restored := r.Undo
 			var flags uint8
 			if r.Flags&wal.UFPtrSlot != 0 {
@@ -80,7 +91,7 @@ func (u *undoer) rollback(id word.TxID, info *txInfo) {
 				// have moved since the update was logged (§3.5.2):
 				// chase it through the same translation machinery.
 				if old := word.Addr(word.GetWord(r.Undo, 0)); !old.IsNil() {
-					rv := u.translate(info, old)
+					rv := u.translate(info, old, lsn)
 					restored = make([]byte, word.WordSize)
 					word.PutWord(restored, 0, uint64(rv))
 					if rv >= u.volLo && rv < u.volHi {
@@ -106,7 +117,7 @@ func (u *undoer) rollback(id word.TxID, info *txInfo) {
 			}
 			lsn = r.PrevLSN
 		case wal.LogicalRec:
-			cur := u.translate(info, r.Addr)
+			cur := u.translate(info, r.Addr, lsn)
 			neg := -r.Delta
 			buf := make([]byte, word.WordSize)
 			word.PutWord(buf, 0, neg)

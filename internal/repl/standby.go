@@ -67,8 +67,8 @@ type Standby struct {
 	hcfg core.Config // normalized
 
 	mu       sync.Mutex // guards devices, applier, promoted, conn
-	disk     *storage.Disk
-	logDev   *storage.Log
+	disk     storage.PageStore
+	logDev   storage.LogDevice
 	logMgr   *wal.Manager
 	mem      *vm.Store
 	ap       *recovery.Applier
@@ -98,7 +98,7 @@ type Standby struct {
 // retained stable log (so the store is current through the backup's end)
 // and is then ready to apply shipped frames. The standby resumes
 // shipping from the backup log's end LSN.
-func NewStandby(cfg StandbyConfig, disk *storage.Disk, logDev *storage.Log) (*Standby, error) {
+func NewStandby(cfg StandbyConfig, disk storage.PageStore, logDev storage.LogDevice) (*Standby, error) {
 	cfg = cfg.withDefaults()
 	hcfg := cfg.Heap.WithDefaults()
 	logMgr := wal.NewManager(logDev)
@@ -321,8 +321,8 @@ func (s *Standby) ReadSnapshot() (*core.Heap, word.LSN, error) {
 		s.mu.Unlock()
 		return nil, 0, ErrPromoted
 	}
-	disk := s.disk.Snapshot()
-	logCopy := s.logDev.Snapshot()
+	disk := s.disk.Clone()
+	logCopy := s.logDev.Clone()
 	at := s.AppliedLSN()
 	s.mu.Unlock()
 	s.snapshotReads.Inc()

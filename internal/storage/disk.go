@@ -142,6 +142,9 @@ func (d *Disk) Snapshot() *Disk {
 	return nd
 }
 
+// Clone returns the Snapshot copy through the PageStore interface.
+func (d *Disk) Clone() PageStore { return d.Snapshot() }
+
 // Equal reports whether two disks hold identical durable state (pages,
 // page LSNs and master block). Used by invariant checks in tests.
 func (d *Disk) Equal(o *Disk) bool {

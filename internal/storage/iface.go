@@ -1,0 +1,89 @@
+package storage
+
+import "stableheap/internal/word"
+
+// PageStore is the page-device contract the rest of the system is written
+// against. *Disk is the plain simulated device; fault-injection wrappers
+// (internal/faultfs) implement the same contract and add torn writes, bit
+// rot and transient I/O errors underneath it, so every layer above —
+// the one-level store, recovery, replication — runs unmodified over
+// either. Implementations report unrecoverable device conditions by
+// panicking with one of the typed errors in errors.go; the plain device
+// never does.
+type PageStore interface {
+	// PageSize returns the page size the store was created with.
+	PageSize() int
+	// ReadPage returns a copy of the page's durable contents and its page
+	// LSN; ok is false if the page has never been written.
+	ReadPage(id word.PageID) (data []byte, lsn word.LSN, ok bool)
+	// WritePage durably replaces the page's contents and page LSN.
+	WritePage(id word.PageID, data []byte, lsn word.LSN)
+	// PageLSN returns the durable page LSN for id (NilLSN if never written).
+	PageLSN(id word.PageID) word.LSN
+	// HasPage reports whether the page has ever been written.
+	HasPage(id word.PageID) bool
+	// Pages returns the ids of all pages ever written, in ascending order.
+	Pages() []word.PageID
+	// Master returns the current master block.
+	Master() Master
+	// SetMaster atomically replaces the master block.
+	SetMaster(m Master)
+	// Stats returns accumulated traffic counters.
+	Stats() DiskStats
+	// ResetStats zeroes the traffic counters.
+	ResetStats()
+	// Clone returns an independent deep copy of the durable state, used to
+	// fork "what if we crashed here" worlds (twin recovery, base backups).
+	// Fault-injecting implementations return a plain, fault-free copy.
+	Clone() PageStore
+}
+
+// LogDevice is the stable-log-device contract mirroring *Log, with the
+// same panic-on-corruption discipline as PageStore.
+type LogDevice interface {
+	// Append spools a record to the volatile tail and returns its LSN.
+	Append(data []byte) word.LSN
+	// Force synchronously writes the tail through at least lsn to stable
+	// storage.
+	Force(lsn word.LSN)
+	// ForceAll forces the entire volatile tail.
+	ForceAll()
+	// StableLSN returns the first LSN not guaranteed durable.
+	StableLSN() word.LSN
+	// EndLSN returns the LSN the next record will receive.
+	EndLSN() word.LSN
+	// TruncLSN returns the lowest LSN still readable.
+	TruncLSN() word.LSN
+	// IsStable reports whether the record at lsn is durable.
+	IsStable(lsn word.LSN) bool
+	// Crash discards the volatile tail (fault-injecting implementations
+	// may instead persist a torn byte prefix of it).
+	Crash()
+	// Truncate discards log space below keep, at segment granularity.
+	Truncate(keep word.LSN)
+	// RepairTail rewinds the log to from: every record at or beyond it is
+	// dropped and appends resume there. Recovery uses it to discard the
+	// torn fragment a crashed mid-record force left behind.
+	RepairTail(from word.LSN)
+	// ReadAt returns the record beginning exactly at lsn.
+	ReadAt(lsn word.LSN) (data []byte, ok bool)
+	// Scan calls fn for each retained record with lsn >= from in LSN order.
+	Scan(from word.LSN, stableOnly bool, fn func(lsn word.LSN, data []byte) bool)
+	// ScanBatches is Scan with batched delivery (see Log.ScanBatches for
+	// the slice-reuse contract).
+	ScanBatches(from word.LSN, stableOnly bool, batchSize int, fn func(lsns []word.LSN, frames [][]byte) bool)
+	// RetainedBytes returns the byte count of records still held.
+	RetainedBytes() int64
+	// Stats returns accumulated traffic counters.
+	Stats() LogStats
+	// ResetStats zeroes the traffic counters.
+	ResetStats()
+	// Clone returns an independent deep copy (stable and volatile parts).
+	// Fault-injecting implementations return a plain, fault-free copy.
+	Clone() LogDevice
+}
+
+var (
+	_ PageStore = (*Disk)(nil)
+	_ LogDevice = (*Log)(nil)
+)

@@ -112,6 +112,65 @@ func (l *Log) Crash() {
 	l.nextLSN = l.stableLSN
 }
 
+// CrashTorn models a crash that arrives while a final force of the tail is
+// in flight: the stable prefix grows to cut — which may fall in the middle
+// of a record, leaving a torn fragment — and everything beyond cut is
+// lost. cut must lie in [StableLSN, EndLSN]; records below the old stable
+// LSN were already durable (and possibly acknowledged), so a tear can
+// never reach them. Recovery discards the fragment with RepairTail.
+func (l *Log) CrashTorn(cut word.LSN) {
+	if cut < l.stableLSN || cut > l.nextLSN {
+		panic(fmt.Sprintf("storage: torn crash at %d outside volatile region [%d, %d]", cut, l.stableLSN, l.nextLSN))
+	}
+	i := 0
+	for i < len(l.entries) && l.entries[i].lsn+word.LSN(len(l.entries[i].data)) <= cut {
+		i++
+	}
+	if i < len(l.entries) && l.entries[i].lsn < cut {
+		// The record straddling cut survives as a truncated fragment: its
+		// first cut-lsn bytes reached the platter.
+		e := &l.entries[i]
+		e.data = append([]byte(nil), e.data[:cut-e.lsn]...)
+		i++
+	}
+	l.entries = l.entries[:i]
+	l.nextLSN = cut
+	l.stableLSN = cut
+}
+
+// RepairTail rewinds the log to from: every record (or fragment) at or
+// beyond it is dropped, and the next append receives LSN from. Recovery
+// calls it after classifying an undecodable final record as a torn tail —
+// the interrupted force was never acknowledged, so the bytes never
+// logically existed.
+func (l *Log) RepairTail(from word.LSN) {
+	if from < l.truncLSN {
+		panic(fmt.Sprintf("storage: repair tail at %d below truncation point %d", from, l.truncLSN))
+	}
+	if from > l.nextLSN {
+		panic(fmt.Sprintf("storage: repair tail at %d beyond end LSN %d", from, l.nextLSN))
+	}
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= from })
+	l.entries = l.entries[:i]
+	l.nextLSN = from
+	if l.stableLSN > from {
+		l.stableLSN = from
+	}
+}
+
+// CorruptEntry applies fn to the retained record beginning at lsn, in
+// place, returning false if no record starts there. It is the
+// fault-injection hook for at-rest bit rot (internal/faultfs); nothing in
+// the production paths calls it.
+func (l *Log) CorruptEntry(lsn word.LSN, fn func(data []byte)) bool {
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= lsn })
+	if i >= len(l.entries) || l.entries[i].lsn != lsn {
+		return false
+	}
+	fn(l.entries[i].data)
+	return true
+}
+
 // Truncate discards log space below keep, at segment granularity: only whole
 // segments entirely below keep are freed, so the readable prefix may retain
 // a little more than asked. Truncating beyond the stable LSN is an error.
@@ -231,3 +290,6 @@ func (l *Log) Snapshot() *Log {
 	}
 	return nl
 }
+
+// Clone returns the Snapshot copy through the LogDevice interface.
+func (l *Log) Clone() LogDevice { return l.Snapshot() }

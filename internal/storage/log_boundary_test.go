@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"testing"
+
+	"stableheap/internal/word"
+)
+
+// Boundary-condition tests for the log device: zero-length records,
+// frames landing exactly on segment ends, torn crashes at every cut
+// position, and tail repair at its edge LSNs. These pin down the device
+// contract the wal layer's torn-tail classification (wal.RepairTornTail)
+// is built on.
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestLogAppendRejectsZeroLength(t *testing.T) {
+	for _, data := range [][]byte{nil, {}} {
+		l := NewLog(64)
+		mustPanic(t, "Append(empty)", func() { l.Append(data) })
+		if l.EndLSN() != 1 || l.Stats().Appends != 0 {
+			t.Fatalf("rejected append mutated the device: end=%d stats=%+v", l.EndLSN(), l.Stats())
+		}
+	}
+}
+
+// TestLogFrameAtSegmentEnd pins truncation behavior when a record ends
+// exactly on a segment boundary versus straddling it: only records whose
+// last byte lies strictly inside reclaimed segments are dropped.
+func TestLogFrameAtSegmentEnd(t *testing.T) {
+	const seg = 64
+	cases := []struct {
+		name      string
+		sizes     []int // record sizes appended in order
+		keep      int   // index of the record Truncate keeps from
+		wantGone  int   // records expected dropped
+		wantTrunc word.LSN
+	}{
+		// One record exactly fills segment 1 ([1,65)); truncating to the
+		// second record reclaims the whole first segment.
+		{"exact fill dropped", []int{seg, 8}, 1, 1, seg + 1},
+		// A record straddling the boundary survives reclamation (its last
+		// bytes live in segment 2) even though it starts below the new
+		// truncation point — the documented "may retain a little more".
+		{"straddler retained", []int{seg - 4, 8, 8}, 2, 1, seg + 1},
+		// Two records tiling segment 1 exactly; truncating to the third
+		// drops both.
+		{"tiled fill dropped", []int{seg / 2, seg / 2, 8}, 2, 2, seg + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLog(seg)
+			lsns := make([]word.LSN, len(tc.sizes))
+			for i, n := range tc.sizes {
+				lsns[i] = l.Append(make([]byte, n))
+			}
+			l.ForceAll()
+			l.Truncate(lsns[tc.keep])
+			if l.TruncLSN() != tc.wantTrunc {
+				t.Fatalf("TruncLSN = %d, want %d", l.TruncLSN(), tc.wantTrunc)
+			}
+			for i, lsn := range lsns {
+				_, ok := l.ReadAt(lsn)
+				if want := i >= tc.wantGone; ok != want {
+					t.Fatalf("ReadAt(record %d at %d) = %v, want %v", i, lsn, ok, want)
+				}
+			}
+			// Scan from the truncation point sees exactly the survivors
+			// that start at or beyond it (a retained straddler starts
+			// below it and is reachable only by exact ReadAt).
+			want := 0
+			for i := tc.wantGone; i < len(lsns); i++ {
+				if lsns[i] >= l.TruncLSN() {
+					want++
+				}
+			}
+			n := 0
+			l.Scan(l.TruncLSN(), false, func(word.LSN, []byte) bool { n++; return true })
+			if n != want {
+				t.Fatalf("Scan from TruncLSN saw %d records, want %d", n, want)
+			}
+		})
+	}
+}
+
+// TestLogCrashTornCuts drives CrashTorn through every interesting cut
+// position over a log with a stable prefix and a three-record volatile
+// tail of 8-byte records.
+func TestLogCrashTornCuts(t *testing.T) {
+	build := func() (*Log, []word.LSN) {
+		l := NewLog(0)
+		first := l.Append(make([]byte, 8))
+		l.ForceAll() // stable prefix: [1, 9)
+		tail := []word.LSN{first}
+		for i := 0; i < 3; i++ {
+			tail = append(tail, l.Append(make([]byte, 8)))
+		}
+		return l, tail // tail LSNs: 1, 9, 17, 25; end = 33
+	}
+
+	cases := []struct {
+		name     string
+		cut      func(l *Log, lsns []word.LSN) word.LSN
+		wantRecs int      // surviving records
+		wantFrag int      // length of the final fragment (0 = none)
+		wantEnd  word.LSN // EndLSN == StableLSN after the tear
+	}{
+		{"cut at stable LSN is a clean crash",
+			func(l *Log, _ []word.LSN) word.LSN { return l.StableLSN() }, 1, 0, 9},
+		{"cut at end persists everything",
+			func(l *Log, _ []word.LSN) word.LSN { return l.EndLSN() }, 4, 0, 33},
+		{"cut on a record boundary leaves no fragment",
+			func(_ *Log, lsns []word.LSN) word.LSN { return lsns[2] }, 2, 0, 17},
+		{"cut mid-record leaves a prefix fragment",
+			func(_ *Log, lsns []word.LSN) word.LSN { return lsns[2] + 3 }, 3, 3, 20},
+		{"cut one byte into the last record",
+			func(_ *Log, lsns []word.LSN) word.LSN { return lsns[3] + 1 }, 4, 1, 26},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, lsns := build()
+			l.CrashTorn(tc.cut(l, lsns))
+			if l.EndLSN() != tc.wantEnd || l.StableLSN() != tc.wantEnd {
+				t.Fatalf("end/stable = %d/%d, want both %d", l.EndLSN(), l.StableLSN(), tc.wantEnd)
+			}
+			var got []int
+			l.Scan(1, false, func(_ word.LSN, data []byte) bool {
+				got = append(got, len(data))
+				return true
+			})
+			if len(got) != tc.wantRecs {
+				t.Fatalf("%d records survive, want %d (lens %v)", len(got), tc.wantRecs, got)
+			}
+			last := 8
+			if len(got) > 0 {
+				last = got[len(got)-1]
+			}
+			wantLast := 8
+			if tc.wantFrag > 0 {
+				wantLast = tc.wantFrag
+			}
+			if last != wantLast {
+				t.Fatalf("final record length %d, want %d", last, wantLast)
+			}
+		})
+	}
+
+	t.Run("cut outside the volatile region panics", func(t *testing.T) {
+		l, _ := build()
+		mustPanic(t, "CrashTorn(below stable)", func() { l.CrashTorn(l.StableLSN() - 1) })
+		mustPanic(t, "CrashTorn(beyond end)", func() { l.CrashTorn(l.EndLSN() + 1) })
+	})
+}
+
+// TestLogRepairTailBoundaries: repair discards the torn fragment, rewinds
+// the append position so the next record reuses the LSN, and rejects
+// out-of-range targets.
+func TestLogRepairTailBoundaries(t *testing.T) {
+	l := NewLog(0)
+	a := l.Append(make([]byte, 8))
+	l.ForceAll()
+	b := l.Append(make([]byte, 8)) // volatile: the force of b is the one torn
+	l.CrashTorn(b + 3)             // record b survives as a 3-byte fragment
+
+	l.RepairTail(b)
+	if l.EndLSN() != b || l.StableLSN() != b {
+		t.Fatalf("after repair end/stable = %d/%d, want both %d", l.EndLSN(), l.StableLSN(), b)
+	}
+	if _, ok := l.ReadAt(b); ok {
+		t.Fatalf("fragment at %d still readable after repair", b)
+	}
+	if _, ok := l.ReadAt(a); !ok {
+		t.Fatalf("intact record at %d lost by repair", a)
+	}
+	if got := l.Append(make([]byte, 8)); got != b {
+		t.Fatalf("append after repair got LSN %d, want reuse of %d", got, b)
+	}
+
+	mustPanic(t, "RepairTail(beyond end)", func() { l.RepairTail(l.EndLSN() + 1) })
+
+	// Repair below the truncation point is unreachable in recovery (the
+	// bad frame was read from the retained region) and must panic.
+	l2 := NewLog(8)
+	l2.Append(make([]byte, 8))
+	keep := l2.Append(make([]byte, 8))
+	l2.ForceAll()
+	l2.Truncate(keep)
+	mustPanic(t, "RepairTail(below trunc)", func() { l2.RepairTail(1) })
+	// At exactly the truncation point it is legal: the whole retained
+	// suffix is discarded.
+	l2.RepairTail(l2.TruncLSN())
+	if l2.EndLSN() != l2.TruncLSN() || l2.RetainedBytes() != 0 {
+		t.Fatalf("repair at TruncLSN left end=%d retained=%d", l2.EndLSN(), l2.RetainedBytes())
+	}
+}
+
+// TestLogCorruptEntryTargets: the fault-injection hook mutates only a
+// record that starts exactly at the LSN, in place.
+func TestLogCorruptEntryTargets(t *testing.T) {
+	l := NewLog(0)
+	a := l.Append([]byte{1, 2, 3, 4})
+	l.ForceAll()
+	if l.CorruptEntry(a+1, func([]byte) { t.Fatal("fn called for non-boundary LSN") }) {
+		t.Fatal("CorruptEntry succeeded at a non-boundary LSN")
+	}
+	if !l.CorruptEntry(a, func(b []byte) { b[0] ^= 0xff }) {
+		t.Fatal("CorruptEntry failed at a record start")
+	}
+	data, _ := l.ReadAt(a)
+	if data[0] != 1^0xff {
+		t.Fatalf("corruption not applied in place: % x", data)
+	}
+}

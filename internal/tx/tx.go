@@ -304,14 +304,14 @@ func (m *Manager) Lookup(id word.TxID) *Tx { return m.active[id] }
 
 // RestoreInDoubt reconstructs a prepared transaction after recovery: its
 // log chain is walked to rebuild the undo roots and translation map
-// (translate maps a logged address to its current location), and it
-// re-enters the table — prepared, holding no handles, waiting for
-// resolution. The caller reacquires its object locks.
-func (m *Manager) RestoreInDoubt(id word.TxID, lastLSN word.LSN, translate func(word.Addr) word.Addr) (*Tx, []word.Addr) {
+// (translate maps an address logged at the given LSN to its current
+// location), and it re-enters the table — prepared, holding no handles,
+// waiting for resolution. The caller reacquires its object locks.
+func (m *Manager) RestoreInDoubt(id word.TxID, lastLSN word.LSN, translate func(word.Addr, word.LSN) word.Addr) (*Tx, []word.Addr) {
 	t := &Tx{id: id, lastLSN: lastLSN, prepared: true, trans: make(map[word.Addr]word.Addr)}
 	var objs []word.Addr
-	seed := func(orig word.Addr) {
-		if cur := translate(orig); cur != orig {
+	seed := func(orig word.Addr, at word.LSN) {
+		if cur := translate(orig, at); cur != orig {
 			t.trans[orig] = cur
 		}
 	}
@@ -321,20 +321,20 @@ func (m *Manager) RestoreInDoubt(id word.TxID, lastLSN word.LSN, translate func(
 		switch r := rec.(type) {
 		case wal.UpdateRec:
 			t.undoAddrs = append(t.undoAddrs, r.Addr)
-			seed(r.Addr)
+			seed(r.Addr, lsn)
 			if r.Flags&wal.UFPtrSlot != 0 {
 				if old := word.Addr(word.GetWord(r.Undo, 0)); !old.IsNil() {
 					t.undoVals = append(t.undoVals, old)
-					seed(old)
+					seed(old, lsn)
 				}
 			}
-			objs = append(objs, translate(r.Obj))
+			objs = append(objs, translate(r.Obj, lsn))
 			t.firstLSN = lsn
 			lsn = r.PrevLSN
 		case wal.LogicalRec:
 			t.undoAddrs = append(t.undoAddrs, r.Addr)
-			seed(r.Addr)
-			objs = append(objs, translate(r.Obj))
+			seed(r.Addr, lsn)
+			objs = append(objs, translate(r.Obj, lsn))
 			t.firstLSN = lsn
 			lsn = r.PrevLSN
 		case wal.CLRRec:

@@ -69,7 +69,7 @@ type page struct {
 // Store is the simulated one-level store.
 type Store struct {
 	cfg   Config
-	disk  *storage.Disk
+	disk  storage.PageStore
 	log   *wal.Manager
 	pages map[word.PageID]*page
 	// prot is the set of protected pages; protection is independent of
@@ -87,7 +87,7 @@ type Store struct {
 }
 
 // New creates a store over disk, spooling bookkeeping records to log.
-func New(cfg Config, disk *storage.Disk, log *wal.Manager) *Store {
+func New(cfg Config, disk storage.PageStore, log *wal.Manager) *Store {
 	if cfg.PageSize <= 0 || cfg.PageSize%word.WordSize != 0 {
 		panic(fmt.Sprintf("vm: invalid page size %d", cfg.PageSize))
 	}
@@ -104,7 +104,7 @@ func New(cfg Config, disk *storage.Disk, log *wal.Manager) *Store {
 func (s *Store) PageSize() int { return s.cfg.PageSize }
 
 // Disk returns the backing store.
-func (s *Store) Disk() *storage.Disk { return s.disk }
+func (s *Store) Disk() storage.PageStore { return s.disk }
 
 // SetTrapHandler installs the read-barrier trap handler.
 func (s *Store) SetTrapHandler(h TrapHandler) { s.trap = h }

@@ -23,7 +23,7 @@ var ErrTruncated = errors.New("wal: LSN below the truncation point")
 // overhead experiments (E6); always-on latency histograms over Append and
 // Force feed the logging-overhead distributions.
 type Manager struct {
-	dev    *storage.Log
+	dev    storage.LogDevice
 	count  [maxType]int64
 	bytes  [maxType]int64
 	append obs.Histogram
@@ -36,12 +36,12 @@ type Manager struct {
 }
 
 // NewManager wraps a log device.
-func NewManager(dev *storage.Log) *Manager {
+func NewManager(dev storage.LogDevice) *Manager {
 	return &Manager{dev: dev}
 }
 
 // Device exposes the underlying log device (for crash simulation and stats).
-func (m *Manager) Device() *storage.Log { return m.dev }
+func (m *Manager) Device() storage.LogDevice { return m.dev }
 
 // encPool holds scratch buffers for Append's encode step: the framed record
 // only lives until the device copies it into its own storage, so the buffer
@@ -102,8 +102,10 @@ func (m *Manager) EndLSN() word.LSN { return m.dev.EndLSN() }
 func (m *Manager) IsStable(lsn word.LSN) bool { return m.dev.IsStable(lsn) }
 
 // ReadAt decodes the record at lsn. An LSN below the truncation point
-// returns an error wrapping ErrTruncated (the record is gone, not absent);
-// any other failure means no record starts at lsn.
+// returns an error wrapping ErrTruncated (the record is gone, not
+// absent); a frame that exists but fails to decode returns a typed
+// storage.CorruptFrameError (match with errors.Is(err,
+// storage.ErrCorrupt)); any other failure means no record starts at lsn.
 func (m *Manager) ReadAt(lsn word.LSN) (Record, error) {
 	frame, ok := m.dev.ReadAt(lsn)
 	if !ok {
@@ -113,7 +115,11 @@ func (m *Manager) ReadAt(lsn word.LSN) (Record, error) {
 		}
 		return nil, fmt.Errorf("wal: no record at LSN %d", lsn)
 	}
-	return Decode(frame)
+	r, err := Decode(frame)
+	if err != nil {
+		return nil, &storage.CorruptFrameError{LSN: lsn, Reason: err.Error()}
+	}
+	return r, nil
 }
 
 // MustReadAt is ReadAt for callers holding an LSN that must be present
@@ -128,13 +134,16 @@ func (m *Manager) MustReadAt(lsn word.LSN) Record {
 
 // Scan decodes records in LSN order starting at from; fn returning false
 // stops the scan. If stableOnly is set, the volatile tail is not visited
-// (recovery sees only the stable log). Decoding failures panic: the device
-// model never corrupts retained records, so a failure is a bug.
+// (recovery sees only the stable log). Decoding failures panic with a
+// typed storage.CorruptFrameError naming the LSN: a retained record that
+// no longer decodes is device corruption, and the recovery entry points
+// convert the panic into a returned error (the detectable-failure
+// contract) rather than admitting a half-read log.
 func (m *Manager) Scan(from word.LSN, stableOnly bool, fn func(lsn word.LSN, r Record) bool) {
 	m.dev.Scan(from, stableOnly, func(lsn word.LSN, frame []byte) bool {
 		r, err := Decode(frame)
 		if err != nil {
-			panic(fmt.Sprintf("wal: undecodable record at LSN %d: %v", lsn, err))
+			panic(&storage.CorruptFrameError{LSN: lsn, Reason: err.Error()})
 		}
 		return fn(lsn, r)
 	})
@@ -156,7 +165,7 @@ func (m *Manager) ScanBatch(from word.LSN, stableOnly bool, batchSize int, fn fu
 		for i, frame := range frames {
 			r, err := Decode(frame)
 			if err != nil {
-				panic(fmt.Sprintf("wal: undecodable record at LSN %d: %v", lsns[i], err))
+				panic(&storage.CorruptFrameError{LSN: lsns[i], Reason: err.Error()})
 			}
 			recs = append(recs, r)
 		}

@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/word"
+)
+
+// Table-driven error-path tests around the torn-tail classifier: the one
+// place that must distinguish "a force was interrupted" (repairable —
+// the record was never acknowledged) from "a complete frame rotted"
+// (corruption — it may be an acknowledged commit, so recovery must
+// refuse, not silently rewind over it).
+
+func TestRepairTornTailClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		// mutate receives the device after 3 records are appended and
+		// forced and a 4th sits in the volatile tail; it injects the
+		// scenario's fault (forcing the tail itself when the fault needs a
+		// durable final frame) and returns the LSN expected in the outcome
+		// (torn LSN or corrupt-frame LSN, per the want fields).
+		mutate      func(dev *storage.Log, lsns []word.LSN) word.LSN
+		wantTorn    bool // RepairTornTail rewinds and returns the LSN
+		wantCorrupt bool // RepairTornTail returns a CorruptFrameError at the LSN
+		survivors   int  // records decodable after the call
+	}{
+		{
+			name: "whole log is untouched",
+			mutate: func(dev *storage.Log, _ []word.LSN) word.LSN {
+				dev.ForceAll()
+				return word.NilLSN
+			},
+			survivors: 4,
+		},
+		{
+			name: "tail torn mid-record",
+			mutate: func(dev *storage.Log, lsns []word.LSN) word.LSN {
+				dev.CrashTorn(lsns[3] + 10) // past the header, short of the declared length
+				return lsns[3]
+			},
+			wantTorn:  true,
+			survivors: 3,
+		},
+		{
+			name: "tail torn inside the 8-byte frame header",
+			mutate: func(dev *storage.Log, lsns []word.LSN) word.LSN {
+				dev.CrashTorn(lsns[3] + 2)
+				return lsns[3]
+			},
+			wantTorn:  true,
+			survivors: 3,
+		},
+		{
+			name: "tear on an exact frame boundary leaves a whole log",
+			mutate: func(dev *storage.Log, lsns []word.LSN) word.LSN {
+				dev.CrashTorn(lsns[3]) // == StableLSN: the force never began
+				return word.NilLSN
+			},
+			survivors: 3,
+		},
+		{
+			name: "complete final frame with rotted payload is corruption, not a tear",
+			mutate: func(dev *storage.Log, lsns []word.LSN) word.LSN {
+				dev.ForceAll()
+				dev.CorruptEntry(lsns[3], func(b []byte) { b[len(b)-1] ^= 0x01 })
+				return lsns[3]
+			},
+			wantCorrupt: true,
+		},
+		{
+			name: "complete final frame with rotted CRC word is corruption",
+			mutate: func(dev *storage.Log, lsns []word.LSN) word.LSN {
+				dev.ForceAll()
+				dev.CorruptEntry(lsns[3], func(b []byte) { b[4] ^= 0x80 })
+				return lsns[3]
+			},
+			wantCorrupt: true,
+		},
+		{
+			name: "undecodable interior frame with records after it is corruption",
+			mutate: func(dev *storage.Log, lsns []word.LSN) word.LSN {
+				dev.ForceAll()
+				dev.CorruptEntry(lsns[1], func(b []byte) { b[frameHeader] ^= 0xff })
+				return lsns[1]
+			},
+			wantCorrupt: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := storage.NewLog(1 << 20)
+			m := NewManager(dev)
+			var lsns []word.LSN
+			for i := 0; i < 4; i++ {
+				if i == 3 {
+					m.ForceAll() // the 4th record stays in the volatile tail
+				}
+				lsns = append(lsns, m.Append(UpdateRec{
+					TxHdr: TxHdr{TxID: word.TxID(i + 1)},
+					Addr:  word.Addr(8 * (i + 1)),
+					Redo:  []byte{byte(i), 1, 2, 3, 4, 5, 6, 7},
+					Undo:  []byte{byte(i), 7, 6, 5, 4, 3, 2, 1},
+				}))
+			}
+			wantLSN := tc.mutate(dev, lsns)
+
+			torn, err := m.RepairTornTail(dev.TruncLSN())
+			switch {
+			case tc.wantCorrupt:
+				var cf *storage.CorruptFrameError
+				if !errors.As(err, &cf) {
+					t.Fatalf("got (torn=%d, err=%v), want CorruptFrameError", torn, err)
+				}
+				if cf.LSN != wantLSN {
+					t.Fatalf("corrupt frame reported at %d, want %d", cf.LSN, wantLSN)
+				}
+				if !errors.Is(err, storage.ErrCorrupt) {
+					t.Fatalf("corrupt-frame error does not match ErrCorrupt: %v", err)
+				}
+				return // corrupt devices are refused; nothing more to check
+			case tc.wantTorn:
+				if err != nil || torn != wantLSN {
+					t.Fatalf("got (torn=%d, err=%v), want repaired at %d", torn, err, wantLSN)
+				}
+				if dev.EndLSN() != wantLSN {
+					t.Fatalf("device not rewound: end=%d, want %d", dev.EndLSN(), wantLSN)
+				}
+			default:
+				if err != nil || torn != word.NilLSN {
+					t.Fatalf("got (torn=%d, err=%v), want whole log", torn, err)
+				}
+			}
+
+			// After a clean or repaired classification every retained record
+			// decodes, and a fresh append lands at the repaired position.
+			n := 0
+			m.Scan(dev.TruncLSN(), false, func(word.LSN, Record) bool { n++; return true })
+			if n != tc.survivors {
+				t.Fatalf("%d records decode after repair, want %d", n, tc.survivors)
+			}
+			end := dev.EndLSN()
+			if lsn := m.Append(CommitRec{TxHdr: TxHdr{TxID: 99}}); lsn != end {
+				t.Fatalf("append after repair landed at %d, want %d", lsn, end)
+			}
+		})
+	}
+}
+
+// TestReadAtErrorKinds pins the three distinct failure modes of
+// Manager.ReadAt — reclaimed (ErrTruncated), rotten (ErrCorrupt), and
+// plain absent — as disjoint, errors.Is-distinguishable outcomes.
+func TestReadAtErrorKinds(t *testing.T) {
+	dev := storage.NewLog(64)
+	m := NewManager(dev)
+	var lsns []word.LSN
+	for i := 0; i < 12; i++ {
+		lsns = append(lsns, m.Append(UpdateRec{
+			TxHdr: TxHdr{TxID: word.TxID(i + 1)}, Addr: 8,
+			Redo: []byte{1, 2, 3, 4, 5, 6, 7, 8}, Undo: []byte{8, 7, 6, 5, 4, 3, 2, 1},
+		}))
+	}
+	m.ForceAll()
+	m.Truncate(lsns[8])
+	rotted := lsns[10]
+	dev.CorruptEntry(rotted, func(b []byte) { b[frameHeader] ^= 0x40 })
+
+	cases := []struct {
+		name          string
+		lsn           word.LSN
+		wantTruncated bool
+		wantCorrupt   bool
+	}{
+		{"below the truncation point", lsns[0], true, false},
+		{"retained and intact", lsns[9], false, false},
+		{"retained but rotted", rotted, false, true},
+		{"beyond the end", m.EndLSN() + 64, false, false},
+		{"non-boundary interior offset", lsns[9] + 1, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, err := m.ReadAt(tc.lsn)
+			if got := errors.Is(err, ErrTruncated); got != tc.wantTruncated {
+				t.Fatalf("errors.Is(err, ErrTruncated) = %v, want %v (err=%v)", got, tc.wantTruncated, err)
+			}
+			if got := errors.Is(err, storage.ErrCorrupt); got != tc.wantCorrupt {
+				t.Fatalf("errors.Is(err, ErrCorrupt) = %v, want %v (err=%v)", got, tc.wantCorrupt, err)
+			}
+			if tc.wantCorrupt {
+				var cf *storage.CorruptFrameError
+				if !errors.As(err, &cf) || cf.LSN != tc.lsn {
+					t.Fatalf("corrupt read did not name the frame: %v", err)
+				}
+			}
+			if tc.name == "retained and intact" && (err != nil || rec == nil) {
+				t.Fatalf("intact read failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestFrameLenBoundaries drives the frame splitter over every length
+// boundary a torn or rotted prefix can produce.
+func TestFrameLenBoundaries(t *testing.T) {
+	whole := Encode(CommitRec{TxHdr: TxHdr{TxID: 7}})
+	cases := []struct {
+		name string
+		buf  []byte
+		n    int // expected length; 0 means an error is required
+	}{
+		{"empty buffer", nil, 0},
+		{"one byte", whole[:1], 0},
+		{"header minus one", whole[:frameHeader], 0},
+		{"header plus type byte of a longer frame", whole[:frameHeader+1], 0},
+		{"exact whole frame", whole, len(whole)},
+		{"whole frame plus trailing bytes", append(append([]byte{}, whole...), 0xee, 0xee), len(whole)},
+		{"declared length below the minimum", func() []byte {
+			b := append([]byte{}, whole...)
+			b[0], b[1], b[2], b[3] = frameHeader, 0, 0, 0 // claims no type byte
+			return b
+		}(), 0},
+		{"declared length beyond the buffer", func() []byte {
+			b := append([]byte{}, whole...)
+			b[0] = byte(len(whole) + 1)
+			return b
+		}(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := FrameLen(tc.buf)
+			if tc.n == 0 {
+				if err == nil {
+					t.Fatalf("FrameLen = %d, want error", n)
+				}
+				return
+			}
+			if err != nil || n != tc.n {
+				t.Fatalf("FrameLen = (%d, %v), want (%d, nil)", n, err, tc.n)
+			}
+		})
+	}
+}

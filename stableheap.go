@@ -87,11 +87,14 @@ type Ref = core.Ref
 // tools; application code should treat Refs as opaque).
 type Addr = word.Addr
 
-// Disk is the simulated nonvolatile page store backing a heap.
-type Disk = storage.Disk
+// Disk is the nonvolatile page store backing a heap. The built-in
+// simulated implementation is storage.Disk; fault-injection wrappers
+// (internal/faultfs) satisfy the same interface.
+type Disk = storage.PageStore
 
-// LogDevice is the simulated stable log device.
-type LogDevice = storage.Log
+// LogDevice is the stable log device. The built-in simulated
+// implementation is storage.Log.
+type LogDevice = storage.LogDevice
 
 // Errors returned by heap operations.
 var (
@@ -121,7 +124,7 @@ func Open(cfg Config) *Heap {
 // resuming) any interrupted collection, and evacuating recovered
 // newly stable objects out of the volatile area. Work is bounded by the
 // log written since the last checkpoint, never by heap size.
-func Recover(cfg Config, disk *Disk, log *LogDevice) (*Heap, error) {
+func Recover(cfg Config, disk Disk, log LogDevice) (*Heap, error) {
 	inner, err := core.Recover(cfg, disk, log)
 	if err != nil {
 		return nil, err
@@ -134,7 +137,7 @@ func Recover(cfg Config, disk *Disk, log *LogDevice) (*Heap, error) {
 // history reconstructs every page from the first checkpoint onward. The
 // log must be untruncated (the archive discipline); a truncated log is
 // refused.
-func RecoverFromLog(cfg Config, log *LogDevice) (*Heap, error) {
+func RecoverFromLog(cfg Config, log LogDevice) (*Heap, error) {
 	inner, err := core.RecoverFromLog(cfg, log)
 	if err != nil {
 		return nil, err
@@ -175,7 +178,7 @@ func (h *Heap) StepStable() bool { return h.inner.StepStable() }
 // the lock table and all active transactions are lost; the disk and the
 // stable log survive and are returned for Recover. The Heap is dead
 // afterwards.
-func (h *Heap) Crash() (*Disk, *LogDevice) { return h.inner.Crash() }
+func (h *Heap) Crash() (Disk, LogDevice) { return h.inner.Crash() }
 
 // Close shuts down cleanly: aborts active transactions, completes any
 // running collection, flushes, and takes a final forced checkpoint. The
@@ -183,7 +186,7 @@ func (h *Heap) Crash() (*Disk, *LogDevice) { return h.inner.Crash() }
 func (h *Heap) Close() { h.inner.Close() }
 
 // Devices returns the heap's simulated devices.
-func (h *Heap) Devices() (*Disk, *LogDevice) { return h.inner.Devices() }
+func (h *Heap) Devices() (Disk, LogDevice) { return h.inner.Devices() }
 
 // InDoubt lists prepared transactions restored by recovery, awaiting the
 // coordinator's decision.
