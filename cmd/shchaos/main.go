@@ -17,7 +17,14 @@
 // Usage:
 //
 //	shchaos [-seeds n | -seed n] [-steps n] [-crashes n] [-flush f]
-//	        [-midgc] [-repl] [-shrink] [-json]
+//	        [-midgc] [-repl] [-scenario default|concurrent] [-mutators n]
+//	        [-shrink] [-json]
+//
+// -scenario concurrent adds a concurrent mutator burst to every round:
+// goroutines increment disjoint counters while the stable collector runs,
+// each burst's history is checked for conflict serializability, and the
+// post-crash audit pins every counter to its last acknowledged commit.
+// -mutators overrides the burst width (default 4).
 //
 // Exit status: 0 = no violations, 1 = violations found, 2 = bad usage.
 package main
@@ -67,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flush := fs.Float64("flush", 0.5, "fraction of resident pages flushed before each crash")
 	midGC := fs.Bool("midgc", false, "leave an incremental stable collection in flight at crashes")
 	repl := fs.Bool("repl", false, "end each seed with a primary/standby failover round")
+	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver) or concurrent (adds goroutine mutator bursts)")
+	mutators := fs.Int("mutators", 0, "concurrent mutator goroutines per burst (0 = scenario default)")
 	shrink := fs.Bool("shrink", false, "greedily minimize the fault plan of each violating seed")
 	asJSON := fs.Bool("json", false, "print the verdict matrix and per-seed results as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +88,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	sc := crashtest.Scenario{
 		Steps: *steps, Crashes: *crashes, FlushFrac: *flush,
-		MidGC: *midGC, Repl: *repl,
+		MidGC: *midGC, Repl: *repl, Mutators: *mutators,
+	}
+	switch *scenario {
+	case "default":
+	case "concurrent":
+		if sc.Mutators <= 0 {
+			sc.Mutators = 4
+		}
+	default:
+		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default or concurrent)\n", *scenario)
+		return 2
 	}
 
 	var rep crashtest.Report

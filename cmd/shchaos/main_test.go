@@ -71,3 +71,20 @@ func TestRunBadUsage(t *testing.T) {
 		t.Fatalf("stray arg: want exit 2, got %d", code)
 	}
 }
+
+// TestRunConcurrentScenario smokes -scenario concurrent: mutator bursts
+// ride every round and the detectability contract still holds (exit 0).
+// An unknown scenario name is a usage error.
+func TestRunConcurrentScenario(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-scenario", "concurrent", "-seeds", "3", "-steps", "20", "-crashes", "2", "-mutators", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("verdict matrix")) {
+		t.Fatalf("matrix missing from output:\n%s", out.String())
+	}
+	if code := run([]string{"-scenario", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scenario: want exit 2, got %d", code)
+	}
+}

@@ -35,6 +35,9 @@ type JSONReport struct {
 	// Failover is the E16 failover-time-vs-lag table (log-shipping
 	// replication: promote a warm standby after a primary crash).
 	Failover *Table `json:"failover,omitempty"`
+	// Scaling is the E18 multi-core transaction-path scaling table
+	// (sharded latch + group commit over a slow-force log).
+	Scaling *Table `json:"scaling,omitempty"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -190,6 +193,8 @@ func WriteJSON(path string) error {
 	}
 	report.Failover = &failover
 	report.Metrics.Merge(replMetrics)
+	scaling := E18Scaling()
+	report.Scaling = &scaling
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

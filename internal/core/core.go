@@ -13,9 +13,14 @@
 //	[… , …                   )  volatile semispace 0
 //	[… , …                   )  volatile semispace 1
 //
-// All low-level actions run under a single action latch, matching the
-// paper's model in which read and update actions are indivisible and
-// context switches happen only at action boundaries (§2.1).
+// Low-level actions are indivisible, matching the paper's model in which
+// context switches happen only at action boundaries (§2.1). Independent
+// transactions run their actions in parallel under a sharded action latch
+// (see latch.go): reads and single-page logged updates hold the stop latch
+// shared (updates additionally hold one per-page writer stripe), while
+// anything that moves objects or walks global state — collection work,
+// stability tracking, abort, checkpoint, recovery — stops the heap by
+// taking the latch exclusively.
 package core
 
 import (
@@ -23,10 +28,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stableheap/internal/gc"
 	"stableheap/internal/heap"
+	"stableheap/internal/histcheck"
 	"stableheap/internal/lock"
 	"stableheap/internal/obs"
 	"stableheap/internal/recovery"
@@ -113,6 +120,14 @@ type Config struct {
 	// TraceEvents bounds the trace ring (default obs.DefaultTraceEvents);
 	// the oldest events are overwritten — and counted — beyond it.
 	TraceEvents int
+	// LatchShards is the number of per-page writer stripes in the sharded
+	// action latch (default 64; any negative value collapses to a single
+	// stripe, serializing all writers — the pre-sharding behaviour).
+	LatchShards int
+	// NoDeadlockDetect disables the lock manager's waits-for-graph
+	// deadlock detector, leaving only the LockWait timeout backstop (the
+	// pre-detector policy; useful for A/B measurement).
+	NoDeadlockDetect bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +151,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StepWords == 0 {
 		c.StepWords = 128
+	}
+	if c.LatchShards == 0 {
+		c.LatchShards = 64
+	} else if c.LatchShards < 0 {
+		c.LatchShards = 1
 	}
 	return c
 }
@@ -166,8 +186,13 @@ type Heap struct {
 	ckpt   *recovery.Checkpointer
 	track  *stability.Tracker
 
-	// mu is the action latch: low-level actions are indivisible.
-	mu sync.Mutex
+	// The sharded action latch (latch.go): stop admits transaction
+	// actions shared and heap-stopping work exclusive; shards stripe
+	// writers by page; coarse mirrors sgc.Active() so every action goes
+	// exclusive while a stable collection is in progress.
+	stop   sync.RWMutex
+	shards []sync.Mutex
+	coarse atomic.Bool
 
 	// rootObj is the current address of the stable root object (an
 	// object with NumRoots pointer fields living in the stable area).
@@ -178,13 +203,23 @@ type Heap struct {
 
 	// ls is the LS set: newly stable objects still at volatile
 	// addresses. srem is the stable→volatile remembered set: stable-area
-	// slots holding volatile pointers.
-	ls   map[word.Addr]bool
-	srem map[word.Addr]bool
+	// slots holding volatile pointers. ls is only touched in exclusive
+	// sections; srem is additionally written by concurrent shared update
+	// actions (through the OnStableSlotWrite hook), so remMu guards it.
+	ls    map[word.Addr]bool
+	remMu sync.Mutex
+	srem  map[word.Addr]bool
 
 	// candidates collects, per transaction, the targets of pointer
 	// stores into stable state, for commit-time stability tracking.
+	// Guarded by candMu: shared update actions append concurrently.
+	candMu     sync.Mutex
 	candidates map[word.TxID][]*tx.Handle
+
+	// hist, when set, records every transactional action for offline
+	// serializability checking (internal/histcheck). Install it with
+	// SetHistoryRecorder before any concurrent use.
+	hist *histcheck.Recorder
 
 	// group batches commit forces when Config.GroupCommitWindow > 0.
 	group *groupCommitter
@@ -231,8 +266,11 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 	h := heap.New(mem)
 	locks := lock.NewManager(cfg.LockWait)
 
+	locks.SetDetection(!cfg.NoDeadlockDetect)
+
 	hp := &Heap{
 		cfg: cfg, disk: disk, logDev: logDev, log: log, mem: mem, h: h, locks: locks,
+		shards:     make([]sync.Mutex, cfg.LatchShards),
 		ls:         make(map[word.Addr]bool),
 		srem:       make(map[word.Addr]bool),
 		candidates: make(map[word.TxID][]*tx.Handle),
@@ -366,18 +404,24 @@ func (hp *Heap) onStableSlotWrite(slot word.Addr, ptrToVolatile bool) {
 	if !hp.inStableArea(slot) {
 		return
 	}
+	hp.remMu.Lock()
 	if ptrToVolatile {
 		hp.srem[slot] = true
 	} else {
 		delete(hp.srem, slot)
 	}
+	hp.remMu.Unlock()
 }
 
 // onCopy is every collector's copy hook: undo translations, lock rekeys,
-// and remembered-slot rebasing follow the object.
+// remembered-slot rebasing, and history-recorder variable identity follow
+// the object. Collectors only run in exclusive sections.
 func (hp *Heap) onCopy(from, to word.Addr, sizeWords int) {
 	hp.txm.OnCopy(from, to, sizeWords)
 	hp.locks.Rekey(from, to)
+	if hp.hist != nil {
+		hp.hist.OnMove(from, to, sizeWords)
+	}
 	hi := from.Add(sizeWords)
 	for slot := range hp.srem {
 		if slot >= from && slot < hi {
@@ -544,11 +588,25 @@ func (hp *Heap) collectVolatile() error {
 
 // --- public transaction API ----------------------------------------------
 
-// Begin starts a transaction.
+// Begin starts a transaction. A Tx is owned by one goroutine; different
+// transactions may run concurrently.
 func (hp *Heap) Begin() *Tx {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
-	return &Tx{hp: hp, t: hp.txm.Begin()}
+	excl := hp.rlock()
+	defer hp.runlock(excl)
+	t := &Tx{hp: hp, t: hp.txm.Begin()}
+	if hp.hist != nil {
+		hp.hist.Begin(t.t.ID())
+	}
+	return t
+}
+
+// SetHistoryRecorder installs a histcheck recorder that observes every
+// begin, read, write, commit and abort (and follows objects across
+// collector moves). Install before any concurrent use; pass nil to detach.
+func (hp *Heap) SetHistoryRecorder(r *histcheck.Recorder) {
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	hp.hist = r
 }
 
 // fail records a sticky conflict error.
@@ -572,14 +630,18 @@ func (t *Tx) Err() error { return t.err }
 func (t *Tx) ID() word.TxID { return t.t.ID() }
 
 // lockAddr acquires a lock on the object named by read(), mapping
-// timeouts to ErrConflict. The address is read and the lock try-acquired
-// atomically under the action latch (so the lock table only ever names
-// current addresses and a flip's Rekey never collides with a stale
-// optimistic entry); on contention the transaction waits for availability
-// *outside* the latch — without holding anything — and retries, because
-// the holder needs the latch to finish its work. A lock held when the
-// object later moves follows it automatically: the collector rekeys the
-// table on every copy.
+// timeouts and deadlock aborts to ErrConflict. The address is read and the
+// lock try-acquired atomically under the action latch (so the lock table
+// only ever names current addresses and a flip's Rekey never collides with
+// a stale optimistic entry); on contention the transaction waits for
+// availability *outside* the latch — without holding anything — and
+// retries, because the holder may need the latch to finish its work. While
+// blocked the transaction is registered in the lock manager's waits-for
+// graph; if its wait closes a cycle and it is chosen victim, WaitFree
+// returns ErrDeadlock and the transaction fails fast with ErrConflict
+// (aborting it releases its locks and breaks the cycle). A lock held when
+// the object later moves follows it automatically: the collector rekeys
+// the table on every copy.
 func (t *Tx) lockAddr(read func() word.Addr, m lock.Mode) error {
 	hp := t.hp
 	// Lock-wait timing starts lazily on the first contention: the
@@ -591,8 +653,8 @@ func (t *Tx) lockAddr(read func() word.Addr, m lock.Mode) error {
 		func() {
 			// Deferred unlock: read() can fault on a wrapped device
 			// (internal/faultfs) and the latch must not leak with it.
-			hp.mu.Lock()
-			defer hp.mu.Unlock()
+			excl := hp.rlock()
+			defer hp.runlock(excl)
 			a = read()
 			err = hp.locks.TryAcquire(t.t.ID(), a, m)
 		}()
@@ -616,7 +678,7 @@ func (t *Tx) lockAddr(read func() word.Addr, m lock.Mode) error {
 			hp.met.lockWait.Since(waitStart)
 			return t.fail(ErrConflict)
 		}
-		if !hp.locks.WaitFree(t.t.ID(), a, m, deadline.Sub(now)) {
+		if werr := hp.locks.WaitFree(t.t.ID(), a, m, deadline.Sub(now)); werr != nil {
 			hp.met.lockWait.Since(waitStart)
 			return t.fail(ErrConflict)
 		}
@@ -636,8 +698,10 @@ func (t *Tx) Alloc(typeID uint16, nptrs, ndata int) (*Ref, error) {
 		return nil, err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	// Allocation bumps a collector frontier and may trigger a collection:
+	// always an exclusive action.
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	d := heap.NewDescriptor(typeID, nptrs, ndata)
 	size := d.SizeWords()
 	var addr word.Addr
@@ -699,8 +763,8 @@ func (t *Tx) Ptr(r *Ref, i int) (*Ref, error) {
 		return nil, err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	a := r.Addr()
 	d := hp.descriptorOf(a)
 	if i < 0 || i >= d.NPtrs() {
@@ -710,6 +774,9 @@ func (t *Tx) Ptr(r *Ref, i int) (*Ref, error) {
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	p := word.Addr(hp.mem.ReadWord(slot))
 	p = hp.sgc.BarrierLoad(p) // Baker-mode transport
+	if hp.hist != nil {
+		hp.hist.Read(t.t.ID(), a)
+	}
 	hp.stepStableGC()
 	if p.IsNil() {
 		return nil, nil
@@ -726,8 +793,8 @@ func (t *Tx) Data(r *Ref, j int) (uint64, error) {
 		return 0, err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	a := r.Addr()
 	d := hp.descriptorOf(a)
 	if j < 0 || j >= d.NData() {
@@ -736,6 +803,9 @@ func (t *Tx) Data(r *Ref, j int) (uint64, error) {
 	slot := a + word.Addr(heap.DataOffset(d.NPtrs(), j))
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	v := hp.mem.ReadWord(slot)
+	if hp.hist != nil {
+		hp.hist.Read(t.t.ID(), a)
+	}
 	hp.stepStableGC()
 	return v, nil
 }
@@ -749,8 +819,8 @@ func (t *Tx) SetPtr(r *Ref, i int, val *Ref) error {
 		return err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	a := r.Addr()
 	d := hp.descriptorOf(a)
 	if i < 0 || i >= d.NPtrs() {
@@ -762,11 +832,19 @@ func (t *Tx) SetPtr(r *Ref, i int, val *Ref) error {
 	}
 	slot := a + word.Addr(heap.PtrOffset(i))
 	hp.mem.EnsureAccessible(slot, word.WordSize)
+	unlock := hp.lockShard(excl, slot)
 	hp.writeWordAction(t, a, d, slot, uint64(v), true)
+	unlock()
 	// A volatile target stored into stable state is a stability
 	// candidate for commit-time tracking.
 	if hp.cfg.Divided && val != nil && hp.isStableObject(a, d) && hp.inVolatile(v) {
-		hp.candidates[t.t.ID()] = append(hp.candidates[t.t.ID()], hp.txm.Register(t.t, v))
+		h := hp.txm.Register(t.t, v)
+		hp.candMu.Lock()
+		hp.candidates[t.t.ID()] = append(hp.candidates[t.t.ID()], h)
+		hp.candMu.Unlock()
+	}
+	if hp.hist != nil {
+		hp.hist.Write(t.t.ID(), a)
 	}
 	hp.stepStableGC()
 	return nil
@@ -781,8 +859,8 @@ func (t *Tx) SetData(r *Ref, j int, v uint64) error {
 		return err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	a := r.Addr()
 	d := hp.descriptorOf(a)
 	if j < 0 || j >= d.NData() {
@@ -790,7 +868,12 @@ func (t *Tx) SetData(r *Ref, j int, v uint64) error {
 	}
 	slot := a + word.Addr(heap.DataOffset(d.NPtrs(), j))
 	hp.mem.EnsureAccessible(slot, word.WordSize)
+	unlock := hp.lockShard(excl, slot)
 	hp.writeWordAction(t, a, d, slot, v, false)
+	unlock()
+	if hp.hist != nil {
+		hp.hist.Write(t.t.ID(), a)
+	}
 	hp.stepStableGC()
 	return nil
 }
@@ -819,8 +902,8 @@ func (t *Tx) AddData(r *Ref, j int, delta uint64) error {
 		return err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	a := r.Addr()
 	d := hp.descriptorOf(a)
 	if j < 0 || j >= d.NData() {
@@ -828,6 +911,7 @@ func (t *Tx) AddData(r *Ref, j int, delta uint64) error {
 	}
 	slot := a + word.Addr(heap.DataOffset(d.NPtrs(), j))
 	hp.mem.EnsureAccessible(slot, word.WordSize)
+	unlock := hp.lockShard(excl, slot)
 	if hp.isStableObject(a, d) {
 		hp.txm.UpdateLogical(t.t, a, slot, delta)
 	} else {
@@ -835,6 +919,10 @@ func (t *Tx) AddData(r *Ref, j int, delta uint64) error {
 		buf := make([]byte, word.WordSize)
 		word.PutWord(buf, 0, cur+delta)
 		hp.txm.VolatileWrite(t.t, slot, buf, false)
+	}
+	unlock()
+	if hp.hist != nil {
+		hp.hist.ReadWrite(t.t.ID(), a)
 	}
 	hp.stepStableGC()
 	return nil
@@ -850,8 +938,8 @@ func (t *Tx) Shape(r *Ref) (typeID uint16, nptrs, ndata int, err error) {
 		return 0, 0, 0, err
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	d := hp.descriptorOf(r.Addr())
 	return d.TypeID(), d.NPtrs(), d.NData(), nil
 }
@@ -865,8 +953,8 @@ func (t *Tx) Root(i int) (*Ref, error) {
 	if err := t.lockAddr(func() word.Addr { return hp.rootObj }, lock.Read); err != nil {
 		return nil, err
 	}
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	if i < 0 || i >= hp.cfg.NumRoots {
 		return nil, fmt.Errorf("core: root index %d out of range", i)
 	}
@@ -874,6 +962,9 @@ func (t *Tx) Root(i int) (*Ref, error) {
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	p := word.Addr(hp.mem.ReadWord(slot))
 	p = hp.sgc.BarrierLoad(p)
+	if hp.hist != nil {
+		hp.hist.Read(t.t.ID(), hp.rootObj)
+	}
 	hp.stepStableGC()
 	if p.IsNil() {
 		return nil, nil
@@ -891,8 +982,8 @@ func (t *Tx) SetRoot(i int, val *Ref) error {
 	if err := t.lockAddr(func() word.Addr { return hp.rootObj }, lock.Write); err != nil {
 		return err
 	}
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	if i < 0 || i >= hp.cfg.NumRoots {
 		return fmt.Errorf("core: root index %d out of range", i)
 	}
@@ -903,9 +994,17 @@ func (t *Tx) SetRoot(i int, val *Ref) error {
 	d := hp.h.Descriptor(hp.rootObj)
 	slot := hp.rootObj + word.Addr(heap.PtrOffset(i))
 	hp.mem.EnsureAccessible(slot, word.WordSize)
+	unlock := hp.lockShard(excl, slot)
 	hp.writeWordAction(t, hp.rootObj, d, slot, uint64(v), true)
+	unlock()
 	if hp.cfg.Divided && val != nil && hp.inVolatile(v) {
-		hp.candidates[t.t.ID()] = append(hp.candidates[t.t.ID()], hp.txm.Register(t.t, v))
+		h := hp.txm.Register(t.t, v)
+		hp.candMu.Lock()
+		hp.candidates[t.t.ID()] = append(hp.candidates[t.t.ID()], h)
+		hp.candMu.Unlock()
+	}
+	if hp.hist != nil {
+		hp.hist.Write(t.t.ID(), hp.rootObj)
 	}
 	hp.stepStableGC()
 	return nil
@@ -921,8 +1020,8 @@ func (t *Tx) VolRoot(i int) (*Ref, error) {
 	if !hp.cfg.Divided {
 		return nil, errors.New("core: volatile roots need a divided heap")
 	}
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	if i < 0 || i >= hp.cfg.NumRoots {
 		return nil, fmt.Errorf("core: root index %d out of range", i)
 	}
@@ -943,8 +1042,8 @@ func (t *Tx) SetVolRoot(i int, val *Ref) error {
 	if !hp.cfg.Divided {
 		return errors.New("core: volatile roots need a divided heap")
 	}
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	if i < 0 || i >= hp.cfg.NumRoots {
 		return fmt.Errorf("core: root index %d out of range", i)
 	}
@@ -954,7 +1053,10 @@ func (t *Tx) SetVolRoot(i int, val *Ref) error {
 	}
 	buf := make([]byte, word.WordSize)
 	word.PutWord(buf, 0, uint64(v))
-	hp.txm.VolatileWrite(t.t, hp.volRootObj+word.Addr(heap.PtrOffset(i)), buf, true)
+	slot := hp.volRootObj + word.Addr(heap.PtrOffset(i))
+	unlock := hp.lockShard(excl, slot)
+	hp.txm.VolatileWrite(t.t, slot, buf, true)
+	unlock()
 	return nil
 }
 
@@ -962,38 +1064,40 @@ func (t *Tx) SetVolRoot(i int, val *Ref) error {
 // volatile objects, then writes and forces the commit record (through the
 // group committer when enabled, so one force covers a batch). On a
 // tracking conflict the transaction is aborted and ErrConflict returned.
+//
+// Routing: a plain commit — no sticky error, not prepared, no stability
+// candidates — runs under the shared latch, so independent transactions
+// commit in parallel and the group committer's force is the only shared
+// resource. Tracking (which moves object images into the log and mutates
+// the LS set), failed commits (undo writes anywhere), and 2PC commits take
+// the exclusive path.
 func (t *Tx) Commit() error {
 	if t.t.Status() != tx.Active {
 		return ErrTxDone
 	}
 	hp := t.hp
 	start := time.Now()
+	// Candidates for THIS transaction are only appended by its own
+	// goroutine, so the peek is stable for the rest of the commit.
+	hp.candMu.Lock()
+	nCand := len(hp.candidates[t.t.ID()])
+	hp.candMu.Unlock()
+	if t.err != nil || t.t.Prepared() || (hp.track != nil && nCand > 0) {
+		return t.commitExclusive(start)
+	}
 	// The latched sections use deferred unlocks: commit touches the log
 	// device, which a fault-injection wrapper can fail with a typed panic,
 	// and the latch must unwind with it.
 	var parked word.LSN
-	committed := false
 	err := func() error {
-		hp.mu.Lock()
-		defer hp.mu.Unlock()
-		if t.err == nil && hp.track != nil && !t.t.Prepared() {
-			if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
-				delete(hp.candidates, t.t.ID())
-				hp.txm.Abort(t.t)
-				hp.met.txConflict.Since(start)
-				return t.fail(ErrConflict)
-			}
-		}
-		delete(hp.candidates, t.t.ID())
-		if t.err != nil {
-			hp.txm.Abort(t.t)
-			hp.met.txAbort.Since(start)
-			return t.err
-		}
+		excl := hp.rlock()
+		defer hp.runlock(excl)
 		if hp.group == nil {
 			hp.txm.Commit(t.t)
+			if hp.hist != nil {
+				hp.hist.Commit(t.t.ID())
+			}
 			hp.ckpt.Promote()
-			committed = true
 			return nil
 		}
 		// Group commit: append the commit record here, park outside the
@@ -1005,16 +1109,91 @@ func (t *Tx) Commit() error {
 	if err != nil {
 		return err
 	}
-	if !committed {
+	if hp.group != nil {
 		hp.group.waitDurable(parked)
-		hp.mu.Lock()
-		hp.txm.FinishCommit(t.t)
-		hp.mu.Unlock()
+		func() {
+			excl := hp.rlock()
+			defer hp.runlock(excl)
+			hp.txm.FinishCommit(t.t)
+			if hp.hist != nil {
+				hp.hist.Commit(t.t.ID())
+			}
+		}()
 	}
 	d := time.Since(start)
 	hp.met.txCommit.Observe(uint64(d))
 	hp.tr.Complete("tx", "commit", start, d)
 	return nil
+}
+
+// commitExclusive is the stop-the-heap commit path: stability tracking,
+// sticky-error aborts, and prepared (2PC) commits.
+func (t *Tx) commitExclusive(start time.Time) error {
+	hp := t.hp
+	var parked word.LSN
+	committed := false
+	err := func() error {
+		hp.lockExclusive()
+		defer hp.unlockExclusive()
+		if t.err == nil && hp.track != nil && !t.t.Prepared() {
+			if err := hp.track.Track(t.t, hp.takeCandidates(t.t.ID())); err != nil {
+				hp.txm.Abort(t.t)
+				if hp.hist != nil {
+					hp.hist.Abort(t.t.ID())
+				}
+				hp.met.txConflict.Since(start)
+				return t.fail(ErrConflict)
+			}
+		}
+		hp.takeCandidates(t.t.ID())
+		if t.err != nil {
+			hp.txm.Abort(t.t)
+			if hp.hist != nil {
+				hp.hist.Abort(t.t.ID())
+			}
+			hp.met.txAbort.Since(start)
+			return t.err
+		}
+		if hp.group == nil {
+			hp.txm.Commit(t.t)
+			if hp.hist != nil {
+				hp.hist.Commit(t.t.ID())
+			}
+			hp.ckpt.Promote()
+			committed = true
+			return nil
+		}
+		parked = hp.txm.PrepareCommit(t.t)
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	if !committed {
+		hp.group.waitDurable(parked)
+		func() {
+			excl := hp.rlock()
+			defer hp.runlock(excl)
+			hp.txm.FinishCommit(t.t)
+			if hp.hist != nil {
+				hp.hist.Commit(t.t.ID())
+			}
+		}()
+	}
+	d := time.Since(start)
+	hp.met.txCommit.Observe(uint64(d))
+	hp.tr.Complete("tx", "commit", start, d)
+	return nil
+}
+
+// takeCandidates removes and returns the transaction's pending stability
+// candidates.
+func (hp *Heap) takeCandidates(id word.TxID) []*tx.Handle {
+	hp.candMu.Lock()
+	defer hp.candMu.Unlock()
+	c := hp.candidates[id]
+	delete(hp.candidates, id)
+	return c
 }
 
 // Prepare runs stability tracking and writes a forced prepare record: the
@@ -1028,18 +1207,23 @@ func (t *Tx) Prepare() error {
 		return ErrTxDone
 	}
 	hp := t.hp
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	if t.err == nil && hp.track != nil {
-		if err := hp.track.Track(t.t, hp.candidates[t.t.ID()]); err != nil {
-			delete(hp.candidates, t.t.ID())
+		if err := hp.track.Track(t.t, hp.takeCandidates(t.t.ID())); err != nil {
 			hp.txm.Abort(t.t)
+			if hp.hist != nil {
+				hp.hist.Abort(t.t.ID())
+			}
 			return t.fail(ErrConflict)
 		}
 	}
-	delete(hp.candidates, t.t.ID())
+	hp.takeCandidates(t.t.ID())
 	if t.err != nil {
 		hp.txm.Abort(t.t)
+		if hp.hist != nil {
+			hp.hist.Abort(t.t.ID())
+		}
 		return t.err
 	}
 	hp.txm.Prepare(t.t)
@@ -1054,10 +1238,14 @@ func (t *Tx) Abort() error {
 	}
 	hp := t.hp
 	start := time.Now()
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
-	delete(hp.candidates, t.t.ID())
+	// Abort undoes updates in place, anywhere in the heap: exclusive.
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	hp.takeCandidates(t.t.ID())
 	hp.txm.Abort(t.t)
+	if hp.hist != nil {
+		hp.hist.Abort(t.t.ID())
+	}
 	hp.met.txAbort.Since(start)
 	return nil
 }

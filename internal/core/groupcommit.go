@@ -57,11 +57,10 @@ func newGroupCommitter(hp *Heap, window time.Duration, batch int) *groupCommitte
 func (g *groupCommitter) waitDurable(lsn word.LSN) {
 	g.mu.Lock()
 	if g.closed {
-		// Shutdown path: force directly.
+		// Shutdown path: force directly (the log manager serializes
+		// device access internally; no heap latch needed).
 		g.mu.Unlock()
-		g.hp.mu.Lock()
 		g.hp.log.Force(lsn)
-		g.hp.mu.Unlock()
 		return
 	}
 	g.stats.Commits++
@@ -80,9 +79,7 @@ func (g *groupCommitter) waitDurable(lsn word.LSN) {
 	}
 	if g.closed && g.stable <= lsn {
 		g.mu.Unlock()
-		g.hp.mu.Lock()
 		g.hp.log.Force(lsn)
-		g.hp.mu.Unlock()
 		return
 	}
 	g.mu.Unlock()
@@ -109,11 +106,12 @@ func (g *groupCommitter) flusher() {
 		g.mu.Unlock()
 
 		if released > 0 {
-			g.hp.mu.Lock()
+			// Latch-free: the log manager and checkpointer serialize
+			// internally, so the force never blocks transaction actions
+			// behind the heap latch.
 			g.hp.log.Force(target)
 			stable := g.hp.log.StableLSN()
 			g.hp.ckpt.Promote()
-			g.hp.mu.Unlock()
 
 			g.mu.Lock()
 			g.stable = stable

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"stableheap/internal/histcheck"
+)
+
+// TestConcurrentHistoriesSerializable runs many short randomized
+// concurrent workloads — bank-style transfers and read-only audits over a
+// handful of shared counters — with the stable and volatile collectors
+// flipping areas underneath, and checks every resulting history for
+// conflict serializability with the histcheck DSG cycle checker. It is
+// the acceptance test for the sharded action latch: any interleaving the
+// latch admits that two-phase locking cannot serialize shows up here as a
+// cycle, printed with the offending history.
+//
+// Each round uses a fresh heap and recorder so histories stay small and
+// a failure names its round and seed for replay. The latch shard count
+// cycles through {default, 1, 8} so the single-shard degenerate case and
+// a small-shard high-collision case get the same coverage as the default.
+func TestConcurrentHistoriesSerializable(t *testing.T) {
+	rounds := 100
+	if testing.Short() {
+		rounds = 25
+	}
+	for round := 0; round < rounds; round++ {
+		runHistoryRound(t, round)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func runHistoryRound(t *testing.T, round int) {
+	const counters = 4
+	const initial = 100
+
+	cfg := concCfg()
+	switch round % 3 {
+	case 1:
+		cfg.LatchShards = -1 // single shard: every logged write serialized
+	case 2:
+		cfg.LatchShards = 8 // high collision rate across pages
+	}
+	hp := Open(cfg)
+	defer hp.Close()
+
+	tr := hp.Begin()
+	for i := 0; i < counters; i++ {
+		c, err := tr.Alloc(1, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.SetData(c, 0, initial); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.SetRoot(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, tr)
+	if _, err := hp.CollectVolatile(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := histcheck.NewRecorder()
+	hp.SetHistoryRecorder(rec)
+
+	workers := 2 + round%3
+	const txPerWorker = 6
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(round)*1000 + int64(w)))
+			for i := 0; i < txPerWorker; i++ {
+				var err error
+				if rng.Intn(3) == 0 {
+					err = auditTx(hp, rng)
+				} else {
+					err = transferTx(hp, rng)
+				}
+				if err != nil && !errors.Is(err, ErrConflict) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The main goroutine is the collector: both areas keep flipping until
+	// the workers finish, so histories span collector flips and object
+	// moves (the recorder's OnMove rebasing is live, not decorative).
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for running := true; running; {
+		if os.Getenv("HIST_NO_GC") == "" {
+			hp.StartStableCollection()
+			for hp.StepStable() {
+			}
+			if _, err := hp.CollectVolatile(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+	}
+	select {
+	case err := <-errs:
+		tr3 := hp.Begin()
+		var vals []uint64
+		var resum uint64
+		for i := 0; i < counters; i++ {
+			c, _ := tr3.Root(i)
+			v, _ := tr3.Data(c, 0)
+			vals = append(vals, v)
+			resum += v
+		}
+		tr3.Abort()
+		t.Fatalf("round %d (shards=%d workers=%d): worker error: %v; post-quiesce counters=%v sum=%d", round, cfg.LatchShards, workers, err, vals, resum)
+	default:
+	}
+
+	if err := histcheck.Check(rec.History()); err != nil {
+		t.Fatalf("round %d (shards=%d workers=%d): %v", round, cfg.LatchShards, workers, err)
+	}
+
+	// Money conservation: transfers move value between counters, so any
+	// lost update or phantom shows up as a wrong total.
+	tr2 := hp.Begin()
+	defer tr2.Abort()
+	var sum uint64
+	for i := 0; i < counters; i++ {
+		c, err := tr2.Root(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := tr2.Data(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if sum != counters*initial {
+		t.Fatalf("round %d: counters sum to %d, want %d (lost or phantom transfer)", round, sum, counters*initial)
+	}
+}
+
+// transferTx moves a random amount between two random counters —
+// read-modify-write on both sides, lock order randomized, so rounds
+// exercise lost-update hazards and real deadlocks (detector victims
+// surface as ErrConflict and are tolerated by the caller).
+func transferTx(hp *Heap, rng *rand.Rand) error {
+	const counters = 4
+	from := rng.Intn(counters)
+	to := (from + 1 + rng.Intn(counters-1)) % counters
+	amount := uint64(1 + rng.Intn(5))
+
+	tr := hp.Begin()
+	cf, err := tr.Root(from)
+	if err != nil {
+		tr.Abort()
+		return err
+	}
+	ct, err := tr.Root(to)
+	if err != nil {
+		tr.Abort()
+		return err
+	}
+	vf, err := tr.Data(cf, 0)
+	if err != nil {
+		tr.Abort()
+		return err
+	}
+	if vf < amount {
+		tr.Abort()
+		return nil
+	}
+	vt, err := tr.Data(ct, 0)
+	if err != nil {
+		tr.Abort()
+		return err
+	}
+	if err := tr.SetData(cf, 0, vf-amount); err != nil {
+		tr.Abort()
+		return err
+	}
+	if err := tr.SetData(ct, 0, vt+amount); err != nil {
+		tr.Abort()
+		return err
+	}
+	if os.Getenv("HIST_NO_ABORT") == "" && rng.Intn(4) == 0 {
+		tr.Abort() // exercise undo + the recorder's version pop
+		return nil
+	}
+	return tr.Commit()
+}
+
+// auditTx reads every counter in one transaction and checks conservation
+// at commit: under two-phase locking the read set is a serializable
+// snapshot, so the total must be exact.
+func auditTx(hp *Heap, rng *rand.Rand) error {
+	const counters = 4
+	const initial = 100
+	tr := hp.Begin()
+	var sum uint64
+	for _, i := range rng.Perm(counters) {
+		c, err := tr.Root(i)
+		if err != nil {
+			tr.Abort()
+			return err
+		}
+		v, err := tr.Data(c, 0)
+		if err != nil {
+			tr.Abort()
+			return err
+		}
+		sum += v
+	}
+	if err := tr.Commit(); err != nil {
+		return err
+	}
+	if sum != counters*initial {
+		return fmt.Errorf("audit tx %d read an unserializable total %d", tr.ID(), sum)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"stableheap/internal/word"
+)
+
+// The action latch (sharded).
+//
+// The paper's model makes low-level actions indivisible (§2.1). The original
+// implementation realized that with a single mutex; this file splits it so
+// independent transactions run in parallel while every collector-visible
+// state change still happens in a globally exclusive section:
+//
+//   - stop is the coarse latch. Read (shared) mode admits ordinary
+//     transaction actions concurrently; write (exclusive) mode — "stop the
+//     heap" — is taken by everything that moves objects, flips semispaces,
+//     walks the whole transaction table, or checkpoints: collection steps,
+//     volatile collections, stability tracking, abort/undo, checkpoint,
+//     crash, recovery, 2PC resolution.
+//
+//   - shards stripe writers by page: an update action holds exactly one
+//     shard — the page of the slot it writes — across the {WAL append,
+//     memory write} pair, so per-page append order matches memory-write
+//     order and a flushed page can never carry a pageLSN newer than a
+//     memory write it missed (the lost-update hazard). Readers take no
+//     shard: object read locks already exclude same-slot writers, and the
+//     one-level store copies words out under its own lock.
+//
+//   - coarse mirrors "the stable collector is active". While a collection
+//     is in progress every action goes exclusive, preserving the paper's
+//     GC atomicity argument verbatim (Ch. 3): barrier traps, transports,
+//     and scan steps never interleave with mutator actions. coarse only
+//     transitions inside exclusive sections, so a shared holder that
+//     observed coarse == false keeps that truth for its whole critical
+//     section.
+//
+// Lock order: stop → shard → {ckpt.mu, vm.mu → wal.mu, txm.mu, lock.mu,
+// candMu, remMu}. Subsystem mutexes never call back into the latch.
+func (hp *Heap) rlock() (excl bool) {
+	for {
+		if hp.coarse.Load() {
+			hp.lockExclusive()
+			return true
+		}
+		hp.stop.RLock()
+		if hp.coarse.Load() {
+			// A collection flipped on between the check and the RLock;
+			// fall back to the exclusive path.
+			hp.stop.RUnlock()
+			continue
+		}
+		return false
+	}
+}
+
+// runlock releases what rlock acquired.
+func (hp *Heap) runlock(excl bool) {
+	if excl {
+		hp.unlockExclusive()
+	} else {
+		hp.stop.RUnlock()
+	}
+}
+
+// lockExclusive stops the heap: it waits for every in-flight shared action
+// to drain and blocks new ones. The wait is recorded in the latch_stop
+// histogram (the price of a flip or checkpoint under load).
+func (hp *Heap) lockExclusive() {
+	start := time.Now()
+	hp.stop.Lock()
+	hp.met.latchStop.Since(start)
+}
+
+// unlockExclusive republishes the collector-activity mirror and releases
+// the stop latch. Every exclusive section that may have started or finished
+// a stable collection exits through here.
+func (hp *Heap) unlockExclusive() {
+	hp.syncCoarse()
+	hp.stop.Unlock()
+}
+
+// syncCoarse refreshes the collector-activity mirror. Callers hold the stop
+// latch exclusively (or run single-threaded, during build and recovery).
+func (hp *Heap) syncCoarse() {
+	hp.coarse.Store(hp.sgc.Active())
+}
+
+// shardOf returns the writer stripe for the page containing a.
+func (hp *Heap) shardOf(a word.Addr) *sync.Mutex {
+	return &hp.shards[(uint64(a)/uint64(hp.cfg.PageSize))%uint64(len(hp.shards))]
+}
+
+// lockShard takes the writer stripe for slot unless the action already runs
+// exclusively (exclusive sections exclude all writers by themselves).
+// Returns an unlock function (no-op when exclusive).
+func (hp *Heap) lockShard(excl bool, slot word.Addr) func() {
+	if excl {
+		return func() {}
+	}
+	sh := hp.shardOf(slot)
+	sh.Lock()
+	return sh.Unlock
+}

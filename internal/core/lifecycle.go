@@ -20,8 +20,8 @@ import (
 // master block is updated lazily once ordinary log traffic makes the
 // record stable. No synchronous writes.
 func (hp *Heap) Checkpoint() word.LSN {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	return hp.checkpointLocked()
 }
 
@@ -50,8 +50,8 @@ func (hp *Heap) checkpointLocked() word.LSN {
 // TruncateLog frees reclaimable log space (callable any time; policy is
 // the caller's).
 func (hp *Heap) TruncateLog() {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	hp.ckpt.TruncateLog()
 }
 
@@ -61,8 +61,8 @@ func (hp *Heap) Close() {
 	if hp.group != nil {
 		hp.group.close()
 	}
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	hp.txm.AbortAll()
 	if hp.sgc.Active() {
 		hp.sgc.Finish()
@@ -80,9 +80,9 @@ func (hp *Heap) Crash() (storage.PageStore, storage.LogDevice) {
 	if hp.group != nil {
 		hp.group.close()
 	}
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
-	hp.logDev.Crash()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	hp.log.CrashDevice()
 	hp.mem.Crash()
 	hp.locks.Reset()
 	hp.txm.Crash()
@@ -197,6 +197,10 @@ func recoverCommon(cfg Config, disk storage.PageStore, logDev storage.LogDevice,
 	hp.checkpointLocked()
 	hp.ckpt.ForcePromote()
 	hp.ckpt.TruncateLog()
+	// Recovery may have resumed an in-progress stable collection; publish
+	// the collector-activity mirror so the first concurrent actions route
+	// through the exclusive path (single-threaded here, no latch needed).
+	hp.syncCoarse()
 	return hp, nil
 }
 
@@ -222,8 +226,8 @@ func (hp *Heap) LastRecovery() *recovery.Result { return hp.lastRecovery }
 // InDoubt lists prepared transactions restored by recovery and still
 // awaiting the coordinator's decision.
 func (hp *Heap) InDoubt() []word.TxID {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	var out []word.TxID
 	if hp.lastRecovery != nil {
 		for _, idt := range hp.lastRecovery.InDoubt {
@@ -238,8 +242,8 @@ func (hp *Heap) InDoubt() []word.TxID {
 // ResolveCommit applies the coordinator's commit decision to an in-doubt
 // transaction.
 func (hp *Heap) ResolveCommit(id word.TxID) error {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	t := hp.txm.Lookup(id)
 	if t == nil || !t.Prepared() {
 		return fmt.Errorf("core: no in-doubt transaction %d", id)
@@ -253,8 +257,8 @@ func (hp *Heap) ResolveCommit(id word.TxID) error {
 // transaction: its effects are rolled back in place, through any object
 // moves since the updates were logged.
 func (hp *Heap) ResolveAbort(id word.TxID) error {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	t := hp.txm.Lookup(id)
 	if t == nil || !t.Prepared() {
 		return fmt.Errorf("core: no in-doubt transaction %d", id)
@@ -281,8 +285,8 @@ func (hp *Heap) StableCollector() interface {
 
 // CollectStable runs (or finishes) a full stable-area collection.
 func (hp *Heap) CollectStable() {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	if !hp.sgc.Active() {
 		hp.startStableGC()
 	}
@@ -292,8 +296,8 @@ func (hp *Heap) CollectStable() {
 // StepStable advances an active stable collection by one quantum (the
 // benchmark harness paces collections explicitly).
 func (hp *Heap) StepStable() bool {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	if !hp.sgc.Active() {
 		return false
 	}
@@ -302,8 +306,8 @@ func (hp *Heap) StepStable() bool {
 
 // StartStableCollection flips without finishing (incremental mode).
 func (hp *Heap) StartStableCollection() {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	if !hp.sgc.Active() {
 		hp.startStableGC()
 	}
@@ -312,8 +316,8 @@ func (hp *Heap) StartStableCollection() {
 // CollectVolatile runs one volatile-area collection (divided mode),
 // returning the number of newly stable objects moved to the stable area.
 func (hp *Heap) CollectVolatile() (int, error) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	if !hp.cfg.Divided {
 		return 0, nil
 	}
@@ -326,15 +330,15 @@ func (hp *Heap) CollectVolatile() (int, error) {
 
 // LSCount returns the number of newly stable objects awaiting evacuation.
 func (hp *Heap) LSCount() int {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	return len(hp.ls)
 }
 
 // SRemCount returns the size of the stable→volatile remembered set.
 func (hp *Heap) SRemCount() int {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
 	return len(hp.srem)
 }
 

@@ -14,6 +14,7 @@ type heapMetrics struct {
 	txAbort     obs.Histogram // Tx.Abort / failed-commit rollback wall time
 	txConflict  obs.Histogram // commits rejected by stability-tracking conflicts
 	lockWait    obs.Histogram // contended lock-acquire wait time
+	latchStop   obs.Histogram // wait to stop the heap (exclusive latch acquire)
 	groupBatch  obs.Histogram // committers released per group-commit force
 	recAnalysis obs.Histogram // recovery analysis pass wall time
 	recRedo     obs.Histogram // recovery redo pass wall time
@@ -25,6 +26,11 @@ type heapMetrics struct {
 // in _total, nanosecond histograms in _ns; the one unitless histogram is
 // group_commit_batch (committers per force).
 func (hp *Heap) Metrics() obs.Snapshot {
+	// Shared latch: subsystem stats that are not internally synchronized
+	// (collector counters, tracker counters) only mutate in exclusive
+	// sections, which this excludes.
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	s := obs.NewSnapshot()
 
 	ts := hp.txm.Stats()
@@ -66,7 +72,7 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	s.SetCounter("barrier_traps_total", ms.Traps)
 	s.SetCounter("wal_constraint_forces_total", ms.LogForces)
 
-	ls := hp.logDev.Stats()
+	ls := hp.log.DeviceStats()
 	s.SetCounter("log_appends_total", ls.Appends)
 	s.SetCounter("log_forces_total", ls.Forces)
 	s.SetCounter("log_bytes_appended_total", ls.BytesAppended)
@@ -78,6 +84,7 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	s.SetCounter("lock_acquires_total", ks.Acquires)
 	s.SetCounter("lock_conflicts_total", ks.Conflicts)
 	s.SetCounter("lock_timeouts_total", ks.Timeouts)
+	s.SetCounter("lock_deadlock_aborts_total", ks.DeadlockAborts)
 	s.SetCounter("lock_rekeys_total", ks.Rekeys)
 
 	cs := hp.ckpt.Stats()
@@ -103,6 +110,7 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	s.SetHist("tx_abort_ns", hp.met.txAbort.Snapshot())
 	s.SetHist("tx_conflict_ns", hp.met.txConflict.Snapshot())
 	s.SetHist("lock_wait_ns", hp.met.lockWait.Snapshot())
+	s.SetHist("latch_stop_wait_ns", hp.met.latchStop.Snapshot())
 	lcommit, labort := hp.txm.LifetimeHists()
 	s.SetHist("tx_lifetime_commit_ns", lcommit)
 	s.SetHist("tx_lifetime_abort_ns", labort)

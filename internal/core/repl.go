@@ -8,9 +8,10 @@ import (
 // This file is the primary-side surface log-shipping replication needs
 // from a live heap: a consistent base backup, verbatim copies of the
 // stable log tail, and per-standby retention floors that stop the
-// checkpointer's log truncation from reclaiming unshipped frames. All of
-// it runs under the action latch, so every copy observes record
-// boundaries and a force-consistent stable LSN.
+// checkpointer's log truncation from reclaiming unshipped frames. The
+// shipping paths are latch-free — the log manager serializes device access
+// internally, so standbys never stall the transaction path; only the base
+// backup stops the heap.
 
 // BaseBackup snapshots the heap's devices for seeding a standby: a copy
 // of the disk and a copy of the log with the volatile tail dropped —
@@ -18,10 +19,14 @@ import (
 // invariant a standby maintains (DESIGN.md §9). The standby resumes
 // shipping from the returned log's EndLSN.
 func (hp *Heap) BaseBackup() (storage.PageStore, storage.LogDevice) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	// Publish any pending checkpoint first: with pendingLSN cleared, a
+	// concurrent group-commit flusher's Promote is a no-op and cannot
+	// rewrite the master block mid-clone.
+	hp.ckpt.ForcePromote()
 	disk := hp.disk.Clone()
-	logCopy := hp.logDev.Clone()
+	logCopy := hp.log.CloneDevice()
 	logCopy.Crash() // stable prefix only: unforced records never ship
 	return disk, logCopy
 }
@@ -32,16 +37,12 @@ func (hp *Heap) BaseBackup() (storage.PageStore, storage.LogDevice) {
 // (wrapped) when from has already been reclaimed — the signal that a
 // standby needs a fresh base backup.
 func (hp *Heap) ShipLog(from word.LSN, maxBytes int) ([]byte, word.LSN, error) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
 	return hp.log.CopyStableTail(from, maxBytes)
 }
 
 // LogStableLSN returns the end of the stable log prefix — the shipping
 // horizon a standby can catch up to right now.
 func (hp *Heap) LogStableLSN() word.LSN {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
 	return hp.log.StableLSN()
 }
 
@@ -49,15 +50,11 @@ func (hp *Heap) LogStableLSN() word.LSN {
 // keep running, but TruncateLog will not reclaim frames the slowest
 // standby still needs. Re-setting the same owner moves its floor.
 func (hp *Heap) SetLogRetainFloor(owner string, lsn word.LSN) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
 	hp.log.SetRetainFloor(owner, lsn)
 }
 
 // ClearLogRetainFloor drops owner's pin (a decommissioned standby).
 func (hp *Heap) ClearLogRetainFloor(owner string) {
-	hp.mu.Lock()
-	defer hp.mu.Unlock()
 	hp.log.ClearRetainFloor(owner)
 }
 

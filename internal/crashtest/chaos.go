@@ -27,9 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"stableheap/internal/core"
 	"stableheap/internal/faultfs"
+	"stableheap/internal/histcheck"
 	"stableheap/internal/storage"
 )
 
@@ -71,6 +74,16 @@ type Scenario struct {
 	FlushFrac float64 // fraction of resident pages flushed before a crash
 	MidGC     bool    // leave an incremental stable collection in flight at crashes
 	Repl      bool    // end the seed with a primary/standby failover round
+	// Mutators > 0 adds a concurrent burst to every round: that many
+	// goroutines increment private counters (root slots 16..16+N-1,
+	// disjoint from the single-threaded driver's 0..7) while the main
+	// goroutine steps the stable collector, all with faults armed. Each
+	// burst's history is checked for conflict serializability, and after
+	// every crash the recovery audit additionally verifies each counter
+	// equals its last acknowledged commit — group commit is off in
+	// ChaosConfig, so a returned Commit means durable, even if the round
+	// ended in a device fault one operation later.
+	Mutators int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -82,6 +95,9 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.FlushFrac == 0 {
 		sc.FlushFrac = 0.5
+	}
+	if sc.Mutators > 16 {
+		sc.Mutators = 16 // root slots 16..31: stay inside the default root array
 	}
 	return sc
 }
@@ -143,6 +159,12 @@ type chaosRun struct {
 	rng  *rand.Rand // flush-subset decisions (separate stream from Driver/Injector)
 	res  SeedResult
 	dead bool // devices unrecoverable or replaced; no further rounds
+
+	// Concurrent-mutator state (Scenario.Mutators > 0): expected[w] is
+	// mutator w's last acknowledged committed counter value — the exact
+	// value its counter must hold after any subsequent recovery.
+	expected []uint64
+	mutReady bool
 }
 
 // RunSeed derives seed's fault plan and runs the scenario under it.
@@ -194,6 +216,12 @@ func guard(fn func() error) (err, fault error) {
 // recovery.
 func (r *chaosRun) round(round int) {
 	online := r.workload(round)
+	if r.sc.Mutators > 0 && !online && !r.dead {
+		online = r.concurrentBurst()
+	}
+	if r.dead {
+		return
+	}
 	r.inj.CorruptAtRest()
 	if !online {
 		// Flush a random page subset; a surfaced I/O fault mid-flush is
@@ -254,6 +282,245 @@ func (r *chaosRun) workload(round int) (online bool) {
 	return false
 }
 
+// mutatorSlot0 is the first root slot the concurrent burst owns; the
+// single-threaded driver workload uses slots 0..7.
+const mutatorSlot0 = 16
+
+// burstTxPerMutator is how many increment transactions each mutator
+// attempts per round's burst.
+const burstTxPerMutator = 6
+
+// mutatorSetup creates one private counter per mutator under its root
+// slot, committed durably before any burst runs. Returns a surfaced
+// device fault, if one interrupted the setup (the round then proceeds to
+// its crash; setup retries next round).
+func (r *chaosRun) mutatorSetup() error {
+	g := r.sc.Mutators
+	err, fault := guard(func() error {
+		tr := r.d.hp.Begin()
+		for w := 0; w < g; w++ {
+			c, err := tr.Alloc(1, 0, 1)
+			if err != nil {
+				tr.Abort()
+				return err
+			}
+			if err := tr.SetData(c, 0, 0); err != nil {
+				tr.Abort()
+				return err
+			}
+			if err := tr.SetRoot(mutatorSlot0+w, c); err != nil {
+				tr.Abort()
+				return err
+			}
+		}
+		return tr.Commit()
+	})
+	if fault != nil {
+		return fault
+	}
+	switch {
+	case err == nil:
+		r.expected = make([]uint64, g)
+		r.mutReady = true
+	case errors.Is(err, core.ErrConflict):
+		// The driver's in-doubt prepared transaction holds the root
+		// array; setup retries next round after resolution.
+	default:
+		r.res.record(Violation, fmt.Sprintf("mutator setup: %v", err))
+		r.dead = true
+	}
+	return nil
+}
+
+// concurrentBurst runs the round's concurrent mutator phase: Mutators
+// goroutines increment disjoint counters while the main goroutine steps
+// the stable collector, faults armed throughout. Each transaction is
+// individually guarded, so a surfaced device fault abandons that mutator's
+// in-flight transaction exactly where it stood (uncommitted work recovery
+// must undo) and winds the burst down as an online detection. When no
+// fault ends the burst early, one deliberately abandoned transaction is
+// left in flight so every crash still exercises undo of concurrent work.
+// The burst's history must check out conflict-serializable.
+func (r *chaosRun) concurrentBurst() (online bool) {
+	if !r.mutReady {
+		if fault := r.mutatorSetup(); fault != nil {
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		}
+		if r.dead || !r.mutReady {
+			return false
+		}
+	}
+	hp := r.d.hp
+	g := r.sc.Mutators
+	rec := histcheck.NewRecorder()
+	hp.SetHistoryRecorder(rec)
+	defer hp.SetHistoryRecorder(nil)
+
+	var stop atomic.Bool
+	faults := make(chan error, g)
+	hardErrs := make(chan error, g)
+	committed := make([]uint64, g)
+	copy(committed, r.expected)
+
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot := mutatorSlot0 + w
+			for i := 0; i < burstTxPerMutator && !stop.Load(); i++ {
+				var acked uint64
+				err, fault := guard(func() error {
+					tr := hp.Begin()
+					c, err := tr.Root(slot)
+					if err != nil {
+						tr.Abort()
+						return err
+					}
+					v, err := tr.Data(c, 0)
+					if err != nil {
+						tr.Abort()
+						return err
+					}
+					if err := tr.SetData(c, 0, v+1); err != nil {
+						tr.Abort()
+						return err
+					}
+					if err := tr.Commit(); err != nil {
+						return err
+					}
+					acked = v + 1
+					return nil
+				})
+				switch {
+				case fault != nil:
+					stop.Store(true)
+					faults <- fault
+					return
+				case err == nil:
+					committed[w] = acked // durable: group commit is off
+				case errors.Is(err, core.ErrConflict):
+					// Lock conflict (e.g. the driver's in-doubt prepared
+					// transaction holds the root array): not counted.
+				default:
+					stop.Store(true)
+					hardErrs <- fmt.Errorf("mutator %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The main goroutine keeps the stable collector flipping under the
+	// burst, so mutator histories span collector flips and object moves.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for running := true; running; {
+		_, fault := guard(func() error {
+			hp.StartStableCollection()
+			for i := 0; i < 4; i++ {
+				hp.StepStable()
+			}
+			return nil
+		})
+		if fault != nil {
+			stop.Store(true)
+			r.res.record(DetectedOnline, fault.Error())
+			online = true
+			<-done
+			break
+		}
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+	}
+
+	// Acknowledged commits are durable regardless of how the burst ended.
+	r.expected = committed
+
+	select {
+	case err := <-hardErrs:
+		r.res.record(Violation, fmt.Sprintf("concurrent burst: %v", err))
+		r.dead = true
+		return true
+	default:
+	}
+	if !online {
+		select {
+		case fault := <-faults:
+			r.res.record(DetectedOnline, fault.Error())
+			online = true
+		default:
+		}
+	}
+
+	if err := histcheck.Check(rec.History()); err != nil {
+		r.res.record(Violation, fmt.Sprintf("concurrent burst history: %v", err))
+		r.dead = true
+		return true
+	}
+
+	if !online {
+		// Leave one transaction abandoned mid-update: the crash that
+		// follows must undo it (the audit pins the counter to its last
+		// acknowledged value, so a surviving +1000 is a violation).
+		_, fault := guard(func() error {
+			tr := hp.Begin()
+			c, err := tr.Root(mutatorSlot0)
+			if err != nil {
+				tr.Abort()
+				return nil
+			}
+			v, err := tr.Data(c, 0)
+			if err != nil {
+				tr.Abort()
+				return nil
+			}
+			_ = tr.SetData(c, 0, v+1000)
+			return nil // never committed, never aborted
+		})
+		if fault != nil {
+			r.res.record(DetectedOnline, fault.Error())
+			online = true
+		}
+	}
+	return online
+}
+
+// auditMutators verifies, post-recovery, that every mutator counter holds
+// exactly its last acknowledged committed value: committed increments
+// survived the crash, the abandoned in-flight update did not.
+func (r *chaosRun) auditMutators(hp *core.Heap) error {
+	if !r.mutReady {
+		return nil
+	}
+	tr := hp.Begin()
+	defer tr.Abort()
+	for w, want := range r.expected {
+		c, err := tr.Root(mutatorSlot0 + w)
+		if err != nil {
+			return fmt.Errorf("mutator %d: reading counter root: %v", w, err)
+		}
+		if c == nil {
+			return fmt.Errorf("mutator %d: counter root vanished after recovery", w)
+		}
+		v, err := tr.Data(c, 0)
+		if err != nil {
+			return fmt.Errorf("mutator %d: reading counter: %v", w, err)
+		}
+		if v != want {
+			return fmt.Errorf("mutator %d: counter = %d after recovery, want %d (lost or phantom committed increment)", w, v, want)
+		}
+	}
+	return nil
+}
+
 // recoverAndAudit classifies recovery over the crashed wrapped devices.
 // onlineAlready suppresses a duplicate verdict when the round already
 // recorded an online detection (the recovery outcome is still recorded).
@@ -287,7 +554,10 @@ func (r *chaosRun) recoverAndAudit(onlineAlready bool) {
 		if err := r.d.resolveInDoubt(hp); err != nil {
 			return err
 		}
-		return r.d.Verify()
+		if err := r.d.Verify(); err != nil {
+			return err
+		}
+		return r.auditMutators(hp)
 	})
 	switch {
 	case fault != nil:
@@ -328,7 +598,10 @@ func (r *chaosRun) mediaRepair(logDev storage.LogDevice) {
 		if err := r.d.resolveInDoubt(hp); err != nil {
 			return err
 		}
-		return r.d.Verify()
+		if err := r.d.Verify(); err != nil {
+			return err
+		}
+		return r.auditMutators(hp)
 	})
 	switch {
 	case fault != nil:

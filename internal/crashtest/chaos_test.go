@@ -128,3 +128,36 @@ func TestShrinkPlanRealFailure(t *testing.T) {
 	}
 	t.Fatalf("no seed in 0..31 produced a detected fault (injection is not firing)")
 }
+
+// TestChaosConcurrentMutatorsSweep is the detectability contract with the
+// concurrent burst enabled: goroutine mutators race the stable collector
+// with faults armed, every burst history must be conflict-serializable,
+// and after every crash each mutator counter must equal its last
+// acknowledged commit. Concurrency makes the fault interleaving
+// nondeterministic, so this sweep checks the invariants, not replay.
+func TestChaosConcurrentMutatorsSweep(t *testing.T) {
+	rep := Sweep(Scenario{Steps: 20, Crashes: 3, MidGC: true, Mutators: 4}, 0, 8)
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+	total := 0
+	for _, c := range rep.Matrix {
+		total += c
+	}
+	if total == 0 {
+		t.Fatalf("sweep produced no verdicts at all")
+	}
+	t.Logf("verdict matrix: %v", rep.MatrixMap())
+}
+
+// TestChaosConcurrentZeroPlanClean: with no faults armed, the concurrent
+// scenario must come out all-clean — committed increments exact, burst
+// histories serializable, the abandoned transaction undone every round.
+func TestChaosConcurrentZeroPlanClean(t *testing.T) {
+	res := RunSeedWithPlan(Scenario{Steps: 20, Crashes: 3, Mutators: 4}, faultfs.Plan{Seed: 9})
+	for i, v := range res.Verdicts {
+		if v != Clean {
+			t.Fatalf("round %d: verdict %v with no faults armed (%s)", i, v, res.Failure)
+		}
+	}
+}

@@ -23,13 +23,19 @@
 // wrappers are exactly as deterministic as their seed: the same plan over
 // the same operation sequence injects byte-identical faults.
 //
-// Everything here is single-goroutine, like the devices it wraps.
+// The injector's own state (PRNG, armed flag, fault counters) is guarded
+// by an internal mutex: the Disk wrapper is driven from under the page
+// cache's latch while the Log wrapper is driven from under the WAL latch,
+// so under a concurrent workload the two draw from the shared fault
+// stream simultaneously. Determinism is per-seed AND per-interleaving —
+// a concurrent run is reproducible only if its schedule is.
 package faultfs
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
@@ -104,9 +110,11 @@ type Stats struct {
 // injection, Disarm stops it (checksums stay maintained and verified
 // either way — the wrapper is the device, faults are the option).
 type Injector struct {
-	Plan  Plan
-	Disk  *Disk
-	Log   *Log
+	Plan Plan
+	Disk *Disk
+	Log  *Log
+
+	mu    sync.Mutex // guards rng, armed, stats (disk and log wrappers run under different latches)
 	rng   *rand.Rand
 	armed bool
 	stats Stats
@@ -126,17 +134,40 @@ func New(plan Plan, disk storage.PageStore, logDev storage.LogDevice) *Injector 
 }
 
 // Arm starts injecting faults.
-func (in *Injector) Arm() { in.armed = true }
+func (in *Injector) Arm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = true
+}
 
 // Disarm stops injecting faults; detection (checksum verification on
 // read) continues.
-func (in *Injector) Disarm() { in.armed = false }
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = false
+}
 
 // Armed reports whether injection is live.
-func (in *Injector) Armed() bool { return in.armed }
+func (in *Injector) Armed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.armed
+}
 
 // Stats returns accumulated injection and detection counters.
-func (in *Injector) Stats() Stats { return in.stats }
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// noteChecksumFail counts a detected page-checksum mismatch.
+func (in *Injector) noteChecksumFail() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.ChecksumFails++
+}
 
 // CorruptAtRest injects the plan's at-rest bit rot: PageFlips bit flips
 // on randomly chosen durable pages and LogFlips bit flips on randomly
@@ -147,6 +178,8 @@ func (in *Injector) Stats() Stats { return in.stats }
 // so rot is always distinguishable from a torn tail. Returns how many
 // flips were actually applied (armed and targets available).
 func (in *Injector) CorruptAtRest() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if !in.armed {
 		return 0
 	}
@@ -172,6 +205,8 @@ func (in *Injector) CorruptAtRest() int {
 // bursts are absorbed (counted in IORetried) and longer ones panic with a
 // typed DeviceIOError.
 func (in *Injector) maybeIO(op string, pg word.PageID, lsn word.LSN) {
+	in.mu.Lock()
+	defer in.mu.Unlock() // deferred: the surfaced-burst panic must not leak the injector latch
 	if !in.armed || in.Plan.IOProb <= 0 {
 		return
 	}
@@ -220,7 +255,7 @@ func (d *Disk) ReadPage(id word.PageID) ([]byte, word.LSN, bool) {
 		return nil, lsn, false
 	}
 	if want, tracked := d.sums[id]; tracked && storage.PageChecksum(data, lsn) != want {
-		d.in.stats.ChecksumFails++
+		d.in.noteChecksumFail()
 		panic(&storage.CorruptPageError{Page: id, Reason: "page checksum mismatch"})
 	}
 	return data, lsn, true
@@ -228,7 +263,7 @@ func (d *Disk) ReadPage(id word.PageID) ([]byte, word.LSN, bool) {
 
 func (d *Disk) WritePage(id word.PageID, data []byte, lsn word.LSN) {
 	d.in.maybeIO("write", id, word.NilLSN)
-	if d.in.armed && d.in.Plan.TornPage {
+	if d.in.Armed() && d.in.Plan.TornPage {
 		cand := tornCandidate{newData: append([]byte(nil), data...), newLSN: lsn}
 		if old, oldLSN, ok := d.inner.ReadPage(id); ok {
 			cand.oldData, cand.oldLSN = old, oldLSN
@@ -354,6 +389,10 @@ func (l *Log) IsStable(lsn word.LSN) bool { return l.inner.IsStable(lsn) }
 // the single crash-time hook: every crash path goes through the log
 // device's Crash.
 func (l *Log) Crash() {
+	// Crash time is single-threaded (the heap is stop-exclusive), but the
+	// injector latch still serializes against a straggling device op.
+	l.in.mu.Lock()
+	defer l.in.mu.Unlock()
 	if l.in.armed && l.in.Plan.TornPage {
 		if l.in.Disk.applyTornWrite() {
 			l.in.stats.TornPages++
@@ -376,12 +415,12 @@ func (l *Log) Crash() {
 	l.inner.Crash()
 }
 
-func (l *Log) Truncate(keep word.LSN)    { l.inner.Truncate(keep) }
-func (l *Log) RepairTail(from word.LSN)  { l.inner.RepairTail(from) }
-func (l *Log) RetainedBytes() int64      { return l.inner.RetainedBytes() }
-func (l *Log) Stats() storage.LogStats   { return l.inner.Stats() }
-func (l *Log) ResetStats()               { l.inner.ResetStats() }
-func (l *Log) Clone() storage.LogDevice  { return l.inner.Clone() }
+func (l *Log) Truncate(keep word.LSN)   { l.inner.Truncate(keep) }
+func (l *Log) RepairTail(from word.LSN) { l.inner.RepairTail(from) }
+func (l *Log) RetainedBytes() int64     { return l.inner.RetainedBytes() }
+func (l *Log) Stats() storage.LogStats  { return l.inner.Stats() }
+func (l *Log) ResetStats()              { l.inner.ResetStats() }
+func (l *Log) Clone() storage.LogDevice { return l.inner.Clone() }
 
 func (l *Log) ReadAt(lsn word.LSN) ([]byte, bool) {
 	l.in.maybeIO("read", 0, lsn)

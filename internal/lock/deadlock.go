@@ -1,0 +1,121 @@
+package lock
+
+import (
+	"sort"
+
+	"stableheap/internal/word"
+)
+
+// FindCycle looks for a cycle in a waits-for graph given as an adjacency
+// list (waiter -> transactions it waits for) and returns the transactions
+// on the first cycle found, in wait order starting from the smallest node
+// on the cycle, or nil if the graph is acyclic. The search is
+// deterministic: nodes and edges are visited in ascending TxID order, so
+// the same graph always yields the same cycle — which makes victim
+// selection reproducible and testable.
+func FindCycle(adj map[word.TxID][]word.TxID) []word.TxID {
+	nodes := make([]word.TxID, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[word.TxID]int, len(adj))
+	var stack []word.TxID
+	var cycle []word.TxID
+	var dfs func(n word.TxID) bool
+	dfs = func(n word.TxID) bool {
+		state[n] = onStack
+		stack = append(stack, n)
+		next := append([]word.TxID(nil), adj[n]...)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, t := range next {
+			switch state[t] {
+			case onStack:
+				// Unwind the stack back to t: that segment is the cycle.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == t {
+						break
+					}
+				}
+				// Reverse into wait order (t waits for next, ...).
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			case unvisited:
+				if dfs(t) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[n] = done
+		return false
+	}
+	for _, n := range nodes {
+		if state[n] == unvisited && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// victimOf picks the deadlock victim from a cycle: the youngest
+// transaction, i.e. the one with the highest TxID (IDs are allocated
+// monotonically, so a higher ID began later and has the least work to
+// throw away).
+func victimOf(cycle []word.TxID) word.TxID {
+	var v word.TxID
+	for _, t := range cycle {
+		if t > v {
+			v = t
+		}
+	}
+	return v
+}
+
+// waitsForLocked builds the waits-for adjacency list from the current
+// waiter registry and lock table; the manager mutex is held. An edge
+// w -> h means w is blocked on an entry h currently holds in a
+// conflicting mode.
+func (m *Manager) waitsForLocked() map[word.TxID][]word.TxID {
+	adj := make(map[word.TxID][]word.TxID, len(m.waiting))
+	for w, wf := range m.waiting {
+		e := m.table[wf.addr]
+		if e == nil {
+			continue
+		}
+		if e.writer != 0 && e.writer != w {
+			adj[w] = append(adj[w], e.writer)
+		}
+		if wf.mode == Write {
+			for r := range e.readers {
+				if r != w {
+					adj[w] = append(adj[w], r)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// detectLocked runs one detection pass and, if a cycle exists, marks its
+// youngest member as a victim and wakes everyone so the victim can abort.
+// Returns the chosen victim, or 0. The manager mutex is held.
+func (m *Manager) detectLocked() word.TxID {
+	cycle := FindCycle(m.waitsForLocked())
+	if len(cycle) == 0 {
+		return 0
+	}
+	v := victimOf(cycle)
+	m.victims[v] = true
+	m.cond.Broadcast()
+	return v
+}

@@ -8,9 +8,16 @@
 // entry (Rekey); the addresses of locked objects are part of the root set a
 // flip must translate.
 //
-// Deadlocks are resolved by timeout: a blocked Acquire gives up after the
-// manager's wait limit and returns ErrTimeout, upon which the caller aborts
-// the transaction. A zero wait limit makes every conflict immediate.
+// Deadlocks are resolved by a waits-for-graph detector: whenever a
+// transaction blocks (and on every re-check while it waits) the manager
+// looks for a cycle among the blocked transactions; if one exists, the
+// youngest member (highest TxID) is marked as the victim and its wait
+// returns ErrDeadlock, upon which the caller aborts it. The wait-limit
+// timeout is kept as a backstop — a blocked Acquire still gives up after
+// the manager's wait limit with ErrTimeout — but with detection enabled a
+// true deadlock is broken as soon as its last edge forms, long before any
+// timeout fires. A zero wait limit makes every conflict immediate
+// (fast-fail; such refusals count as Conflicts, not Timeouts).
 package lock
 
 import (
@@ -40,8 +47,14 @@ func (m Mode) String() string {
 }
 
 // ErrTimeout is returned when a lock could not be acquired within the wait
-// limit; the caller is expected to abort (the deadlock victim policy).
+// limit; the caller is expected to abort. With deadlock detection enabled
+// this is a backstop only — real cycles are broken with ErrDeadlock.
 var ErrTimeout = errors.New("lock: wait timed out (possible deadlock)")
+
+// ErrDeadlock is returned to the transaction chosen as the victim of a
+// waits-for cycle; the caller must abort it (retrying the same wait would
+// recreate the cycle).
+var ErrDeadlock = errors.New("lock: deadlock victim (waits-for cycle)")
 
 // entry is the lock state of one object.
 type entry struct {
@@ -69,6 +82,13 @@ func (e *entry) grantable(tx word.TxID, m Mode) bool {
 	}
 }
 
+// waitInfo records what a blocked transaction is waiting for; the set of
+// these is the node+edge source for the waits-for graph.
+type waitInfo struct {
+	addr word.Addr
+	mode Mode
+}
+
 // Manager is the lock table.
 type Manager struct {
 	mu      sync.Mutex
@@ -76,28 +96,43 @@ type Manager struct {
 	table   map[word.Addr]*entry
 	held    map[word.TxID]map[word.Addr]Mode // per-tx held locks
 	wait    time.Duration
-	waiting int
+	waiting map[word.TxID]waitInfo // blocked txs and what they wait for
+	victims map[word.TxID]bool     // txs chosen to break a cycle
+	detect  bool
 	stats   Stats
 }
 
 // Stats counts lock-manager activity.
 type Stats struct {
-	Acquires  int64
-	Conflicts int64 // acquires that had to wait
-	Timeouts  int64
-	Rekeys    int64
+	Acquires       int64
+	Conflicts      int64 // acquires that could not be granted immediately
+	Timeouts       int64 // real waits that expired (backstop; fast-fails excluded)
+	DeadlockAborts int64 // waits broken by the cycle detector
+	Rekeys         int64
 }
 
 // NewManager creates a lock manager whose blocked acquires time out after
-// wait (zero means immediate failure on conflict).
+// wait (zero means immediate failure on conflict). Deadlock detection is
+// on by default; SetDetection(false) reverts to the timeout-only policy.
 func NewManager(wait time.Duration) *Manager {
 	m := &Manager{
-		table: make(map[word.Addr]*entry),
-		held:  make(map[word.TxID]map[word.Addr]Mode),
-		wait:  wait,
+		table:   make(map[word.Addr]*entry),
+		held:    make(map[word.TxID]map[word.Addr]Mode),
+		wait:    wait,
+		waiting: make(map[word.TxID]waitInfo),
+		victims: make(map[word.TxID]bool),
+		detect:  true,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// SetDetection enables or disables the waits-for deadlock detector. With it
+// off, blocked acquires rely on the timeout backstop alone.
+func (m *Manager) SetDetection(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.detect = on
 }
 
 // Acquire obtains the lock on addr in mode mode for tx, blocking up to the
@@ -134,51 +169,46 @@ func (m *Manager) AcquireWait(tx word.TxID, addr word.Addr, mode Mode, wait time
 			if e.free() {
 				delete(m.table, addr)
 			}
-			m.stats.Timeouts++
+			// Fast-fail refusals are conflicts, not timeouts: no wait
+			// budget expired. (The heap's lock path always tries a
+			// zero-wait acquire first, so counting these as Timeouts
+			// would drown the backstop signal.)
 			return ErrTimeout
 		}
-		deadline := time.Now().Add(wait)
-		timer := time.AfterFunc(wait, func() {
-			m.mu.Lock()
-			m.cond.Broadcast()
-			m.mu.Unlock()
+		// Re-fetch the entry on every check: while we slept it may have
+		// been freed and deleted (releases drop empty entries) or
+		// recreated by another acquirer.
+		err := m.blockOn(tx, addr, mode, wait, func() bool {
+			cur := m.table[addr]
+			return cur == nil || cur.grantable(tx, mode)
 		})
-		defer timer.Stop()
-		for !e.grantable(tx, mode) {
-			if time.Now().After(deadline) {
-				if e.free() {
-					delete(m.table, addr)
-				}
-				m.stats.Timeouts++
-				return ErrTimeout
+		if err != nil {
+			if cur := m.table[addr]; cur != nil && cur.free() {
+				delete(m.table, addr)
 			}
-			m.waiting++
-			m.cond.Wait()
-			m.waiting--
+			return err
+		}
+		if e = m.table[addr]; e == nil {
+			e = &entry{readers: make(map[word.TxID]struct{})}
+			m.table[addr] = e
 		}
 	}
 	m.grant(tx, addr, e, mode)
 	return nil
 }
 
-// WaitFree blocks until tx could acquire addr in the given mode (without
-// actually granting it) or the wait budget expires; returns whether the
-// lock looked grantable when it returned. Callers re-validate and
-// TryAcquire under their own synchronization — the address may have been
-// rekeyed or re-locked in between.
-func (m *Manager) WaitFree(tx word.TxID, addr word.Addr, mode Mode, wait time.Duration) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	check := func() bool {
-		e := m.table[addr]
-		return e == nil || e.grantable(tx, mode)
-	}
-	if check() {
-		return true
-	}
-	if wait == 0 {
-		return false
-	}
+// blockOn waits until check() holds, the wait budget expires (ErrTimeout)
+// or tx is chosen as a deadlock victim (ErrDeadlock). The manager mutex is
+// held on entry and exit; tx is registered in the waiter set for the
+// duration so the detector can see the edge it contributes.
+func (m *Manager) blockOn(tx word.TxID, addr word.Addr, mode Mode, wait time.Duration, check func() bool) error {
+	m.waiting[tx] = waitInfo{addr: addr, mode: mode}
+	defer func() {
+		delete(m.waiting, tx)
+		// A stale victim mark (cycle broken by a release before we saw
+		// it) must not poison this transaction's next wait.
+		delete(m.victims, tx)
+	}()
 	deadline := time.Now().Add(wait)
 	timer := time.AfterFunc(wait, func() {
 		m.mu.Lock()
@@ -187,15 +217,52 @@ func (m *Manager) WaitFree(tx word.TxID, addr word.Addr, mode Mode, wait time.Du
 	})
 	defer timer.Stop()
 	for !check() {
+		if m.victims[tx] {
+			delete(m.victims, tx)
+			m.stats.DeadlockAborts++
+			return ErrDeadlock
+		}
 		if time.Now().After(deadline) {
 			m.stats.Timeouts++
-			return false
+			return ErrTimeout
 		}
-		m.waiting++
+		if m.detect {
+			// Run detection before every sleep: a cycle can only form
+			// when its final edge is added, i.e. when some transaction
+			// reaches exactly this point.
+			if v := m.detectLocked(); v == tx {
+				continue // we are the victim: handle it at the loop top
+			}
+			// Any other victim was woken by the broadcast and will
+			// abort, releasing its locks; sleep until that happens.
+		}
 		m.cond.Wait()
-		m.waiting--
 	}
-	return true
+	return nil
+}
+
+// WaitFree blocks until tx could acquire addr in the given mode (without
+// actually granting it), the wait budget expires (ErrTimeout) or tx is
+// picked as a deadlock victim (ErrDeadlock); nil means the lock looked
+// grantable when it returned. Callers re-validate and TryAcquire under
+// their own synchronization — the address may have been rekeyed or
+// re-locked in between. The wait registers in the waits-for graph exactly
+// like a blocked acquire, so cycles through WaitFree waiters are detected
+// too.
+func (m *Manager) WaitFree(tx word.TxID, addr word.Addr, mode Mode, wait time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	check := func() bool {
+		e := m.table[addr]
+		return e == nil || e.grantable(tx, mode)
+	}
+	if check() {
+		return nil
+	}
+	if wait == 0 {
+		return ErrTimeout
+	}
+	return m.blockOn(tx, addr, mode, wait, check)
 }
 
 // Release drops tx's hold on one address (used by the optimistic
@@ -347,6 +414,7 @@ func (m *Manager) Reset() {
 	defer m.mu.Unlock()
 	m.table = make(map[word.Addr]*entry)
 	m.held = make(map[word.TxID]map[word.Addr]Mode)
+	m.victims = make(map[word.TxID]bool)
 	m.cond.Broadcast()
 }
 

@@ -249,16 +249,16 @@ func TestReleaseSingleLock(t *testing.T) {
 func TestWaitFreeReturnsWhenReleased(t *testing.T) {
 	m := NewManager(0)
 	m.Acquire(1, 0x10, Write)
-	done := make(chan bool, 1)
+	done := make(chan error, 1)
 	go func() {
 		done <- m.WaitFree(2, 0x10, Write, 2*time.Second)
 	}()
 	time.Sleep(10 * time.Millisecond)
 	m.ReleaseAll(1)
 	select {
-	case ok := <-done:
-		if !ok {
-			t.Fatal("WaitFree must report grantable after release")
+	case err := <-done:
+		if err != nil {
+			t.Fatal("WaitFree must report grantable after release:", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("WaitFree never woke")
@@ -268,22 +268,22 @@ func TestWaitFreeReturnsWhenReleased(t *testing.T) {
 func TestWaitFreeTimesOut(t *testing.T) {
 	m := NewManager(0)
 	m.Acquire(1, 0x10, Write)
-	if m.WaitFree(2, 0x10, Write, 20*time.Millisecond) {
-		t.Fatal("WaitFree must time out while held")
+	if err := m.WaitFree(2, 0x10, Write, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatal("WaitFree must time out while held, got", err)
 	}
 	// Zero wait: immediate answer.
-	if m.WaitFree(2, 0x10, Write, 0) {
-		t.Fatal("zero-wait WaitFree must answer false while held")
+	if err := m.WaitFree(2, 0x10, Write, 0); err != ErrTimeout {
+		t.Fatal("zero-wait WaitFree must answer ErrTimeout while held, got", err)
 	}
-	if !m.WaitFree(1, 0x10, Write, 0) {
-		t.Fatal("holder itself sees grantable")
+	if err := m.WaitFree(1, 0x10, Write, 0); err != nil {
+		t.Fatal("holder itself sees grantable:", err)
 	}
 }
 
 func TestWaitFreeDoesNotAcquire(t *testing.T) {
 	m := NewManager(0)
-	if !m.WaitFree(1, 0x10, Write, 0) {
-		t.Fatal("free address must be grantable")
+	if err := m.WaitFree(1, 0x10, Write, 0); err != nil {
+		t.Fatal("free address must be grantable:", err)
 	}
 	// Nothing was acquired: another tx can take it.
 	if err := m.Acquire(2, 0x10, Write); err != nil {

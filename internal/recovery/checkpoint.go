@@ -1,6 +1,8 @@
 package recovery
 
 import (
+	"sync"
+
 	"stableheap/internal/storage"
 	"stableheap/internal/vm"
 	"stableheap/internal/wal"
@@ -11,7 +13,12 @@ import (
 // record, no synchronous writes. The master block is updated lazily, once
 // the record has reached stable storage on the back of ordinary log forces
 // — recovery simply uses the previous checkpoint until then.
+//
+// The checkpointer is internally synchronized: commit paths and the
+// group-commit flusher call Promote concurrently, and the master-block
+// read-modify-write must not interleave.
 type Checkpointer struct {
+	mu  sync.Mutex
 	log *wal.Manager
 	mem *vm.Store
 
@@ -41,6 +48,8 @@ func NewCheckpointer(log *wal.Manager, mem *vm.Store, last word.LSN) *Checkpoint
 // except Dirty, which the checkpointer composes from the store's dirty
 // page table. Returns the record's LSN.
 func (c *Checkpointer) Take(cp wal.CheckpointRec) word.LSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Checkpoint-driven page cleaning: write back pages dirtied before
 	// the previous checkpoint, so the redo window stays roughly two
 	// checkpoint intervals.
@@ -67,13 +76,19 @@ func (c *Checkpointer) Take(cp wal.CheckpointRec) word.LSN {
 	c.pendingTrunc = trunc
 	c.prevTake = lsn
 	c.stats.Taken++
-	c.Promote()
+	c.promoteLocked()
 	return lsn
 }
 
 // Promote publishes the pending checkpoint to the master block if ordinary
 // log traffic has since made it stable. Call after commits; never forces.
 func (c *Checkpointer) Promote() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.promoteLocked()
+}
+
+func (c *Checkpointer) promoteLocked() {
 	if c.pendingLSN == word.NilLSN || !c.log.IsStable(c.pendingLSN) {
 		return
 	}
@@ -91,20 +106,32 @@ func (c *Checkpointer) Promote() {
 // it (clean shutdown and end of recovery — the only places a synchronous
 // write is acceptable outside commit).
 func (c *Checkpointer) ForcePromote() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.pendingLSN == word.NilLSN {
 		return
 	}
 	c.log.Force(c.pendingLSN)
-	c.Promote()
+	c.promoteLocked()
 }
 
 // Stable returns the LSN of the checkpoint the master currently names.
-func (c *Checkpointer) Stable() word.LSN { return c.stableLSN }
+func (c *Checkpointer) Stable() word.LSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stableLSN
+}
 
 // TruncationPoint returns the lowest LSN the log must retain: everything
 // below it is covered by the stable checkpoint, flushed pages, and
 // completed transactions.
 func (c *Checkpointer) TruncationPoint() word.LSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.truncationPointLocked()
+}
+
+func (c *Checkpointer) truncationPointLocked() word.LSN {
 	if c.stableLSN == word.NilLSN {
 		return word.NilLSN
 	}
@@ -114,13 +141,19 @@ func (c *Checkpointer) TruncationPoint() word.LSN {
 // TruncateLog frees log space below the truncation point (segment
 // granularity; a no-op if nothing is reclaimable).
 func (c *Checkpointer) TruncateLog() {
-	if p := c.TruncationPoint(); p != word.NilLSN && p <= c.log.StableLSN() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.truncationPointLocked(); p != word.NilLSN && p <= c.log.StableLSN() {
 		c.log.Truncate(p)
 	}
 }
 
 // Stats returns accumulated counters.
-func (c *Checkpointer) Stats() CheckpointStats { return c.stats }
+func (c *Checkpointer) Stats() CheckpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // InitMaster formats a fresh disk's master block (used by core when
 // creating a new stable heap). The first checkpoint follows immediately.

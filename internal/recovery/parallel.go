@@ -189,14 +189,14 @@ type redoTask struct {
 
 // parallelRedo runs the dispatcher-plus-workers redo engine.
 type parallelRedo struct {
-	mem     *shardedMem
-	dpt     map[word.PageID]word.LSN
-	workers int
-	chans   []chan redoTask
-	wg      sync.WaitGroup
-	applied []int64 // per-worker applied counts for single-shard records
-	records []int   // per-worker records delivered (skew stat)
-	multis  []*atomic.Bool
+	mem      *shardedMem
+	dpt      map[word.PageID]word.LSN
+	workers  int
+	chans    []chan redoTask
+	wg       sync.WaitGroup
+	applied  []int64 // per-worker applied counts for single-shard records
+	records  []int   // per-worker records delivered (skew stat)
+	multis   []*atomic.Bool
 	panicMu  sync.Mutex
 	panicVal any
 }

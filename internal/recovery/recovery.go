@@ -135,7 +135,17 @@ type txInfo struct {
 	lastLSN   word.LSN
 	committed bool
 	prepared  bool
-	seed      map[word.Addr]word.Addr // undo translations from the checkpoint
+	// seed holds the checkpointed undo translations, keyed by the LSN of
+	// the record that logged the address plus the address itself: one
+	// transaction can log the same address twice for different objects
+	// (from-space reuse), so an address-keyed map would alias.
+	seed map[seedKey]word.Addr
+}
+
+// seedKey identifies one checkpointed UTT entry.
+type seedKey struct {
+	at   word.LSN
+	orig word.Addr
 }
 
 // copyEntry is one object move, for undo-address translation.
@@ -306,9 +316,9 @@ func newAnalysis(mem *vm.Store, cp wal.CheckpointRec, cpLSN word.LSN) *analysis 
 		}
 	}
 	for _, te := range cp.Txs {
-		info := &txInfo{firstLSN: te.FirstLSN, lastLSN: te.LastLSN, prepared: te.Prepared, seed: make(map[word.Addr]word.Addr)}
+		info := &txInfo{firstLSN: te.FirstLSN, lastLSN: te.LastLSN, prepared: te.Prepared, seed: make(map[seedKey]word.Addr)}
 		for _, p := range te.UTT {
-			info.seed[p.Orig] = p.Cur
+			info.seed[seedKey{at: p.At, orig: p.Orig}] = p.Cur
 		}
 		a.txs[te.TxID] = info
 		a.order = append(a.order, te.TxID)
@@ -344,7 +354,7 @@ func (a *analysis) dirtyRange(addr word.Addr, n int, lsn word.LSN) {
 func (a *analysis) touch(id word.TxID, lsn word.LSN) *txInfo {
 	info := a.txs[id]
 	if info == nil {
-		info = &txInfo{firstLSN: lsn, seed: make(map[word.Addr]word.Addr)}
+		info = &txInfo{firstLSN: lsn, seed: make(map[seedKey]word.Addr)}
 		a.txs[id] = info
 		a.order = append(a.order, id)
 	}

@@ -48,13 +48,15 @@ func (u *undoer) applyDelta(cur word.Addr, delta uint64, lsn word.LSN) {
 // (because the allocator reused the space after the collection) must not
 // be applied, or the translation lands in an unrelated object. Addresses
 // logged before the checkpoint go through the transaction's checkpointed
-// UTT seed first, which brings them current as of the checkpoint; every
-// entry in u.copies is from after the checkpoint, so the same > filter
-// then applies with the checkpoint as the baseline.
+// UTT seed first — looked up by (record LSN, address), since one
+// transaction can log the same reused address for two different objects
+// across collections — which brings them current as of the checkpoint;
+// every entry in u.copies is from after the checkpoint, so the same >
+// filter then applies with the checkpoint as the baseline.
 func (u *undoer) translate(info *txInfo, a word.Addr, lsn word.LSN) word.Addr {
 	since := lsn
 	if lsn == word.NilLSN || lsn < u.cpLSN {
-		if cur, ok := info.seed[a]; ok {
+		if cur, ok := info.seed[seedKey{at: lsn, orig: a}]; ok {
 			a = cur
 		}
 		since = u.cpLSN

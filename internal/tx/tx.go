@@ -14,6 +14,8 @@ package tx
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stableheap/internal/heap"
@@ -46,6 +48,17 @@ type Handle struct {
 // Addr returns the object's current address.
 func (h *Handle) Addr() word.Addr { return h.addr }
 
+// uttEntry is one per-record undo address translation (the paper's UTT,
+// §4.4): the address an update record logged, where that slot or pointer
+// target lives now, and the record's LSN — the entry's identity, since
+// the same address can be logged twice by one transaction for different
+// objects across collections (from-space reuse).
+type uttEntry struct {
+	lsn    word.LSN
+	logged word.Addr
+	cur    word.Addr
+}
+
 // volWrite is one in-memory undo entry for an unlogged volatile update.
 type volWrite struct {
 	addr  word.Addr // current address (rebased when the object moves)
@@ -64,15 +77,18 @@ type Tx struct {
 	// volUndo records unlogged volatile writes, undone in reverse order
 	// on abort. Entries are rebased by OnCopy when objects move.
 	volUndo []volWrite
-	// undoAddrs lists the slot addresses of this transaction's update
+	// undoSlots lists the slot addresses of this transaction's update
 	// records; undoVals lists the pointer values its undo images hold
 	// (the paper's "roots in recovery information", §3.5.2: objects
 	// reachable only from undo information must be retained and
-	// translated by the collector). trans maps either kind of logged
-	// address to its current location after collector moves.
-	undoAddrs []word.Addr
-	undoVals  []word.Addr
-	trans     map[word.Addr]word.Addr
+	// translated by the collector). Each entry tracks its own current
+	// address, rebased by OnCopy on every collector move, and is keyed
+	// by the LSN of the record that logged it: a translation map keyed
+	// by address alone aliases when the allocator reuses a from-space
+	// address for a different object after a collection, and an abort
+	// then restores the undo image into the wrong object.
+	undoSlots []uttEntry
+	undoVals  []uttEntry
 	// newlyStable counts objects stabilized at commit (for the complete
 	// record).
 	newlyStable int
@@ -104,15 +120,24 @@ type Env struct {
 }
 
 // Manager owns the transaction table and the recoverable-action protocol.
+//
+// Concurrency: the table map and the id generator are guarded by an
+// internal mutex and the outcome counters are atomics, so Begin, Update,
+// Commit and Abort may run from concurrent transactions (each Tx is owned
+// by a single goroutine). The whole-table walks (OnCopy, ForEachHandle,
+// ForEachUndoRoot, TableEntries, AbortAll, Crash) mutate per-transaction
+// state of OTHER transactions and are only safe from contexts that exclude
+// all mutators — the heap's stop latch held exclusively.
 type Manager struct {
 	log    *wal.Manager
 	mem    *vm.Store
 	h      *heap.Heap
 	locks  *lock.Manager
 	env    Env
+	mu     sync.Mutex // guards nextTx and the active map
 	nextTx word.TxID
 	active map[word.TxID]*Tx
-	stats  Stats
+	stats  Stats // fields incremented atomically
 	// Lifetime histograms: begin→commit and begin→abort wall time, always
 	// on (in-doubt transactions restored by recovery have no begin time
 	// and are excluded).
@@ -145,7 +170,16 @@ func (m *Manager) inVolatile(a word.Addr) bool {
 }
 
 // Stats returns accumulated counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begun:     atomic.LoadInt64(&m.stats.Begun),
+		Committed: atomic.LoadInt64(&m.stats.Committed),
+		Aborted:   atomic.LoadInt64(&m.stats.Aborted),
+		Updates:   atomic.LoadInt64(&m.stats.Updates),
+		VolWrites: atomic.LoadInt64(&m.stats.VolWrites),
+		CLRs:      atomic.LoadInt64(&m.stats.CLRs),
+	}
+}
 
 // LifetimeHists snapshots the begin→commit and begin→abort lifetime
 // histograms (nanoseconds).
@@ -155,22 +189,38 @@ func (m *Manager) LifetimeHists() (commit, abort obs.HistSnapshot) {
 
 // NextTxID returns the next id to be issued (checkpointed so ids are not
 // reused after recovery).
-func (m *Manager) NextTxID() word.TxID { return m.nextTx }
+func (m *Manager) NextTxID() word.TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextTx
+}
 
 // SetNextTxID restores the id generator (recovery).
-func (m *Manager) SetNextTxID(id word.TxID) { m.nextTx = id }
+func (m *Manager) SetNextTxID(id word.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTx = id
+}
 
 // ActiveCount returns the number of live transactions.
-func (m *Manager) ActiveCount() int { return len(m.active) }
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
 
 // Begin starts a transaction and logs its begin record.
 func (m *Manager) Begin() *Tx {
-	t := &Tx{id: m.nextTx, begun: time.Now(), trans: make(map[word.Addr]word.Addr)}
+	m.mu.Lock()
+	t := &Tx{id: m.nextTx, begun: time.Now()}
 	m.nextTx++
+	m.mu.Unlock()
 	t.firstLSN = m.log.Append(wal.BeginRec{TxHdr: wal.TxHdr{TxID: t.id}})
 	t.lastLSN = t.firstLSN
+	m.mu.Lock()
 	m.active[t.id] = t
-	m.stats.Begun++
+	m.mu.Unlock()
+	atomic.AddInt64(&m.stats.Begun, 1)
 	return t
 }
 
@@ -206,16 +256,16 @@ func (m *Manager) Update(t *Tx, obj, addr word.Addr, redo []byte, isPtrSlot bool
 	})
 	t.lastLSN = lsn
 	m.mem.WriteBytes(addr, redo, lsn)
-	t.undoAddrs = append(t.undoAddrs, addr)
+	t.undoSlots = append(t.undoSlots, uttEntry{lsn: lsn, logged: addr, cur: addr})
 	if isPtrSlot {
 		if old := word.Addr(word.GetWord(undo, 0)); !old.IsNil() {
-			t.undoVals = append(t.undoVals, old)
+			t.undoVals = append(t.undoVals, uttEntry{lsn: lsn, logged: old, cur: old})
 		}
 		if m.env.OnStableSlotWrite != nil {
 			m.env.OnStableSlotWrite(addr, flags&wal.UFPtrToVolatile != 0)
 		}
 	}
-	m.stats.Updates++
+	atomic.AddInt64(&m.stats.Updates, 1)
 }
 
 // UpdateLogical performs a logged, recoverable wrapping-add of delta to
@@ -232,8 +282,8 @@ func (m *Manager) UpdateLogical(t *Tx, obj, addr word.Addr, delta uint64) {
 	t.lastLSN = lsn
 	cur := m.mem.ReadWord(addr)
 	m.mem.WriteWord(addr, cur+delta, lsn)
-	t.undoAddrs = append(t.undoAddrs, addr)
-	m.stats.Updates++
+	t.undoSlots = append(t.undoSlots, uttEntry{lsn: lsn, logged: addr, cur: addr})
+	atomic.AddInt64(&m.stats.Updates, 1)
 }
 
 // VolatileWrite performs an unlogged update of a volatile object, keeping
@@ -244,7 +294,7 @@ func (m *Manager) VolatileWrite(t *Tx, addr word.Addr, data []byte, isPtrSlot bo
 	old := m.mem.ReadBytes(addr, len(data))
 	t.volUndo = append(t.volUndo, volWrite{addr: addr, old: old, isPtr: isPtrSlot})
 	m.mem.WriteBytes(addr, data, word.NilLSN)
-	m.stats.VolWrites++
+	atomic.AddInt64(&m.stats.VolWrites, 1)
 }
 
 // LogAlloc makes a stable-area allocation recoverable (§4.2): the record
@@ -300,7 +350,11 @@ func (m *Manager) Prepare(t *Tx) word.LSN {
 }
 
 // Lookup returns the active transaction with the given id, or nil.
-func (m *Manager) Lookup(id word.TxID) *Tx { return m.active[id] }
+func (m *Manager) Lookup(id word.TxID) *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active[id]
+}
 
 // RestoreInDoubt reconstructs a prepared transaction after recovery: its
 // log chain is walked to rebuild the undo roots and translation map
@@ -308,32 +362,24 @@ func (m *Manager) Lookup(id word.TxID) *Tx { return m.active[id] }
 // location), and it re-enters the table — prepared, holding no handles,
 // waiting for resolution. The caller reacquires its object locks.
 func (m *Manager) RestoreInDoubt(id word.TxID, lastLSN word.LSN, translate func(word.Addr, word.LSN) word.Addr) (*Tx, []word.Addr) {
-	t := &Tx{id: id, lastLSN: lastLSN, prepared: true, trans: make(map[word.Addr]word.Addr)}
+	t := &Tx{id: id, lastLSN: lastLSN, prepared: true}
 	var objs []word.Addr
-	seed := func(orig word.Addr, at word.LSN) {
-		if cur := translate(orig, at); cur != orig {
-			t.trans[orig] = cur
-		}
-	}
 	lsn := lastLSN
 	for lsn != word.NilLSN {
 		rec := m.log.MustReadAt(lsn)
 		switch r := rec.(type) {
 		case wal.UpdateRec:
-			t.undoAddrs = append(t.undoAddrs, r.Addr)
-			seed(r.Addr, lsn)
+			t.undoSlots = append(t.undoSlots, uttEntry{lsn: lsn, logged: r.Addr, cur: translate(r.Addr, lsn)})
 			if r.Flags&wal.UFPtrSlot != 0 {
 				if old := word.Addr(word.GetWord(r.Undo, 0)); !old.IsNil() {
-					t.undoVals = append(t.undoVals, old)
-					seed(old, lsn)
+					t.undoVals = append(t.undoVals, uttEntry{lsn: lsn, logged: old, cur: translate(old, lsn)})
 				}
 			}
 			objs = append(objs, translate(r.Obj, lsn))
 			t.firstLSN = lsn
 			lsn = r.PrevLSN
 		case wal.LogicalRec:
-			t.undoAddrs = append(t.undoAddrs, r.Addr)
-			seed(r.Addr, lsn)
+			t.undoSlots = append(t.undoSlots, uttEntry{lsn: lsn, logged: r.Addr, cur: translate(r.Addr, lsn)})
 			objs = append(objs, translate(r.Obj, lsn))
 			t.firstLSN = lsn
 			lsn = r.PrevLSN
@@ -359,7 +405,9 @@ func (m *Manager) RestoreInDoubt(id word.TxID, lastLSN word.LSN, translate func(
 	if t.firstLSN == word.NilLSN {
 		t.firstLSN = lastLSN
 	}
+	m.mu.Lock()
 	m.active[id] = t
+	m.mu.Unlock()
 	return t, objs
 }
 
@@ -390,8 +438,10 @@ func (m *Manager) FinishCommit(t *Tx) {
 	t.status = Committed
 	m.locks.ReleaseAll(t.id)
 	m.log.Append(wal.EndRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	m.mu.Lock()
 	delete(m.active, t.id)
-	m.stats.Committed++
+	m.mu.Unlock()
+	atomic.AddInt64(&m.stats.Committed, 1)
 	if !t.begun.IsZero() {
 		m.commitH.Since(t.begun)
 	}
@@ -415,22 +465,40 @@ func (m *Manager) Abort(t *Tx) {
 	t.status = Aborted
 	m.locks.ReleaseAll(t.id)
 	t.lastLSN = m.log.Append(wal.EndRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
+	m.mu.Lock()
 	delete(m.active, t.id)
-	m.stats.Aborted++
+	m.mu.Unlock()
+	atomic.AddInt64(&m.stats.Aborted, 1)
 	if !t.begun.IsZero() {
 		m.abortH.Since(t.begun)
 	}
 }
 
 // undoFrom walks the transaction's log chain backwards from the record
-// preceding start, undoing updates with CLRs.
+// preceding start, undoing updates with CLRs. Undo addresses come from
+// the per-record UTT entries, matched by the record's LSN — never by
+// address, which aliases across from-space reuse.
 func (m *Manager) undoFrom(t *Tx, start word.LSN) {
+	slotCur := make(map[word.LSN]word.Addr, len(t.undoSlots))
+	for _, e := range t.undoSlots {
+		slotCur[e.lsn] = e.cur
+	}
+	valCur := make(map[word.LSN]word.Addr, len(t.undoVals))
+	for _, e := range t.undoVals {
+		valCur[e.lsn] = e.cur
+	}
+	slotAt := func(lsn word.LSN, logged word.Addr) word.Addr {
+		if cur, ok := slotCur[lsn]; ok {
+			return cur
+		}
+		return logged
+	}
 	lsn := start
 	for lsn != word.NilLSN {
 		rec := m.log.MustReadAt(lsn)
 		switch r := rec.(type) {
 		case wal.UpdateRec:
-			cur := m.Translate(t, r.Addr)
+			cur := slotAt(lsn, r.Addr)
 			restored := r.Undo
 			var flags uint8
 			if r.Flags&wal.UFPtrSlot != 0 {
@@ -439,7 +507,10 @@ func (m *Manager) undoFrom(t *Tx, start word.LSN) {
 				// may have moved: translate it too (§3.5.2 roots in
 				// recovery information).
 				if old := word.Addr(word.GetWord(r.Undo, 0)); !old.IsNil() {
-					rv := m.Translate(t, old)
+					rv := old
+					if c, ok := valCur[lsn]; ok {
+						rv = c
+					}
 					restored = make([]byte, word.WordSize)
 					word.PutWord(restored, 0, uint64(rv))
 					if m.inVolatile(rv) {
@@ -456,10 +527,10 @@ func (m *Manager) undoFrom(t *Tx, start word.LSN) {
 			if r.Flags&wal.UFPtrSlot != 0 && m.env.OnStableSlotWrite != nil {
 				m.env.OnStableSlotWrite(cur, flags&wal.UFPtrToVolatile != 0)
 			}
-			m.stats.CLRs++
+			atomic.AddInt64(&m.stats.CLRs, 1)
 			lsn = r.PrevLSN
 		case wal.LogicalRec:
-			cur := m.Translate(t, r.Addr)
+			cur := slotAt(lsn, r.Addr)
 			neg := -r.Delta
 			buf := make([]byte, word.WordSize)
 			word.PutWord(buf, 0, neg)
@@ -470,7 +541,7 @@ func (m *Manager) undoFrom(t *Tx, start word.LSN) {
 			t.lastLSN = clr
 			v := m.mem.ReadWord(cur)
 			m.mem.WriteWord(cur, v+neg, clr)
-			m.stats.CLRs++
+			atomic.AddInt64(&m.stats.CLRs, 1)
 			lsn = r.PrevLSN
 		case wal.CLRRec:
 			lsn = r.UndoNext
@@ -492,34 +563,25 @@ func (m *Manager) undoFrom(t *Tx, start word.LSN) {
 	}
 }
 
-// Translate maps the address in one of t's undo records to the object
-// slot's current location (identity if the collector has not moved it).
-func (m *Manager) Translate(t *Tx, logged word.Addr) word.Addr {
-	if cur, ok := t.trans[logged]; ok {
-		return cur
-	}
-	return logged
-}
-
 // OnCopy rebases every active transaction's undo slot addresses, undo
 // pointer values, and volatile undo entries for an object that moved from
 // [from, from+size) to to. The stable-heap core wires this as the
-// collectors' copy hook; together the per-transaction maps are the paper's
-// UTT.
+// collectors' copy hook; together the per-transaction entries are the
+// paper's UTT. Each entry carries its own current address, so two records
+// that logged the same (reused) address rebase independently — the copy
+// of one object never drags the other entry's translation along.
 func (m *Manager) OnCopy(from, to word.Addr, sizeWords int) {
 	hi := from.Add(sizeWords)
-	rebase := func(t *Tx, logged word.Addr) {
-		cur := m.Translate(t, logged)
-		if cur >= from && cur < hi {
-			t.trans[logged] = to + (cur - from)
-		}
-	}
 	for _, t := range m.active {
-		for _, logged := range t.undoAddrs {
-			rebase(t, logged)
+		for i := range t.undoSlots {
+			if e := &t.undoSlots[i]; e.cur >= from && e.cur < hi {
+				e.cur = to + (e.cur - from)
+			}
 		}
-		for _, val := range t.undoVals {
-			rebase(t, val)
+		for i := range t.undoVals {
+			if e := &t.undoVals[i]; e.cur >= from && e.cur < hi {
+				e.cur = to + (e.cur - from)
+			}
 		}
 		for i := range t.volUndo {
 			w := &t.volUndo[i]
@@ -552,12 +614,11 @@ func (m *Manager) ForEachHandle(visit func(get func() word.Addr, set func(word.A
 // the stored values must be translated when they move.
 func (m *Manager) ForEachUndoRoot(visit func(get func() word.Addr, set func(word.Addr))) {
 	for _, t := range m.active {
-		t := t
-		for _, val := range t.undoVals {
-			val := val
+		for i := range t.undoVals {
+			e := &t.undoVals[i]
 			visit(
-				func() word.Addr { return m.Translate(t, val) },
-				func(a word.Addr) { t.trans[val] = a },
+				func() word.Addr { return e.cur },
+				func(a word.Addr) { e.cur = a },
 			)
 		}
 		for i := range t.volUndo {
@@ -579,8 +640,15 @@ func (m *Manager) TableEntries() []wal.TxEntry {
 	out := make([]wal.TxEntry, 0, len(m.active))
 	for _, t := range m.active {
 		e := wal.TxEntry{TxID: t.id, FirstLSN: t.firstLSN, LastLSN: t.lastLSN, Prepared: t.prepared}
-		for logged, cur := range t.trans {
-			e.UTT = append(e.UTT, wal.AddrPair{Orig: logged, Cur: cur})
+		for _, s := range t.undoSlots {
+			if s.cur != s.logged {
+				e.UTT = append(e.UTT, wal.AddrPair{At: s.lsn, Orig: s.logged, Cur: s.cur})
+			}
+		}
+		for _, v := range t.undoVals {
+			if v.cur != v.logged {
+				e.UTT = append(e.UTT, wal.AddrPair{At: v.lsn, Orig: v.logged, Cur: v.cur})
+			}
 		}
 		out = append(out, e)
 	}
@@ -596,6 +664,8 @@ func (m *Manager) AbortAll() {
 
 // snapshotActive copies the active set (Abort mutates the map).
 func (m *Manager) snapshotActive() []*Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*Tx, 0, len(m.active))
 	for _, t := range m.active {
 		out = append(out, t)
@@ -606,6 +676,8 @@ func (m *Manager) snapshotActive() []*Tx {
 // Crash clears the (volatile) transaction table; the log retains everything
 // recovery needs.
 func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.active = make(map[word.TxID]*Tx)
 }
 
@@ -613,7 +685,10 @@ func (m *Manager) mustBeActive(t *Tx) {
 	if t.status != Active {
 		panic(fmt.Sprintf("tx: operation on finished transaction %d", t.id))
 	}
-	if m.active[t.id] != t {
+	m.mu.Lock()
+	known := m.active[t.id] == t
+	m.mu.Unlock()
+	if !known {
 		panic(fmt.Sprintf("tx: unknown transaction %d", t.id))
 	}
 }

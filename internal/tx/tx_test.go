@@ -217,21 +217,41 @@ func TestOnCopyTranslatesUndoAddresses(t *testing.T) {
 	f.mem.WriteWord(0x100, 7, word.NilLSN)
 	tr := f.m.Begin()
 	f.m.Update(tr, 0x108, 0x108, w64(9), false) // slot at offset 8 of object at 0x100
-	// The collector moves the object [0x100, 0x120) to 0x900.
+	// The collector moves the object [0x100, 0x120) to 0x900, then chains
+	// a second move within the same or a later collection.
 	f.m.OnCopy(0x100, 0x900, 4)
-	if got := f.m.Translate(tr, 0x108); got != 0x908 {
-		t.Fatalf("translate = %v, want 0x908", got)
-	}
-	// Chained move within the same or a later collection.
 	f.m.OnCopy(0x900, 0x500, 4)
-	if got := f.m.Translate(tr, 0x108); got != 0x508 {
-		t.Fatalf("chained translate = %v, want 0x508", got)
-	}
 	// Abort writes the undo at the current location.
 	f.mem.WriteWord(0x508, 9, word.NilLSN)
 	f.m.Abort(tr)
 	if f.mem.ReadWord(0x508) != 0 {
 		t.Fatal("undo must target the translated address")
+	}
+}
+
+// TestUndoAddressReuseDoesNotAlias pins the from-space-reuse hazard: one
+// transaction updates an object at an address, the collector moves the
+// object away, the allocator reuses the address for a different object,
+// and the same transaction updates the new object at the same (logged)
+// address. Each record's undo must land on its own object — an
+// address-keyed translation map sends the second record's undo to the
+// first object's new location, corrupting both.
+func TestUndoAddressReuseDoesNotAlias(t *testing.T) {
+	f := newFixture()
+	f.mem.WriteWord(0x108, 1, word.NilLSN)
+	tr := f.m.Begin()
+	f.m.Update(tr, 0x100, 0x108, w64(11), false) // object X, slot 0x108
+	// X moves to [0x900, 0x920); the old range is reused by object Y.
+	f.m.OnCopy(0x100, 0x900, 4)
+	f.mem.WriteWord(0x908, 11, word.NilLSN)      // the collector carried X's bytes
+	f.mem.WriteWord(0x108, 2, word.NilLSN)       // Y's slot, pre-update value
+	f.m.Update(tr, 0x100, 0x108, w64(22), false) // same logged address, different object
+	f.m.Abort(tr)
+	if got := f.mem.ReadWord(0x908); got != 1 {
+		t.Fatalf("X's slot after undo = %d at 0x908, want 1", got)
+	}
+	if got := f.mem.ReadWord(0x108); got != 2 {
+		t.Fatalf("Y's slot after undo = %d at 0x108, want 2 (undo aliased to X's location)", got)
 	}
 }
 
@@ -337,8 +357,11 @@ func TestTableEntriesCarryUTT(t *testing.T) {
 	if len(entries) != 1 || entries[0].TxID != tr.ID() {
 		t.Fatalf("entries = %+v", entries)
 	}
-	if len(entries[0].UTT) != 1 || entries[0].UTT[0] != (wal.AddrPair{Orig: 0x100, Cur: 0x800}) {
+	if len(entries[0].UTT) != 1 {
 		t.Fatalf("UTT = %+v", entries[0].UTT)
+	}
+	if p := entries[0].UTT[0]; p.Orig != 0x100 || p.Cur != 0x800 || p.At == word.NilLSN {
+		t.Fatalf("UTT pair = %+v, want Orig 0x100 Cur 0x800 with a record LSN", p)
 	}
 	if entries[0].FirstLSN == word.NilLSN || entries[0].LastLSN < entries[0].FirstLSN {
 		t.Fatal("LSN bounds wrong")

@@ -16,6 +16,8 @@ package vm
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"stableheap/internal/storage"
 	"stableheap/internal/wal"
@@ -63,12 +65,25 @@ type page struct {
 	recLSN word.LSN // earliest LSN maybe not on disk; NilLSN if clean
 	dirty  bool     // any modification (logged or not) since last flush
 	pins   int
-	ref    bool // clock reference bit
+	// ref is the clock reference bit; atomic because lock-free cache hits
+	// set it while holding only the store's read lock.
+	ref atomic.Bool
 }
 
 // Store is the simulated one-level store.
+//
+// Concurrency: the store carries an internal RWMutex. Resident-page hits on
+// the byte/word access paths run under the read lock (the heap's sharded
+// action latch serializes same-page writers above this layer, and object
+// locks serialize same-object access); misses, eviction, flushing and every
+// structural operation take the write lock. Page protection (Protect/
+// Unprotect/EnsureAccessible) is NOT covered by the mutex: it is mutated
+// only by the collector while it holds the heap's stop latch exclusively,
+// which already orders it against all shared-path readers.
 type Store struct {
 	cfg   Config
+	mu    sync.RWMutex
+	hits  atomic.Int64 // cache hits; atomic so read-locked paths can count
 	disk  storage.PageStore
 	log   *wal.Manager
 	pages map[word.PageID]*page
@@ -114,21 +129,34 @@ func (s *Store) SetTrapHandler(h TrapHandler) { s.trap = h }
 func (s *Store) SetLogFetches(on bool) { s.cfg.LogFetches = on }
 
 // Stats returns accumulated counters.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.Hits = s.hits.Load()
+	return st
+}
 
 // ResetStats zeroes the counters.
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+	s.hits.Store(0)
+}
 
 // resident returns the cached page, fetching it from disk (or materializing
-// it zero-filled) if needed, possibly evicting another page first.
+// it zero-filled) if needed, possibly evicting another page first. The
+// store's write lock is held.
 func (s *Store) resident(id word.PageID) *page {
 	if p, ok := s.pages[id]; ok {
-		p.ref = true
-		s.stats.Hits++
+		p.ref.Store(true)
+		s.hits.Add(1)
 		return p
 	}
 	s.makeRoom()
-	p := &page{id: id, data: make([]byte, s.cfg.PageSize), ref: true}
+	p := &page{id: id, data: make([]byte, s.cfg.PageSize)}
+	p.ref.Store(true)
 	if data, lsn, ok := s.disk.ReadPage(id); ok {
 		copy(p.data, data)
 		p.lsn = lsn
@@ -172,8 +200,8 @@ func (s *Store) makeRoom() {
 			}
 			continue
 		}
-		if p.ref {
-			p.ref = false
+		if p.ref.Load() {
+			p.ref.Store(false)
 			s.hand++
 			if s.hand >= len(s.ring) {
 				s.hand = 0
@@ -214,6 +242,8 @@ func (s *Store) flushPage(p *page) {
 // FlushPage flushes the page if it is resident and dirty. Pinned pages may
 // not be flushed; attempting to is a bug in the caller.
 func (s *Store) FlushPage(id word.PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.pages[id]
 	if !ok {
 		return
@@ -229,8 +259,10 @@ func (s *Store) FlushPage(id word.PageID) {
 // to-space is durable before the from-space is freed — after that, redo
 // never needs to read a freed space (see gc's maybeFinish).
 func (s *Store) FlushRange(lo, hi word.Addr) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
-	for _, id := range s.ResidentPages() {
+	for _, id := range s.residentPagesLocked() {
 		base := id.Base(s.cfg.PageSize)
 		if base < lo || base >= hi {
 			continue
@@ -252,8 +284,10 @@ func (s *Store) FlushRange(lo, hi word.Addr) int {
 // recLSN lies below horizon: the checkpoint-driven page cleaner that keeps
 // the redo window bounded. Returns the number of pages written.
 func (s *Store) FlushOlderThan(horizon word.LSN) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
-	for _, id := range s.ResidentPages() {
+	for _, id := range s.residentPagesLocked() {
 		p := s.pages[id]
 		if p.pins > 0 || !p.dirty || p.recLSN == word.NilLSN || p.recLSN >= horizon {
 			continue
@@ -267,7 +301,9 @@ func (s *Store) FlushOlderThan(horizon word.LSN) int {
 // FlushAll flushes every dirty resident page (clean shutdown; also used by
 // tests and by the crash injector to model arbitrary flush orders).
 func (s *Store) FlushAll() {
-	for _, id := range s.ResidentPages() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.residentPagesLocked() {
 		p := s.pages[id]
 		if p.pins > 0 {
 			panic(fmt.Sprintf("vm: FlushAll found pinned page %d", id))
@@ -278,6 +314,12 @@ func (s *Store) FlushAll() {
 
 // ResidentPages returns the ids of cached pages in ascending order.
 func (s *Store) ResidentPages() []word.PageID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.residentPagesLocked()
+}
+
+func (s *Store) residentPagesLocked() []word.PageID {
 	ids := make([]word.PageID, 0, len(s.pages))
 	for id := range s.pages {
 		ids = append(ids, id)
@@ -290,8 +332,10 @@ func (s *Store) ResidentPages() []word.PageID {
 // modifications not yet on disk, with its recLSN. Pages dirtied only by
 // unlogged (volatile-object) writes are excluded — redo never needs them.
 func (s *Store) DirtyPages() []wal.DirtyPage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []wal.DirtyPage
-	for _, id := range s.ResidentPages() {
+	for _, id := range s.residentPagesLocked() {
 		p := s.pages[id]
 		if p.dirty && p.recLSN != word.NilLSN {
 			out = append(out, wal.DirtyPage{Page: id, RecLSN: p.recLSN})
@@ -304,6 +348,8 @@ func (s *Store) DirtyPages() []wal.DirtyPage {
 // the disk and the stable log survive (the log device is crashed
 // separately by the owner).
 func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pages = make(map[word.PageID]*page)
 	s.prot = make(map[word.PageID]struct{})
 	s.ring = nil
@@ -313,10 +359,16 @@ func (s *Store) Crash() {
 
 // Pin prevents the page from being evicted (and hence flushed by
 // replacement) until Unpin. Pins nest.
-func (s *Store) Pin(id word.PageID) { s.resident(id).pins++ }
+func (s *Store) Pin(id word.PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resident(id).pins++
+}
 
 // Unpin releases one pin.
 func (s *Store) Unpin(id word.PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.pages[id]
 	if !ok || p.pins == 0 {
 		panic(fmt.Sprintf("vm: unpin of unpinned page %d", id))
@@ -378,6 +430,26 @@ func (s *Store) EnsureAccessible(addr word.Addr, n int) {
 // barrier; callers acting for the mutator run EnsureAccessible first.
 func (s *Store) ReadBytes(addr word.Addr, n int) []byte {
 	out := make([]byte, n)
+	if n <= 0 {
+		return out
+	}
+	id := addr.Page(s.cfg.PageSize)
+	if (addr + word.Addr(n) - 1).Page(s.cfg.PageSize) == id {
+		// Fast path: a single resident page is read under the read lock.
+		// Byte-range exclusion is the caller's job (object locks).
+		s.mu.RLock()
+		if p, ok := s.pages[id]; ok {
+			pOff := int(addr) - int(id.Base(s.cfg.PageSize))
+			copy(out, p.data[pOff:pOff+n])
+			p.ref.Store(true)
+			s.hits.Add(1)
+			s.mu.RUnlock()
+			return out
+		}
+		s.mu.RUnlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	off := 0
 	for off < n {
 		id := (addr + word.Addr(off)).Page(s.cfg.PageSize)
@@ -392,22 +464,57 @@ func (s *Store) ReadBytes(addr word.Addr, n int) []byte {
 // WriteBytes stores data at addr. lsn is the log record covering the
 // modification: word.NilLSN marks an unlogged (volatile-object) write,
 // which dirties the page without advancing its page LSN.
+//
+// Concurrent writers to the SAME page must be serialized by the caller
+// (the heap's sharded action latch does this): the page LSN must track the
+// latest applied record and recLSN the earliest unflushed one, which only
+// holds if append order and apply order agree per page.
 func (s *Store) WriteBytes(addr word.Addr, data []byte, lsn word.LSN) {
+	n := len(data)
+	if n <= 0 {
+		return
+	}
+	id := addr.Page(s.cfg.PageSize)
+	if (addr + word.Addr(n) - 1).Page(s.cfg.PageSize) == id {
+		// Fast path: a single resident page is written under the read
+		// lock; the per-page latch above excludes same-page writers.
+		s.mu.RLock()
+		if p, ok := s.pages[id]; ok {
+			pOff := int(addr) - int(id.Base(s.cfg.PageSize))
+			copy(p.data[pOff:], data)
+			s.markWritten(p, lsn)
+			p.ref.Store(true)
+			s.hits.Add(1)
+			s.mu.RUnlock()
+			return
+		}
+		s.mu.RUnlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	off := 0
-	for off < len(data) {
+	for off < n {
 		id := (addr + word.Addr(off)).Page(s.cfg.PageSize)
 		p := s.resident(id)
 		pOff := int(addr+word.Addr(off)) - int(id.Base(s.cfg.PageSize))
 		c := copy(p.data[pOff:], data[off:])
 		off += c
-		p.dirty = true
-		if lsn != word.NilLSN {
-			if p.recLSN == word.NilLSN {
-				p.recLSN = lsn
-			}
-			if lsn > p.lsn {
-				p.lsn = lsn
-			}
+		s.markWritten(p, lsn)
+	}
+}
+
+// markWritten updates a page's dirty/LSN bookkeeping for a write covered
+// by lsn. recLSN keeps the MINIMUM unflushed LSN: a flush writes the page
+// contents including every applied record, so redo must start no later
+// than the earliest of them.
+func (s *Store) markWritten(p *page, lsn word.LSN) {
+	p.dirty = true
+	if lsn != word.NilLSN {
+		if p.recLSN == word.NilLSN || lsn < p.recLSN {
+			p.recLSN = lsn
+		}
+		if lsn > p.lsn {
+			p.lsn = lsn
 		}
 	}
 }
@@ -415,6 +522,17 @@ func (s *Store) WriteBytes(addr word.Addr, data []byte, lsn word.LSN) {
 // ReadWord loads the word at addr (no barrier).
 func (s *Store) ReadWord(addr word.Addr) uint64 {
 	id := addr.Page(s.cfg.PageSize)
+	s.mu.RLock()
+	if p, ok := s.pages[id]; ok {
+		v := word.GetWord(p.data, int(addr-id.Base(s.cfg.PageSize)))
+		p.ref.Store(true)
+		s.hits.Add(1)
+		s.mu.RUnlock()
+		return v
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p := s.resident(id)
 	return word.GetWord(p.data, int(addr-id.Base(s.cfg.PageSize)))
 }
@@ -429,6 +547,8 @@ func (s *Store) WriteWord(addr word.Addr, w uint64, lsn word.LSN) {
 // PageLSN returns the resident page's LSN, or the disk page LSN if not
 // resident (used by redo conditioning).
 func (s *Store) PageLSN(id word.PageID) word.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if p, ok := s.pages[id]; ok {
 		return p.lsn
 	}
@@ -441,8 +561,10 @@ func (s *Store) PageLSN(id word.PageID) word.LSN {
 // freed range). The dropped pages' dirty entries are returned for
 // inspection by tests.
 func (s *Store) DiscardRange(lo, hi word.Addr) []wal.DirtyPage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var ghosts []wal.DirtyPage
-	for _, id := range s.ResidentPages() {
+	for _, id := range s.residentPagesLocked() {
 		base := id.Base(s.cfg.PageSize)
 		if base < lo || base >= hi {
 			continue
@@ -472,6 +594,8 @@ func (s *Store) DiscardRange(lo, hi word.Addr) []wal.DirtyPage {
 // record is skipped because the disk page already reflects it, so the
 // cached page's LSN must still advance past the record.
 func (s *Store) SetPageLSNForRecovery(id word.PageID, lsn word.LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p := s.resident(id)
 	if lsn > p.lsn {
 		p.lsn = lsn

@@ -243,6 +243,7 @@ func encodeCheckpoint(e *enc, c CheckpointRec) {
 		e.u64(uint64(tx.UndoNext))
 		e.u64(uint64(len(tx.UTT)))
 		for _, p := range tx.UTT {
+			e.u64(uint64(p.At))
 			e.u64(uint64(p.Orig))
 			e.u64(uint64(p.Cur))
 		}
@@ -465,7 +466,7 @@ func (d *decoder) checkpoint() CheckpointRec {
 		}
 		nu := d.u64()
 		for j := uint64(0); j < nu && d.err == nil; j++ {
-			tx.UTT = append(tx.UTT, AddrPair{Orig: word.Addr(d.u64()), Cur: word.Addr(d.u64())})
+			tx.UTT = append(tx.UTT, AddrPair{At: word.LSN(d.u64()), Orig: word.Addr(d.u64()), Cur: word.Addr(d.u64())})
 		}
 		c.Txs = append(c.Txs, tx)
 	}

@@ -22,7 +22,17 @@ var ErrTruncated = errors.New("wal: LSN below the truncation point")
 // Force makes a prefix stable. Per-type volume counters feed the logging
 // overhead experiments (E6); always-on latency histograms over Append and
 // Force feed the logging-overhead distributions.
+//
+// The manager owns the WAL latch: Append/Force and the cursor and
+// truncation methods serialize on an internal mutex, so concurrent
+// transactions append and force without any coarser heap latch (group
+// commit absorbs the force). Scan and ScanBatch are the deliberate
+// exception — they stay unsynchronized because redo work inside a scan
+// callback may itself force the log (page eviction), which would deadlock
+// on a held manager mutex; they are only called from single-threaded
+// contexts (recovery, tooling, quiesced experiments).
 type Manager struct {
+	mu     sync.Mutex // serializes device access (see doc above)
 	dev    storage.LogDevice
 	count  [maxType]int64
 	bytes  [maxType]int64
@@ -56,19 +66,32 @@ func (m *Manager) Append(r Record) word.LSN {
 	start := time.Now()
 	eb := encPool.Get().(*encBuf)
 	frame := AppendEncode(eb.b[:0], r)
-	lsn := m.dev.Append(frame)
-	m.count[r.Type()]++
-	m.bytes[r.Type()] += int64(len(frame))
+	lsn := m.appendLocked(frame, r.Type())
 	eb.b = frame
 	encPool.Put(eb)
 	m.append.Since(start)
 	return lsn
 }
 
+// appendLocked is the mutex-held device section of Append, deferred so a
+// fault-injection panic from the device cannot leak the WAL latch.
+func (m *Manager) appendLocked(frame []byte, t Type) word.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lsn := m.dev.Append(frame)
+	m.count[t]++
+	m.bytes[t] += int64(len(frame))
+	return lsn
+}
+
 // Force synchronously writes the log through lsn to stable storage.
 func (m *Manager) Force(lsn word.LSN) {
 	start := time.Now()
-	m.dev.Force(lsn)
+	func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.dev.Force(lsn)
+	}()
 	d := time.Since(start)
 	m.force.Observe(uint64(d))
 	m.tr.Complete("wal", "force", start, d)
@@ -77,7 +100,11 @@ func (m *Manager) Force(lsn word.LSN) {
 // ForceAll forces the entire volatile tail.
 func (m *Manager) ForceAll() {
 	start := time.Now()
-	m.dev.ForceAll()
+	func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.dev.ForceAll()
+	}()
 	d := time.Since(start)
 	m.force.Observe(uint64(d))
 	m.tr.Complete("wal", "force-all", start, d)
@@ -93,13 +120,49 @@ func (m *Manager) ForceHist() obs.HistSnapshot { return m.force.Snapshot() }
 func (m *Manager) SetTrace(t *obs.Trace) { m.tr = t }
 
 // StableLSN returns the first LSN not guaranteed durable.
-func (m *Manager) StableLSN() word.LSN { return m.dev.StableLSN() }
+func (m *Manager) StableLSN() word.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dev.StableLSN()
+}
 
 // EndLSN returns the LSN the next record will receive.
-func (m *Manager) EndLSN() word.LSN { return m.dev.EndLSN() }
+func (m *Manager) EndLSN() word.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dev.EndLSN()
+}
 
 // IsStable reports whether the record at lsn is durable.
-func (m *Manager) IsStable(lsn word.LSN) bool { return m.dev.IsStable(lsn) }
+func (m *Manager) IsStable(lsn word.LSN) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dev.IsStable(lsn)
+}
+
+// DeviceStats returns the device traffic counters under the WAL latch, so
+// metrics snapshots do not race a concurrent group-commit force.
+func (m *Manager) DeviceStats() storage.LogStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dev.Stats()
+}
+
+// CloneDevice deep-copies the log device under the WAL latch (base
+// backups run while the group-commit flusher may be forcing).
+func (m *Manager) CloneDevice() storage.LogDevice {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dev.Clone()
+}
+
+// CrashDevice drops the device's volatile tail under the WAL latch, so a
+// simulated crash serializes against in-flight shipping scans and forces.
+func (m *Manager) CrashDevice() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dev.Crash()
+}
 
 // ReadAt decodes the record at lsn. An LSN below the truncation point
 // returns an error wrapping ErrTruncated (the record is gone, not
@@ -107,6 +170,8 @@ func (m *Manager) IsStable(lsn word.LSN) bool { return m.dev.IsStable(lsn) }
 // storage.CorruptFrameError (match with errors.Is(err,
 // storage.ErrCorrupt)); any other failure means no record starts at lsn.
 func (m *Manager) ReadAt(lsn word.LSN) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	frame, ok := m.dev.ReadAt(lsn)
 	if !ok {
 		if lsn < m.dev.TruncLSN() {
@@ -178,7 +243,9 @@ func (m *Manager) ScanBatch(from word.LSN, stableOnly bool, batchSize int, fn fu
 // not acknowledged past a floor keeps its resume window alive no matter how
 // far checkpoints advance.
 func (m *Manager) Truncate(keep word.LSN) {
-	if f := m.RetainFloor(); f != word.NilLSN && f < keep {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.retainFloorLocked(); f != word.NilLSN && f < keep {
 		keep = f
 	}
 	if keep <= m.dev.TruncLSN() {
@@ -192,6 +259,8 @@ func (m *Manager) Truncate(keep word.LSN) {
 // Floors deliberately survive connection loss — a disconnected standby's
 // resume window must not be reclaimed while it is reconnecting.
 func (m *Manager) SetRetainFloor(owner string, lsn word.LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.retain == nil {
 		m.retain = make(map[string]word.LSN)
 	}
@@ -199,10 +268,20 @@ func (m *Manager) SetRetainFloor(owner string, lsn word.LSN) {
 }
 
 // ClearRetainFloor removes owner's retention floor.
-func (m *Manager) ClearRetainFloor(owner string) { delete(m.retain, owner) }
+func (m *Manager) ClearRetainFloor(owner string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.retain, owner)
+}
 
 // RetainFloor returns the lowest registered retention floor (NilLSN if none).
 func (m *Manager) RetainFloor() word.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retainFloorLocked()
+}
+
+func (m *Manager) retainFloorLocked() word.LSN {
 	min := word.NilLSN
 	for _, lsn := range m.retain {
 		if min == word.NilLSN || lsn < min {
@@ -224,6 +303,8 @@ func (m *Manager) RetainFloor() word.LSN {
 // below the truncation point returns an error wrapping ErrTruncated (the
 // resume point is unserviceable — the standby needs a fresh base backup).
 func (m *Manager) CopyStableTail(from word.LSN, maxBytes int) ([]byte, word.LSN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if from < m.dev.TruncLSN() {
 		return nil, from, fmt.Errorf("wal: cannot ship from LSN %d (truncation point %d): %w",
 			from, m.dev.TruncLSN(), ErrTruncated)
@@ -261,6 +342,8 @@ func (m *Manager) CopyStableTail(from word.LSN, maxBytes int) ([]byte, word.LSN,
 // TypeStats reports how many records of type t were appended and their
 // total framed bytes.
 func (m *Manager) TypeStats(t Type) (count, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.count[t], m.bytes[t]
 }
 
@@ -268,6 +351,8 @@ func (m *Manager) TypeStats(t Type) (count, bytes int64) {
 // collector records, stability-tracking records, and bookkeeping. This is
 // the breakdown of experiment E6.
 func (m *Manager) VolumeByClass() (txBytes, gcBytes, trackBytes, bookBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for t := Type(1); t < maxType; t++ {
 		b := m.bytes[t]
 		switch t {
@@ -286,6 +371,8 @@ func (m *Manager) VolumeByClass() (txBytes, gcBytes, trackBytes, bookBytes int64
 
 // ResetStats zeroes the per-type counters (device stats are separate).
 func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.count = [maxType]int64{}
 	m.bytes = [maxType]int64{}
 }

@@ -420,8 +420,14 @@ type DirtyPage struct {
 	RecLSN word.LSN
 }
 
-// AddrPair is an (original, current) address translation, used by the UTT.
+// AddrPair is one undo address translation carried by a checkpointed
+// transaction entry: the address a record logged, the slot's current
+// location as of the checkpoint, and the record's LSN. At identifies the
+// entry — one transaction can log the same address twice for different
+// objects (from-space reuse across collections), so address alone is
+// ambiguous; recovery's translate looks the seed up by (At, Orig).
 type AddrPair struct {
+	At   word.LSN
 	Orig word.Addr
 	Cur  word.Addr
 }
