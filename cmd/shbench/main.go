@@ -7,7 +7,7 @@
 //	shbench all
 //	shbench e4 e7
 //	shbench list
-//	shbench json [path]    # machine-readable suite (default BENCH_1.json)
+//	shbench json [path]    # machine-readable suite (default BENCH_6.json)
 package main
 
 import (
@@ -36,7 +36,7 @@ func main() {
 		fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	case "json":
-		path := "BENCH_1.json"
+		path := "BENCH_6.json"
 		if len(args) > 1 {
 			path = args[1]
 		}
@@ -77,7 +77,10 @@ func list() {
   e12  correctness: crash-matrix soundness sweep
   e13  extension: group commit (forces per commit, throughput)
   e14  ablation: content-free vs content-carrying copy records
-  e15  extension: log space bounded by truncation`)
+  e15  extension: log space bounded by truncation
+  e16  extension: log-shipping failover time vs replication lag
+  e18  extension: multi-core transaction-path scaling
+  e19  extension: nursery + mostly-concurrent volatile GC pauses`)
 }
 
 func usage() {

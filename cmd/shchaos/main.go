@@ -17,14 +17,20 @@
 // Usage:
 //
 //	shchaos [-seeds n | -seed n] [-steps n] [-crashes n] [-flush f]
-//	        [-midgc] [-repl] [-scenario default|concurrent] [-mutators n]
-//	        [-shrink] [-json]
+//	        [-midgc] [-repl] [-scenario default|concurrent|nursery]
+//	        [-mutators n] [-shrink] [-json]
 //
 // -scenario concurrent adds a concurrent mutator burst to every round:
 // goroutines increment disjoint counters while the stable collector runs,
 // each burst's history is checked for conflict serializability, and the
 // post-crash audit pins every counter to its last acknowledged commit.
 // -mutators overrides the burst width (default 4).
+//
+// -scenario nursery runs the heap with a small nursery and the
+// mostly-concurrent volatile collector: every round commits chains of
+// nursery-born objects, forces a minor collection with faults armed, and
+// crashes with a concurrent scan in flight; the post-crash audit replays
+// each acknowledged chain node by node.
 //
 // Exit status: 0 = no violations, 1 = violations found, 2 = bad usage.
 package main
@@ -74,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flush := fs.Float64("flush", 0.5, "fraction of resident pages flushed before each crash")
 	midGC := fs.Bool("midgc", false, "leave an incremental stable collection in flight at crashes")
 	repl := fs.Bool("repl", false, "end each seed with a primary/standby failover round")
-	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver) or concurrent (adds goroutine mutator bursts)")
+	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver), concurrent (adds goroutine mutator bursts) or nursery (generational + mostly-concurrent volatile GC under faults)")
 	mutators := fs.Int("mutators", 0, "concurrent mutator goroutines per burst (0 = scenario default)")
 	shrink := fs.Bool("shrink", false, "greedily minimize the fault plan of each violating seed")
 	asJSON := fs.Bool("json", false, "print the verdict matrix and per-seed results as JSON")
@@ -96,8 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if sc.Mutators <= 0 {
 			sc.Mutators = 4
 		}
+	case "nursery":
+		sc.Nursery = true
 	default:
-		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default or concurrent)\n", *scenario)
+		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default, concurrent or nursery)\n", *scenario)
 		return 2
 	}
 

@@ -4,7 +4,11 @@
 // a second burst against the recovered heap — with a warm log-shipping
 // standby attached so the replication counters, apply latencies and lag
 // gauges populate too — and then prints the unified metrics snapshot —
-// every counter plus p50/p90/p99/max for every latency histogram.
+// every counter plus p50/p90/p99/max for every latency histogram. The
+// volatile area runs with the nursery generation and the mostly-concurrent
+// collector enabled, and the human summary closes with the derived
+// generational/concurrent story: promotion rate, write-barrier hit counts,
+// and the pause percentiles of each collection flavor.
 //
 // Usage:
 //
@@ -62,6 +66,11 @@ func body(ops, accounts int, asJSON, asProm bool, tracePath, serveAddr string, s
 	cfg.StableWords = 64 * 1024
 	cfg.VolatileWords = 16 * 1024
 	cfg.GroupCommitWindow = 200 * time.Microsecond
+	// Run the volatile area the way a latency-sensitive deployment would:
+	// nursery on (the default) and full collections mostly-concurrent, so
+	// the vgc_nursery_* and vgc_conc_* metrics populate and the summary can
+	// show the generational/concurrent pause story.
+	cfg.ConcurrentVGC = true
 	// Tracing is the one opt-in: turn it on whenever its output is wanted.
 	cfg.Trace = tracePath != "" || serveAddr != ""
 
@@ -117,6 +126,14 @@ func body(ops, accounts int, asJSON, asProm bool, tracePath, serveAddr string, s
 		return err
 	}
 	for h.StepStable() {
+	}
+	// The transfer mix never allocates, so it leaves the generational
+	// machinery idle; a volatile session-cache churn phase fills the
+	// nursery (minor collections, promotion) and overlaps a
+	// mostly-concurrent full collection with committing mutators (SATB
+	// grays, read-barrier transports).
+	if err := volatileChurn(h, 1500); err != nil {
+		return err
 	}
 	total, err := bank.Total()
 	if err != nil {
@@ -174,6 +191,72 @@ func body(ops, accounts int, asJSON, asProm bool, tracePath, serveAddr string, s
 	return nil
 }
 
+// volatileChurn runs a session-cache workload against the volatile area:
+// every op commits a fresh small object into a rolling volatile root
+// (killing the previous one — classic fast-dying churn), and every fourth
+// op parks a short chain in a ring whose entries outlive a minor
+// collection, so survivors promote into the aged space and the
+// generational write barrier fires on each park. Halfway through, a full
+// collection starts; under ConcurrentVGC its copying scan overlaps the
+// remaining commits (each commit assists by one quantum), firing the SATB
+// deletion barrier and the read-barrier transport path.
+func volatileChurn(h *stableheap.Heap, ops int) error {
+	const ringSlots = 32
+	tx := h.Begin()
+	ring, err := tx.Alloc(200, ringSlots, 0)
+	if err != nil {
+		return err
+	}
+	if err := tx.SetVolRoot(30, ring); err != nil {
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	for op := 0; op < ops; op++ {
+		if op == ops/2 {
+			if _, err := h.CollectVolatile(); err != nil {
+				return err
+			}
+		}
+		tx := h.Begin()
+		n, err := tx.Alloc(201, 1, 9)
+		if err != nil {
+			return err
+		}
+		if err := tx.SetData(n, 0, uint64(op)); err != nil {
+			return err
+		}
+		if op%4 == 0 {
+			var head *stableheap.Ref
+			for k := 0; k < 3; k++ {
+				c, err := tx.Alloc(202, 1, 1)
+				if err != nil {
+					return err
+				}
+				if err := tx.SetPtr(c, 0, head); err != nil {
+					return err
+				}
+				head = c
+			}
+			ring, err := tx.VolRoot(30)
+			if err != nil {
+				return err
+			}
+			if err := tx.SetPtr(ring, (op/4)%ringSlots, head); err != nil {
+				return err
+			}
+		}
+		if err := tx.SetVolRoot(31, n); err != nil {
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // printSummary renders the snapshot for humans: counters alphabetically,
 // then every histogram as count / p50 / p90 / p99 / max.
 func printSummary(w io.Writer, m stableheap.Metrics) {
@@ -204,5 +287,44 @@ func printSummary(w io.Writer, m stableheap.Metrics) {
 			fmt.Fprintf(w, "  %-34s %6d  %10d %10d %10d %10d\n", n, h.Count,
 				h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max)
 		}
+	}
+	printVGCSummary(w, m)
+}
+
+// printVGCSummary derives the generational/concurrent volatile-GC story
+// from the raw counters — the questions an operator tuning NurseryBytes or
+// weighing ConcurrentVGC actually asks: what fraction of nursery
+// allocation survived to promotion, how often each write barrier fired,
+// and what the concurrent collector's stop-the-world slices (the flip and
+// each scan quantum) cost next to a full stop-the-world pause.
+func printVGCSummary(w io.Writer, m stableheap.Metrics) {
+	alloc := m.Counters["vgc_nursery_alloc_words_total"]
+	if alloc == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\nvolatile gc (generational + mostly-concurrent):")
+	fmt.Fprintf(w, "  collections: %d minor, %d full (%d concurrent)\n",
+		m.Counters["vgc_nursery_minor_total"],
+		m.Counters["vgc_collections_total"],
+		m.Counters["vgc_conc_collections_total"])
+	promoted := m.Counters["vgc_nursery_promoted_words_total"]
+	fmt.Fprintf(w, "  promotion rate: %.1f%% (%d of %d nursery-allocated words survived a minor collection)\n",
+		100*float64(promoted)/float64(alloc), promoted, alloc)
+	fmt.Fprintf(w, "  barrier hits: %d generational (aged slot -> nursery), %d SATB gray, %d read-barrier transports\n",
+		m.Counters["vgc_nursery_barrier_hits_total"],
+		m.Counters["vgc_conc_satb_gray_total"],
+		m.Counters["vgc_conc_transports_total"])
+	for _, p := range []struct{ label, hist string }{
+		{"full-collection pause", "vgc_pause_ns"},
+		{"minor pause", "vgc_minor_pause_ns"},
+		{"concurrent flip pause", "vgc_conc_flip_pause_ns"},
+		{"concurrent scan quantum", "vgc_conc_quantum_ns"},
+	} {
+		h, ok := m.Histograms[p.hist]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-26s p50 %v / p99 %v / max %v over %d\n",
+			p.label+":", h.QuantileDur(0.5), h.QuantileDur(0.99), h.MaxDur(), h.Count)
 	}
 }

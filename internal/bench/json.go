@@ -38,6 +38,14 @@ type JSONReport struct {
 	// Scaling is the E18 multi-core transaction-path scaling table
 	// (sharded latch + group commit over a slow-force log).
 	Scaling *Table `json:"scaling,omitempty"`
+	// Pauses is the E3 stable-GC pause-vs-live-set table (stop-the-world
+	// vs incremental), tracked so pause regressions show up in the
+	// checked-in trajectory.
+	Pauses *Table `json:"pauses,omitempty"`
+	// Nursery is the E19 nursery + mostly-concurrent volatile GC table
+	// (max volatile-GC pause and allocation throughput across baseline,
+	// nursery, nursery+concurrent).
+	Nursery *Table `json:"nursery,omitempty"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -195,6 +203,10 @@ func WriteJSON(path string) error {
 	report.Metrics.Merge(replMetrics)
 	scaling := E18Scaling()
 	report.Scaling = &scaling
+	pauses := E3Pauses()
+	report.Pauses = &pauses
+	nursery := E19Nursery()
+	report.Nursery = &nursery
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"runtime"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/word"
+)
+
+// The mostly-concurrent volatile collection driver (Config.ConcurrentVGC).
+//
+// collectVolatile performs the stop-the-world flip (gc.StartConcurrent:
+// roots, remembered-set fixes, every LS move — all the logged work) and
+// then hands the unlogged copying scan to a goroutine started here. The
+// scanner runs one quantum at a time under the gate held exclusively, so
+// mutators are never blocked for longer than one quantum and the stop
+// latch is not involved at all. Any exclusive section that needs the scan
+// gone (a stable flip, the next volatile collection, Close) retires it
+// inline via finishConcurrentLocked.
+
+// cvgcQuantumWords bounds the words scanned per collector-goroutine (or
+// commit-assist) quantum — small enough that a mutator blocked on the
+// gate (or assisting inline) waits a few hundred microseconds at worst,
+// even counting the evacuations a scanned object can trigger through the
+// word-at-a-time page-table read path, large enough to amortize the gate
+// handoff. The scan is slot-granular: an object wider than the remaining
+// budget pauses mid-object and resumes at the next quantum.
+const cvgcQuantumWords = 256
+
+// startConcurrentScan publishes the scan (cvgcOn) and starts the collector
+// goroutine. Called with the stop latch held exclusively, right after
+// gc.StartConcurrent; the gate is acquired here if this exclusive section
+// does not hold it yet, so the scanner cannot run before the section ends.
+func (hp *Heap) startConcurrentScan() {
+	hp.cvgcOn.Store(true)
+	if !hp.gateHeldExcl {
+		hp.gate.Lock()
+		hp.gateHeldExcl = true
+	}
+	if hp.cfg.ConcVGCManualScan {
+		return // paced explicitly via StepVolatileScan
+	}
+	hp.scanWG.Add(1)
+	go hp.scanLoop(hp.vgc.Epoch())
+}
+
+// StepVolatileScan advances an in-flight concurrent scan by one quantum
+// from the calling goroutine (Config.ConcVGCManualScan mode, where no
+// collector goroutine exists). It reports whether scan work remains; the
+// caller retires a drained scan with FinishVolatileScan, or leaves it in
+// flight (a crash mid-scan is a valid state — the flip was logged, the
+// scan was not). A no-op returning false when no scan is active.
+func (hp *Heap) StepVolatileScan() bool {
+	if !hp.cvgcOn.Load() {
+		return false
+	}
+	hp.gate.Lock()
+	defer hp.gate.Unlock()
+	if !hp.vgc.ConcurrentActive() {
+		return false
+	}
+	hp.drainGrayLocked()
+	return hp.vgc.ScanQuantum(cvgcQuantumWords)
+}
+
+// assistVolatileScan lets a mutator that just committed advance an
+// in-flight concurrent scan by one quantum (all latches already
+// released). On a multi-core host the collector goroutine does nearly
+// all the work and the assist is a cheap atomic load; with GOMAXPROCS=1
+// the goroutine is starved by a busy mutator, and without the assist
+// every scan would be drained inline by the next exclusive section — a
+// stop-the-world pause in disguise. Manual pacing mode opts out: there
+// the harness owns every scan step.
+func (hp *Heap) assistVolatileScan() {
+	if !hp.cvgcOn.Load() || hp.cfg.ConcVGCManualScan {
+		return
+	}
+	if hp.StepVolatileScan() {
+		return
+	}
+	// No scan work left: retire the collection now instead of waiting for
+	// the collector goroutine (starved for whole scheduler slices on a
+	// uniprocessor) — every volatile load pays the read barrier until
+	// retirement, and the aged space keeps the copy reserve off limits.
+	hp.lockExclusive()
+	hp.finishConcurrentLocked()
+	hp.unlockExclusive()
+}
+
+// scanLoop is the collector goroutine: it advances the scan in gate-sized
+// quanta and then retires the collection. epoch identifies the collection
+// it serves — if an exclusive section finished it inline (and possibly
+// started a newer one), the loop exits without touching anything.
+func (hp *Heap) scanLoop(epoch uint64) {
+	defer hp.scanWG.Done()
+	// A device fault injected under the scanner (internal/faultfs)
+	// surfaces as a typed panic; the scan simply stops — the next
+	// mutator to need the collection finished will run into the fault
+	// in a context that can report it.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := storage.AsDeviceError(r); !ok {
+				panic(r)
+			}
+		}
+	}()
+	for {
+		more := func() bool {
+			hp.gate.Lock()
+			defer hp.gate.Unlock()
+			if !hp.vgc.ConcurrentActive() || hp.vgc.Epoch() != epoch {
+				return false
+			}
+			hp.drainGrayLocked()
+			if hp.vgc.ScanQuantum(cvgcQuantumWords) {
+				return true
+			}
+			return false
+		}()
+		if !more {
+			break
+		}
+		runtime.Gosched()
+	}
+	hp.tryFinishConcurrent(epoch)
+}
+
+// tryFinishConcurrent retires the collection if it is still the one the
+// scanner was serving.
+func (hp *Heap) tryFinishConcurrent(epoch uint64) {
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	if hp.vgc.ConcurrentActive() && hp.vgc.Epoch() == epoch {
+		hp.finishConcurrentLocked()
+	}
+}
+
+// finishConcurrentLocked retires an in-flight concurrent scan inline:
+// remaining copies drain, from-space is discarded, and the deferred
+// stable-GC trigger is re-checked. Called with the stop latch held
+// exclusively; a no-op when no scan is active.
+func (hp *Heap) finishConcurrentLocked() {
+	if hp.vgc == nil || !hp.vgc.ConcurrentActive() {
+		return
+	}
+	hp.drainGrayLocked()
+	hp.vgc.FinishConcurrent()
+	hp.cvgcOn.Store(false)
+	hp.maybeStartStableGC()
+}
+
+// abandonConcurrentLocked forgets an in-flight scan without touching
+// memory — the crash path.
+func (hp *Heap) abandonConcurrentLocked() {
+	if hp.vgc == nil || !hp.vgc.ConcurrentActive() {
+		return
+	}
+	hp.grayMu.Lock()
+	hp.grayQ = nil
+	hp.grayMu.Unlock()
+	hp.vgc.AbandonConcurrent()
+	hp.cvgcOn.Store(false)
+}
+
+// volLoad is the mostly-concurrent read barrier: during a concurrent scan
+// every volatile pointer load is transported out of from-space, so
+// mutators never observe — and never store — a from-space address after
+// the flip.
+func (hp *Heap) volLoad(p word.Addr) word.Addr {
+	if p.IsNil() || !hp.cvgcOn.Load() {
+		return p
+	}
+	return hp.vgc.Transport(p)
+}

@@ -67,6 +67,27 @@ type Config struct {
 	// VolatileWords is the size of each volatile semispace in words
 	// (default 16Ki words). Ignored when Divided is false.
 	VolatileWords int
+	// NurseryBytes sizes the nursery generation: a small unlogged space
+	// where new volatile objects are born; minor collections copy
+	// survivors into the aged semispace (or, for newly stable objects,
+	// the stable area) and reset the nursery wholesale. 0 picks the
+	// default — 256 KiB, an L2-cache-sized nursery in the CertiCoq
+	// style, clamped to half a volatile semispace — and a negative value
+	// disables the nursery. Ignored when Divided is false.
+	NurseryBytes int
+	// ConcurrentVGC makes full volatile collections mostly-concurrent:
+	// the stop latch is held only for the flip (roots, remembered-set
+	// fixes, logged LS evacuations) while the copying scan runs in
+	// quanta on a collector goroutine behind a read barrier and a
+	// snapshot-at-the-beginning deletion barrier. Requires Divided.
+	ConcurrentVGC bool
+	// ConcVGCManualScan suppresses the collector goroutine: an in-flight
+	// concurrent scan advances only through StepVolatileScan and the
+	// inline retirement points (the next collection, a stable flip,
+	// Close). Deterministic harnesses (chaos replay) use this to pace the
+	// scan from the seed instead of the goroutine scheduler, so runs stay
+	// bit-identical. Meaningless without ConcurrentVGC.
+	ConcVGCManualScan bool
 	// Divided enables the stable/volatile split of Chapter 5. When
 	// false, every object lives in the stable area and every update is
 	// logged (the Chapters 3–4 configuration, used as the E9 baseline).
@@ -160,6 +181,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// defaultNurseryBytes sizes the nursery to a typical L2 cache, the
+// CertiCoq heuristic: minor collections then run mostly in cache.
+const defaultNurseryBytes = 256 << 10
+
+// nurseryWords resolves the configured nursery size to words (0 when the
+// nursery is disabled): the default applies at 0, the size is clamped to
+// half a volatile semispace (the aged space must be able to absorb a full
+// nursery during a concurrent scan), and rounded down to whole pages.
+func (c Config) nurseryWords() int {
+	if !c.Divided || c.NurseryBytes < 0 {
+		return 0
+	}
+	b := c.NurseryBytes
+	if b == 0 {
+		b = defaultNurseryBytes
+	}
+	if max := word.WordsToBytes(c.VolatileWords) / 2; b > max {
+		b = max
+	}
+	if b < c.PageSize {
+		b = c.PageSize
+	}
+	b -= b % c.PageSize
+	return word.BytesToWords(b)
+}
+
 // DefaultConfig is a small divided heap with the Ellis incremental
 // collector — the paper's recommended configuration.
 func DefaultConfig() Config {
@@ -194,6 +241,26 @@ type Heap struct {
 	shards []sync.Mutex
 	coarse atomic.Bool
 
+	// The concurrent-collection gate (latch.go): while a mostly-
+	// concurrent volatile scan is in flight (cvgcOn), ordinary actions
+	// additionally hold gate shared and the collector goroutine runs its
+	// quanta under gate exclusive — so copying excludes mutators without
+	// ever taking the stop latch. cvgcOn only transitions with stop held
+	// exclusively. gateHeldExcl tracks whether the current exclusive
+	// section acquired the gate (single-writer under stop). scanWG joins
+	// the collector goroutine on Close/Crash.
+	gate         sync.RWMutex
+	gateHeldExcl bool
+	cvgcOn       atomic.Bool
+	scanWG       sync.WaitGroup
+
+	// grayQ is the snapshot-at-the-beginning gray stack: volatile
+	// pointer values overwritten during a concurrent scan. They are
+	// evacuated at the next exclusive section or scan quantum — always
+	// before any abort could restore them into a scanned object.
+	grayMu sync.Mutex
+	grayQ  []word.Addr
+
 	// rootObj is the current address of the stable root object (an
 	// object with NumRoots pointer fields living in the stable area).
 	rootObj word.Addr
@@ -203,12 +270,17 @@ type Heap struct {
 
 	// ls is the LS set: newly stable objects still at volatile
 	// addresses. srem is the stable→volatile remembered set: stable-area
-	// slots holding volatile pointers. ls is only touched in exclusive
-	// sections; srem is additionally written by concurrent shared update
-	// actions (through the OnStableSlotWrite hook), so remMu guards it.
+	// slots holding volatile pointers. nrem is the nursery remembered
+	// set: aged volatile slots holding nursery pointers (stable slots
+	// holding nursery pointers are covered by srem, since the nursery is
+	// part of the volatile area). ls is only touched in exclusive
+	// sections; srem and nrem are additionally written by concurrent
+	// shared update actions (through the write-barrier hooks) and
+	// rebased by the read barrier's copies, so remMu guards both.
 	ls    map[word.Addr]bool
 	remMu sync.Mutex
 	srem  map[word.Addr]bool
+	nrem  map[word.Addr]bool
 
 	// candidates collects, per transaction, the targets of pointer
 	// stores into stable state, for commit-time stability tracking.
@@ -229,9 +301,10 @@ type Heap struct {
 	met heapMetrics
 	tr  *obs.Trace
 
-	// area bounds
+	// area bounds (nurLo/nurHi are zero when the nursery is disabled)
 	stableLo, stableHi word.Addr
 	volLo, volHi       word.Addr
+	nurLo, nurHi       word.Addr
 
 	lastRecovery *recovery.Result
 }
@@ -273,6 +346,7 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 		shards:     make([]sync.Mutex, cfg.LatchShards),
 		ls:         make(map[word.Addr]bool),
 		srem:       make(map[word.Addr]bool),
+		nrem:       make(map[word.Addr]bool),
 		candidates: make(map[word.TxID][]*tx.Handle),
 	}
 
@@ -283,11 +357,16 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 		// Keep areas page aligned.
 		hp.volLo = alignUp(hp.stableHi, cfg.PageSize)
 		hp.volHi = hp.volLo + word.Addr(word.WordsToBytes(2*cfg.VolatileWords))
+		if nw := cfg.nurseryWords(); nw > 0 {
+			hp.nurLo = alignUp(hp.volHi, cfg.PageSize)
+			hp.nurHi = hp.nurLo + word.Addr(word.WordsToBytes(nw))
+		}
 	}
 
 	hp.txm = tx.NewManager(log, mem, h, locks, tx.Env{
-		VolatilePred:      hp.inVolatile,
-		OnStableSlotWrite: hp.onStableSlotWrite,
+		VolatilePred:       hp.inVolatile,
+		OnStableSlotWrite:  hp.onStableSlotWrite,
+		OnVolatilePtrWrite: hp.onVolatilePtrWrite,
 	})
 
 	hp.sgc = gc.New(gc.Config{
@@ -316,9 +395,13 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 	if cfg.Divided {
 		hp.vgc = gc.NewVolatile(mem, h, log, hp.volLo, hp.volHi)
 		hp.vgc.SetTrace(hp.tr)
+		if hp.nurLo != 0 {
+			hp.vgc.SetNursery(hp.nurLo, hp.nurHi)
+		}
 		hp.vgc.SetHooks(gc.VolatileHooks{
 			ForEachRoot:       hp.forEachVolatileRoot,
 			StableSlots:       hp.stableSlots,
+			NewlyStable:       hp.newlyStable,
 			AllocStable:       hp.allocStableForMove,
 			OnCopy:            hp.onCopy,
 			OnMoveStable:      hp.onMoveStable,
@@ -327,6 +410,7 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 		hp.track = stability.New(h, hp.txm, locks, stability.Env{
 			InVolatile: hp.inVolatile,
 			AddLS:      func(a word.Addr) { hp.ls[a] = true },
+			Forward:    hp.volLoad,
 		})
 	}
 	if cfg.GroupCommitWindow > 0 {
@@ -379,7 +463,26 @@ func (hp *Heap) allocVolRootObj() word.Addr {
 // --- area predicates and hooks -----------------------------------------
 
 func (hp *Heap) inVolatile(a word.Addr) bool {
-	return hp.cfg.Divided && a >= hp.volLo && a < hp.volHi
+	if !hp.cfg.Divided {
+		return false
+	}
+	if a >= hp.volLo && a < hp.volHi {
+		return true
+	}
+	return hp.nurLo != 0 && a >= hp.nurLo && a < hp.nurHi
+}
+
+func (hp *Heap) inNursery(a word.Addr) bool {
+	return hp.nurLo != 0 && a >= hp.nurLo && a < hp.nurHi
+}
+
+// volatileEnd is the exclusive upper bound of volatile addresses (used by
+// checkpoints so recovery's volatile predicate covers the nursery too).
+func (hp *Heap) volatileEnd() word.Addr {
+	if hp.nurHi != 0 {
+		return hp.nurHi
+	}
+	return hp.volHi
 }
 
 func (hp *Heap) inStableArea(a word.Addr) bool {
@@ -415,7 +518,10 @@ func (hp *Heap) onStableSlotWrite(slot word.Addr, ptrToVolatile bool) {
 
 // onCopy is every collector's copy hook: undo translations, lock rekeys,
 // remembered-slot rebasing, and history-recorder variable identity follow
-// the object. Collectors only run in exclusive sections.
+// the object. Besides the exclusive collection contexts, it runs from
+// shared mutator actions when the mostly-concurrent read barrier copies an
+// object, so the remembered sets are rebased under remMu (the transaction
+// manager and lock manager lock internally).
 func (hp *Heap) onCopy(from, to word.Addr, sizeWords int) {
 	hp.txm.OnCopy(from, to, sizeWords)
 	hp.locks.Rekey(from, to)
@@ -423,12 +529,31 @@ func (hp *Heap) onCopy(from, to word.Addr, sizeWords int) {
 		hp.hist.OnMove(from, to, sizeWords)
 	}
 	hi := from.Add(sizeWords)
-	for slot := range hp.srem {
-		if slot >= from && slot < hi {
-			delete(hp.srem, slot)
-			hp.srem[to+(slot-from)] = true
+	hp.remMu.Lock()
+	// srem keys are stable-area slots, so a copy whose source lies in the
+	// volatile area can never overlap them; nrem keys are non-nursery
+	// slots by construction (the write barrier filters nursery-internal
+	// stores), so nursery-sourced copies skip that scan too. Without the
+	// guards every evacuation pays an O(entries) sweep of both maps,
+	// which dominates full-collection pauses once the remembered sets
+	// carry a few hundred entries.
+	if len(hp.srem) > 0 && !hp.vgc.InArea(from) {
+		for slot := range hp.srem {
+			if slot >= from && slot < hi {
+				delete(hp.srem, slot)
+				hp.srem[to+(slot-from)] = true
+			}
 		}
 	}
+	if len(hp.nrem) > 0 && !hp.inNursery(from) {
+		for slot := range hp.nrem {
+			if slot >= from && slot < hi {
+				delete(hp.nrem, slot)
+				hp.nrem[to+(slot-from)] = true
+			}
+		}
+	}
+	hp.remMu.Unlock()
 }
 
 // onMoveStable handles a newly stable object leaving the volatile area.
@@ -440,11 +565,63 @@ func (hp *Heap) onMoveStable(from, to word.Addr, sizeWords int) {
 // onStableSlotFixed maintains SRem membership for slots the volatile
 // collector rewrote.
 func (hp *Heap) onStableSlotFixed(slot, newPtr word.Addr, stillVolatile bool) {
+	hp.remMu.Lock()
 	if stillVolatile {
 		hp.srem[slot] = true
 	} else {
 		delete(hp.srem, slot)
 	}
+	hp.remMu.Unlock()
+}
+
+// onVolatilePtrWrite is the volatile write barrier (wired into the
+// transaction manager): it grays overwritten from-space values during a
+// concurrent scan (snapshot-at-the-beginning deletion barrier) and
+// registers aged slots that store nursery pointers in the nursery
+// remembered set.
+func (hp *Heap) onVolatilePtrWrite(slot, old, stored word.Addr) {
+	if hp.cvgcOn.Load() && hp.vgc.ConcFromContains(old) {
+		hp.grayMu.Lock()
+		hp.grayQ = append(hp.grayQ, old)
+		hp.grayMu.Unlock()
+		hp.met.satbGray.Inc()
+	}
+	if hp.inNursery(stored) && !hp.inNursery(slot) {
+		hp.remMu.Lock()
+		hp.nrem[slot] = true
+		hp.remMu.Unlock()
+		hp.met.nurseryRem.Inc()
+	}
+}
+
+// newlyStable returns the LS set sorted (the collector drains it at minor
+// collections and concurrent flips; sorting keeps log contents
+// deterministic for a given history).
+func (hp *Heap) newlyStable() []word.Addr {
+	out := make([]word.Addr, 0, len(hp.ls))
+	for a := range hp.ls {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// takeNRem drains the nursery remembered set, sorted. Every collection
+// that empties the nursery also resets nrem: surviving targets are
+// evacuated through the returned slots, and stale entries must not dangle
+// into the reset space.
+func (hp *Heap) takeNRem() []word.Addr {
+	hp.remMu.Lock()
+	out := make([]word.Addr, 0, len(hp.nrem))
+	for a := range hp.nrem {
+		out = append(out, a)
+	}
+	if len(hp.nrem) > 0 {
+		hp.nrem = make(map[word.Addr]bool)
+	}
+	hp.remMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // stableSlots returns the remembered set sorted (volatile-GC roots).
@@ -486,20 +663,30 @@ func (hp *Heap) forEachStableRoot(visit func(get func() word.Addr, set func(word
 	}
 }
 
-// forEachVolatileSlot walks every object in the current volatile semispace
-// and visits its pointer slots (unlogged rewrites: volatile state).
+// forEachVolatileSlot walks every object in the volatile area — the
+// current semispace's copy region and its high-end allocation region
+// (populated by allocations made during a concurrent scan), plus the
+// nursery — and visits its pointer slots (unlogged rewrites: volatile
+// state).
 func (hp *Heap) forEachVolatileSlot(visit func(get func() word.Addr, set func(word.Addr))) {
-	sp := hp.vgc.Current()
-	for a := sp.Lo; a < sp.CopyPtr; {
-		d := hp.h.Descriptor(a)
-		for i := 0; i < d.NPtrs(); i++ {
-			slot := a + word.Addr(heap.PtrOffset(i))
-			visit(
-				func() word.Addr { return word.Addr(hp.mem.ReadWord(slot)) },
-				func(na word.Addr) { hp.mem.WriteWord(slot, uint64(na), word.NilLSN) },
-			)
+	walk := func(lo, hi word.Addr) {
+		for a := lo; a < hi; {
+			d := hp.h.Descriptor(a)
+			for i := 0; i < d.NPtrs(); i++ {
+				slot := a + word.Addr(heap.PtrOffset(i))
+				visit(
+					func() word.Addr { return word.Addr(hp.mem.ReadWord(slot)) },
+					func(na word.Addr) { hp.mem.WriteWord(slot, uint64(na), word.NilLSN) },
+				)
+			}
+			a = a.Add(d.SizeWords())
 		}
-		a = a.Add(d.SizeWords())
+	}
+	sp := hp.vgc.Current()
+	walk(sp.Lo, sp.CopyPtr)
+	walk(sp.AllocPtr, sp.Hi)
+	if n := hp.vgc.Nursery(); n != nil {
+		walk(n.Lo, n.CopyPtr)
 	}
 }
 
@@ -514,9 +701,13 @@ func (hp *Heap) forEachVolatileRoot(visit func(get func() word.Addr, set func(wo
 
 // --- collection scheduling ----------------------------------------------
 
-// maybeStartStableGC flips when free stable space runs low.
+// maybeStartStableGC flips when free stable space runs low. While a
+// concurrent volatile scan is in flight the trigger is deferred: a stable
+// flip scans the volatile area as roots, and live objects still in the
+// volatile from-space would be missed. finishConcurrentLocked re-checks
+// the trigger when the scan retires.
 func (hp *Heap) maybeStartStableGC() {
-	if hp.sgc.Active() {
+	if hp.sgc.Active() || hp.cvgcOn.Load() {
 		return
 	}
 	if float64(hp.sgc.FreeWords()) >= hp.cfg.GCTriggerFraction*float64(hp.cfg.StableWords) {
@@ -526,6 +717,11 @@ func (hp *Heap) maybeStartStableGC() {
 }
 
 func (hp *Heap) startStableGC() {
+	// A stable flip walks the volatile area as a root set; the walk only
+	// sees the current semispace and nursery, so an in-flight concurrent
+	// scan (with live objects still in volatile from-space) must retire
+	// first.
+	hp.finishConcurrentLocked()
 	hp.rootObj = hp.sgc.StartCollection(hp.rootObj)
 }
 
@@ -566,9 +762,15 @@ func (hp *Heap) ensureStableSpace(needWords int) error {
 }
 
 // collectVolatile runs a volatile collection, first guaranteeing stable
-// space for the pending LS moves; the LS set is cleared afterwards (dead
-// entries died with the collection).
+// space for the pending LS moves. With ConcurrentVGC it performs only the
+// stop-the-world flip and hands the copying scan to a collector goroutine;
+// otherwise (and whenever the nursery cannot be emptied first) it falls
+// back to the original stop-the-world collection, after which the LS set
+// is cleared (dead entries died with the collection).
 func (hp *Heap) collectVolatile() error {
+	// One volatile collection at a time: a scan still in flight retires
+	// inline before the next one starts.
+	hp.finishConcurrentLocked()
 	if err := hp.ensureStableSpace(hp.lsWords()); err != nil {
 		return err
 	}
@@ -577,12 +779,81 @@ func (hp *Heap) collectVolatile() error {
 		// collection (moves allocate at the stable copy frontier).
 		hp.sgc.Finish()
 	}
+	if hp.cfg.ConcurrentVGC {
+		// The flip requires an empty nursery (the concurrent scan never
+		// visits it): run a minor collection first when possible.
+		if hp.vgc.NurseryUsedWords() > 0 && hp.vgc.CanMinor() {
+			hp.vgc.CollectNursery(hp.takeNRem())
+		}
+		if hp.vgc.NurseryUsedWords() == 0 {
+			hp.takeNRem() // stale entries must not dangle across the flip
+			hp.vgc.StartConcurrent()
+			hp.startConcurrentScan()
+			return nil
+		}
+		// Nursery could not be emptied (aged space too full): the full
+		// stop-the-world collection below absorbs it.
+	}
+	// The stop-the-world collection empties the nursery and rewrites every
+	// live slot during its Cheney scan, so the nursery remembered set is
+	// dead weight: drain it up front (it is discarded either way, and no
+	// mutator can repopulate it under the exclusive latch) rather than
+	// have the copy hook rebase entries throughout the collection.
+	hp.takeNRem()
 	hp.vgc.Collect()
 	hp.ls = make(map[word.Addr]bool)
 	// Evacuations consumed stable space; if it is running low, start an
 	// incremental stable collection now so it finishes before the space
 	// is needed (rather than a forced stop-the-world later).
 	hp.maybeStartStableGC()
+	return nil
+}
+
+// nurseryLSWords sums the sizes of pending newly stable objects that live
+// in the nursery (the stable space a minor collection needs).
+func (hp *Heap) nurseryLSWords() int {
+	total := 0
+	for a := range hp.ls {
+		if hp.inNursery(a) {
+			total += hp.h.Descriptor(a).SizeWords()
+		}
+	}
+	return total
+}
+
+// collectNursery runs a minor collection (falling back to a full volatile
+// collection when the aged space cannot absorb the nursery), first
+// guaranteeing stable space for the nursery's pending LS moves.
+func (hp *Heap) collectNursery() error {
+	if !hp.vgc.CanMinor() {
+		return hp.collectVolatile()
+	}
+	if need := hp.nurseryLSWords(); need > 0 {
+		if hp.sgc.FreeWords() < need {
+			// Growing stable space means stable-GC work, which must
+			// not overlap a concurrent scan.
+			hp.finishConcurrentLocked()
+			if err := hp.ensureStableSpace(need); err != nil {
+				return err
+			}
+		}
+		if hp.sgc.Active() {
+			// Stable area quiescent during LS moves, as above.
+			hp.sgc.Finish()
+		}
+	}
+	hp.vgc.CollectNursery(hp.takeNRem())
+	hp.maybeStartStableGC()
+	// Proactive pacing: a minor collection can promote up to one nursery
+	// limit of words, and CanMinor fails once aged free space drops below
+	// that — the stop-the-world fallback at exactly the moment pressure
+	// peaks. Starting the full collection while two minors of headroom
+	// remain lets the flip take the concurrent path (the nursery is empty
+	// right now) and gives the scan a whole minor interval to finish.
+	if hp.cfg.ConcurrentVGC && !hp.vgc.ConcurrentActive() &&
+		hp.vgc.FreeWords() < 2*hp.vgc.NurseryLimitWords() {
+		return hp.collectVolatile()
+	}
 	return nil
 }
 
@@ -706,13 +977,28 @@ func (t *Tx) Alloc(typeID uint16, nptrs, ndata int) (*Ref, error) {
 	size := d.SizeWords()
 	var addr word.Addr
 	if hp.cfg.Divided {
-		a, ok := hp.vgc.Alloc(size)
-		if !ok {
-			if err := hp.collectVolatile(); err != nil {
-				return nil, t.fail(err)
+		// New volatile objects are born in the nursery when one is
+		// configured and the object fits; a full nursery triggers a
+		// minor collection. Oversized objects and nursery overflow that
+		// a minor cannot fix go to the aged semispace.
+		var a word.Addr
+		var ok bool
+		if hp.vgc.NurseryFits(size) {
+			if a, ok = hp.vgc.AllocNursery(size); !ok {
+				if err := hp.collectNursery(); err != nil {
+					return nil, t.fail(err)
+				}
+				a, ok = hp.vgc.AllocNursery(size)
 			}
+		}
+		if !ok {
 			if a, ok = hp.vgc.Alloc(size); !ok {
-				return nil, t.fail(ErrHeapFull)
+				if err := hp.collectVolatile(); err != nil {
+					return nil, t.fail(err)
+				}
+				if a, ok = hp.vgc.Alloc(size); !ok {
+					return nil, t.fail(ErrHeapFull)
+				}
 			}
 		}
 		addr = a
@@ -774,6 +1060,7 @@ func (t *Tx) Ptr(r *Ref, i int) (*Ref, error) {
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	p := word.Addr(hp.mem.ReadWord(slot))
 	p = hp.sgc.BarrierLoad(p) // Baker-mode transport
+	p = hp.volLoad(p)         // mostly-concurrent volatile transport
 	if hp.hist != nil {
 		hp.hist.Read(t.t.ID(), a)
 	}
@@ -962,6 +1249,7 @@ func (t *Tx) Root(i int) (*Ref, error) {
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	p := word.Addr(hp.mem.ReadWord(slot))
 	p = hp.sgc.BarrierLoad(p)
+	p = hp.volLoad(p)
 	if hp.hist != nil {
 		hp.hist.Read(t.t.ID(), hp.rootObj)
 	}
@@ -1026,6 +1314,7 @@ func (t *Tx) VolRoot(i int) (*Ref, error) {
 		return nil, fmt.Errorf("core: root index %d out of range", i)
 	}
 	p := word.Addr(hp.mem.ReadWord(hp.volRootObj + word.Addr(heap.PtrOffset(i))))
+	p = hp.volLoad(p)
 	if p.IsNil() {
 		return nil, nil
 	}
@@ -1123,6 +1412,7 @@ func (t *Tx) Commit() error {
 	d := time.Since(start)
 	hp.met.txCommit.Observe(uint64(d))
 	hp.tr.Complete("tx", "commit", start, d)
+	hp.assistVolatileScan()
 	return nil
 }
 
@@ -1183,6 +1473,7 @@ func (t *Tx) commitExclusive(start time.Time) error {
 	d := time.Since(start)
 	hp.met.txCommit.Observe(uint64(d))
 	hp.tr.Complete("tx", "commit", start, d)
+	hp.assistVolatileScan()
 	return nil
 }
 

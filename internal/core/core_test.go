@@ -447,8 +447,9 @@ func TestManyCollectionsStress(t *testing.T) {
 		commit(t, tr)
 		checkList(t, hp, 0, 10, uint64(round*100))
 	}
-	if hp.VGCStats().Collections == 0 {
-		t.Fatal("expected volatile collections")
+	vs := hp.VGCStats()
+	if vs.Collections == 0 && vs.MinorCollections == 0 {
+		t.Fatal("expected volatile collections (full or minor)")
 	}
 	checkList(t, hp, 0, 10, 2900)
 }

@@ -21,9 +21,13 @@ import (
 // cycle, printed with the offending history.
 //
 // Each round uses a fresh heap and recorder so histories stay small and
-// a failure names its round and seed for replay. The latch shard count
-// cycles through {default, 1, 8} so the single-shard degenerate case and
-// a small-shard high-collision case get the same coverage as the default.
+// a failure names its round and seed for replay. The configuration cycles
+// through latch shard counts {default, 1, 8}, an explicit nursery, the
+// mostly-concurrent volatile collector (alone and with 8 shards), and the
+// nursery-disabled legacy layout, so the generational write barrier, the
+// SATB deletion barrier and the read-barrier transport all run under the
+// checker. Workers mix in volatile allocation churn so minor collections
+// and concurrent scans actually fire mid-history.
 func TestConcurrentHistoriesSerializable(t *testing.T) {
 	rounds := 100
 	if testing.Short() {
@@ -42,11 +46,18 @@ func runHistoryRound(t *testing.T, round int) {
 	const initial = 100
 
 	cfg := concCfg()
-	switch round % 3 {
+	switch round % 6 {
 	case 1:
 		cfg.LatchShards = -1 // single shard: every logged write serialized
 	case 2:
 		cfg.LatchShards = 8 // high collision rate across pages
+	case 3:
+		cfg.NurseryBytes = 2 << 10 // small explicit nursery: frequent minors
+	case 4:
+		cfg.ConcurrentVGC = true // scans on the collector goroutine
+	case 5:
+		cfg.ConcurrentVGC = true
+		cfg.LatchShards = 8
 	}
 	hp := Open(cfg)
 	defer hp.Close()
@@ -83,9 +94,12 @@ func runHistoryRound(t *testing.T, round int) {
 			rng := rand.New(rand.NewSource(int64(round)*1000 + int64(w)))
 			for i := 0; i < txPerWorker; i++ {
 				var err error
-				if rng.Intn(3) == 0 {
+				switch rng.Intn(4) {
+				case 0:
 					err = auditTx(hp, rng)
-				} else {
+				case 1:
+					err = churnTx(hp, rng, w)
+				default:
 					err = transferTx(hp, rng)
 				}
 				if err != nil && !errors.Is(err, ErrConflict) {
@@ -205,6 +219,45 @@ func transferTx(hp *Heap, rng *rand.Rand) error {
 	}
 	if os.Getenv("HIST_NO_ABORT") == "" && rng.Intn(4) == 0 {
 		tr.Abort() // exercise undo + the recorder's version pop
+		return nil
+	}
+	return tr.Commit()
+}
+
+// churnTx allocates a short chain of volatile objects and parks it in the
+// worker's private volatile root slot, overwriting last round's chain. The
+// allocations land in the nursery (when one is configured), the root-slot
+// overwrite fires the deletion barrier during a concurrent scan, and the
+// orphaned previous chain becomes the garbage that minor and concurrent
+// collections exist to reclaim. The chain touches no shared counters, so
+// it cannot perturb serializability of the recorded history.
+func churnTx(hp *Heap, rng *rand.Rand, w int) error {
+	const counters = 4
+	tr := hp.Begin()
+	var head *Ref
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		node, err := tr.Alloc(2, 1, 2)
+		if err != nil {
+			tr.Abort()
+			return err
+		}
+		if err := tr.SetData(node, 0, uint64(w)<<16|uint64(i)); err != nil {
+			tr.Abort()
+			return err
+		}
+		if err := tr.SetPtr(node, 0, head); err != nil {
+			tr.Abort()
+			return err
+		}
+		head = node
+	}
+	if err := tr.SetVolRoot(counters+w, head); err != nil {
+		tr.Abort()
+		return err
+	}
+	if rng.Intn(4) == 0 {
+		tr.Abort() // exercise volatile undo under the barriers
 		return nil
 	}
 	return tr.Commit()

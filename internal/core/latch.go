@@ -37,8 +37,22 @@ import (
 //     observed coarse == false keeps that truth for its whole critical
 //     section.
 //
-// Lock order: stop → shard → {ckpt.mu, vm.mu → wal.mu, txm.mu, lock.mu,
-// candMu, remMu}. Subsystem mutexes never call back into the latch.
+//   - gate is the mostly-concurrent collection gate (Config.ConcurrentVGC).
+//     While a concurrent volatile scan is in flight (cvgcOn), ordinary
+//     actions additionally hold gate shared and the collector goroutine
+//     runs each scan quantum under gate exclusive: copying excludes
+//     mutators one quantum at a time without ever taking the stop latch,
+//     which is exactly how the scan stays off the mutator's critical path.
+//     cvgcOn only transitions with stop held exclusively, so a shared
+//     holder's view of it is stable for its whole critical section.
+//     Exclusive sections acquire the gate too (gateHeldExcl) — the
+//     collector goroutine must not run while the heap is stopped — and
+//     drain the SATB gray stack on entry, so aborts always see evacuated
+//     undo values.
+//
+// Lock order: stop → gate → {shard, vgc.transMu} → {ckpt.mu, vm.mu →
+// wal.mu, txm.mu → txm.undoMu, lock.mu, candMu, grayMu, remMu}. Subsystem
+// mutexes never call back into the latch.
 func (hp *Heap) rlock() (excl bool) {
 	for {
 		if hp.coarse.Load() {
@@ -52,6 +66,11 @@ func (hp *Heap) rlock() (excl bool) {
 			hp.stop.RUnlock()
 			continue
 		}
+		if hp.cvgcOn.Load() {
+			// cvgcOn cannot change while we hold stop shared, so the
+			// matching runlock releases the gate iff it is set here.
+			hp.gate.RLock()
+		}
 		return false
 	}
 }
@@ -60,17 +79,33 @@ func (hp *Heap) rlock() (excl bool) {
 func (hp *Heap) runlock(excl bool) {
 	if excl {
 		hp.unlockExclusive()
-	} else {
-		hp.stop.RUnlock()
+		return
 	}
+	if hp.cvgcOn.Load() {
+		hp.gate.RUnlock()
+	}
+	hp.stop.RUnlock()
 }
 
 // lockExclusive stops the heap: it waits for every in-flight shared action
 // to drain and blocks new ones. The wait is recorded in the latch_stop
-// histogram (the price of a flip or checkpoint under load).
+// histogram (the price of a flip or checkpoint under load). With a
+// concurrent scan in flight it also parks the collector goroutine (gate)
+// and drains the gray stack.
 func (hp *Heap) lockExclusive() {
 	start := time.Now()
 	hp.stop.Lock()
+	// The gate is taken unconditionally, not just when cvgcOn: a collector
+	// goroutine whose collection was retired inline can still be between
+	// quanta, and it re-checks liveness under the gate — so any exclusive
+	// section that might restart the collector state must already exclude
+	// it. Uncontended, this is a handful of nanoseconds on a path that just
+	// paid for draining every shared action.
+	hp.gate.Lock()
+	hp.gateHeldExcl = true
+	if hp.cvgcOn.Load() {
+		hp.drainGrayLocked()
+	}
 	hp.met.latchStop.Since(start)
 }
 
@@ -79,7 +114,29 @@ func (hp *Heap) lockExclusive() {
 // a stable collection exits through here.
 func (hp *Heap) unlockExclusive() {
 	hp.syncCoarse()
+	if hp.gateHeldExcl {
+		hp.gateHeldExcl = false
+		hp.gate.Unlock()
+	}
 	hp.stop.Unlock()
+}
+
+// drainGrayLocked evacuates every grayed (SATB-overwritten) pointer
+// target. Callers hold the gate exclusively (via lockExclusive or the
+// collector goroutine), so no mutator races the copies.
+func (hp *Heap) drainGrayLocked() {
+	for {
+		hp.grayMu.Lock()
+		q := hp.grayQ
+		hp.grayQ = nil
+		hp.grayMu.Unlock()
+		if len(q) == 0 {
+			return
+		}
+		for _, p := range q {
+			hp.vgc.EvacuateGray(p)
+		}
+	}
 }
 
 // syncCoarse refreshes the collector-activity mirror. Callers hold the stop

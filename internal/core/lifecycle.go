@@ -33,7 +33,7 @@ func (hp *Heap) checkpointLocked() word.LSN {
 		StableAlloc: hp.sgc.Current().CopyPtr,
 		GC:          hp.sgc.State(),
 		VolatileLo:  hp.volLo,
-		VolatileHi:  hp.volHi,
+		VolatileHi:  hp.volatileEnd(),
 		NextTx:      hp.txm.NextTxID(),
 	}
 	if hp.cfg.Divided {
@@ -55,21 +55,28 @@ func (hp *Heap) TruncateLog() {
 	hp.ckpt.TruncateLog()
 }
 
-// Close shuts the heap down cleanly: active transactions abort, dirty
-// pages flush, and a final checkpoint is forced.
+// Close shuts the heap down cleanly: any in-flight concurrent scan
+// retires, active transactions abort, dirty pages flush, and a final
+// checkpoint is forced.
 func (hp *Heap) Close() {
 	if hp.group != nil {
 		hp.group.close()
 	}
-	hp.lockExclusive()
-	defer hp.unlockExclusive()
-	hp.txm.AbortAll()
-	if hp.sgc.Active() {
-		hp.sgc.Finish()
-	}
-	hp.mem.FlushAll()
-	hp.checkpointLocked()
-	hp.ckpt.ForcePromote()
+	func() {
+		hp.lockExclusive()
+		defer hp.unlockExclusive()
+		hp.finishConcurrentLocked()
+		hp.txm.AbortAll()
+		if hp.sgc.Active() {
+			hp.sgc.Finish()
+		}
+		hp.mem.FlushAll()
+		hp.checkpointLocked()
+		hp.ckpt.ForcePromote()
+	}()
+	// The collector goroutine (if any) saw its collection retired above and
+	// is on its way out; it must not outlive the heap it scans.
+	hp.scanWG.Wait()
 }
 
 // Crash simulates a system failure (§2.2.2): main memory, the volatile
@@ -80,12 +87,19 @@ func (hp *Heap) Crash() (storage.PageStore, storage.LogDevice) {
 	if hp.group != nil {
 		hp.group.close()
 	}
-	hp.lockExclusive()
-	defer hp.unlockExclusive()
-	hp.log.CrashDevice()
-	hp.mem.Crash()
-	hp.locks.Reset()
-	hp.txm.Crash()
+	func() {
+		hp.lockExclusive()
+		defer hp.unlockExclusive()
+		// An in-flight concurrent scan simply vanishes: it was pure
+		// unlogged copying, the flip record is already in the log, and
+		// recovery treats the whole volatile area as dead.
+		hp.abandonConcurrentLocked()
+		hp.log.CrashDevice()
+		hp.mem.Crash()
+		hp.locks.Reset()
+		hp.txm.Crash()
+	}()
+	hp.scanWG.Wait()
 	return hp.disk, hp.logDev
 }
 
@@ -328,6 +342,59 @@ func (hp *Heap) CollectVolatile() (int, error) {
 	return int(hp.vgc.Stats().MovedObjs - before), nil
 }
 
+// CollectNursery runs one minor collection (divided mode with a nursery),
+// promoting nursery survivors into the aged volatile space, returning the
+// number of objects promoted. Falls back to a full volatile collection
+// when the aged space cannot absorb the nursery.
+func (hp *Heap) CollectNursery() (int, error) {
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	if !hp.cfg.Divided || hp.nurLo == 0 {
+		return 0, nil
+	}
+	before := hp.vgc.Stats().PromotedObjs
+	if err := hp.collectNursery(); err != nil {
+		return 0, err
+	}
+	return int(hp.vgc.Stats().PromotedObjs - before), nil
+}
+
+// ConcurrentScanActive reports whether a mostly-concurrent volatile scan
+// is in flight on the collector goroutine.
+func (hp *Heap) ConcurrentScanActive() bool { return hp.cvgcOn.Load() }
+
+// FinishVolatileScan retires an in-flight concurrent volatile scan
+// inline, blocking until from-space is discarded. A no-op when no scan is
+// active.
+func (hp *Heap) FinishVolatileScan() {
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	hp.finishConcurrentLocked()
+}
+
+// NurseryUsedWords returns the words currently allocated in the nursery
+// (0 without one).
+func (hp *Heap) NurseryUsedWords() int {
+	excl := hp.rlock()
+	defer hp.runlock(excl)
+	if hp.vgc == nil {
+		return 0
+	}
+	return hp.vgc.NurseryUsedWords()
+}
+
+// VolatileFreeWords returns the free words of the current aged semispace
+// (0 without a volatile area) — with NurseryUsedWords, the occupancy view
+// behind generational pacing decisions.
+func (hp *Heap) VolatileFreeWords() int {
+	excl := hp.rlock()
+	defer hp.runlock(excl)
+	if hp.vgc == nil {
+		return 0
+	}
+	return hp.vgc.FreeWords()
+}
+
 // LSCount returns the number of newly stable objects awaiting evacuation.
 func (hp *Heap) LSCount() int {
 	hp.lockExclusive()
@@ -351,11 +418,15 @@ func (hp *Heap) TxStats() tx.Stats { return hp.txm.Stats() }
 // GCStats returns stable-collector counters.
 func (hp *Heap) GCStats() gc.Stats { return hp.sgc.Stats() }
 
-// VGCStats returns volatile-collector counters (zero when !Divided).
+// VGCStats returns volatile-collector counters (zero when !Divided). Taken
+// under the shared latch so a concurrent scan quantum never races the
+// snapshot.
 func (hp *Heap) VGCStats() gc.VolatileStats {
 	if hp.vgc == nil {
 		return gc.VolatileStats{}
 	}
+	excl := hp.rlock()
+	defer hp.runlock(excl)
 	return hp.vgc.Stats()
 }
 

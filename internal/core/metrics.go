@@ -19,6 +19,8 @@ type heapMetrics struct {
 	recAnalysis obs.Histogram // recovery analysis pass wall time
 	recRedo     obs.Histogram // recovery redo pass wall time
 	recUndo     obs.Histogram // recovery undo pass wall time
+	nurseryRem  obs.Counter   // generational write-barrier hits (aged slot → nursery)
+	satbGray    obs.Counter   // SATB deletion-barrier hits during concurrent scans
 }
 
 // Metrics returns the unified observability snapshot: every subsystem's
@@ -60,6 +62,23 @@ func (hp *Heap) Metrics() obs.Snapshot {
 		s.SetCounter("vgc_moved_objects_total", vs.MovedObjs)
 		s.SetCounter("vgc_moved_words_total", vs.MovedWords)
 		s.SetHist("vgc_pause_ns", vs.Pause)
+		if hp.nurLo != 0 {
+			s.SetCounter("vgc_nursery_minor_total", int64(vs.MinorCollections))
+			s.SetCounter("vgc_nursery_alloc_objects_total", vs.NurseryAllocObjs)
+			s.SetCounter("vgc_nursery_alloc_words_total", vs.NurseryAllocWords)
+			s.SetCounter("vgc_nursery_promoted_objects_total", vs.PromotedObjs)
+			s.SetCounter("vgc_nursery_promoted_words_total", vs.PromotedWords)
+			s.SetCounter("vgc_nursery_barrier_hits_total", int64(hp.met.nurseryRem.Load()))
+			s.SetHist("vgc_minor_pause_ns", vs.MinorPause)
+		}
+		if hp.cfg.ConcurrentVGC {
+			s.SetCounter("vgc_conc_collections_total", int64(vs.ConcCollections))
+			s.SetCounter("vgc_conc_quanta_total", vs.ConcQuanta)
+			s.SetCounter("vgc_conc_transports_total", vs.ConcTransports)
+			s.SetCounter("vgc_conc_satb_gray_total", int64(hp.met.satbGray.Load()))
+			s.SetHist("vgc_conc_flip_pause_ns", vs.FlipPause)
+			s.SetHist("vgc_conc_quantum_ns", vs.QuantumPause)
+		}
 	}
 
 	ms := hp.mem.Stats()

@@ -84,6 +84,14 @@ type Scenario struct {
 	// ChaosConfig, so a returned Commit means durable, even if the round
 	// ended in a device fault one operation later.
 	Mutators int
+	// Nursery runs the heap with a small nursery and the mostly-concurrent
+	// volatile collector, and adds a burst per round that commits chains of
+	// nursery-born objects (root slots 24..27), forces a minor collection
+	// with faults armed, leaves a concurrent scan in flight at the crash,
+	// and abandons an uncommitted transaction holding nursery objects. The
+	// recovery audit verifies every acknowledged chain in full: promoted
+	// objects are atomic, discarded nursery contents stay dead.
+	Nursery bool
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -165,6 +173,13 @@ type chaosRun struct {
 	// value its counter must hold after any subsequent recovery.
 	expected []uint64
 	mutReady bool
+
+	// Nursery-burst state (Scenario.Nursery): nurBase[w] is the value tag
+	// of chain w's last acknowledged commit (nurLive[w] false until the
+	// first commit lands). The audit walks each chain and requires exactly
+	// the acknowledged nodes, in order.
+	nurBase [nurseryChains]uint64
+	nurLive [nurseryChains]bool
 }
 
 // RunSeed derives seed's fault plan and runs the scenario under it.
@@ -177,6 +192,18 @@ func RunSeed(sc Scenario, seed int64) SeedResult {
 func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
 	sc = sc.withDefaults()
 	cfg := ChaosConfig()
+	if sc.Nursery {
+		// Small enough that every round's burst overflows it (minor
+		// collections fire mid-fault-plan), with concurrent scans on.
+		// Manual scan pacing keeps the run deterministic: a collector
+		// goroutine would race the fault schedule (object placement — and
+		// with it, which page each planned fault hits — would depend on
+		// scheduler interleaving), so the burst steps the scan itself, a
+		// seed-chosen number of quanta per round.
+		cfg.NurseryBytes = 32 << 10
+		cfg.ConcurrentVGC = true
+		cfg.ConcVGCManualScan = true
+	}
 	inj := faultfs.New(plan, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
 	r := &chaosRun{
 		sc:  sc,
@@ -218,6 +245,9 @@ func (r *chaosRun) round(round int) {
 	online := r.workload(round)
 	if r.sc.Mutators > 0 && !online && !r.dead {
 		online = r.concurrentBurst()
+	}
+	if r.sc.Nursery && !online && !r.dead {
+		online = r.nurseryBurst(round)
 	}
 	if r.dead {
 		return
@@ -493,6 +523,170 @@ func (r *chaosRun) concurrentBurst() (online bool) {
 	return online
 }
 
+// nurserySlot0 is the first root slot the nursery burst owns (driver:
+// 0..7, mutators: 16..16+N-1).
+const nurserySlot0 = 24
+
+// nurseryChains is how many committed chains the nursery burst maintains.
+const nurseryChains = 4
+
+// nurseryChainLen is the node count of each committed chain.
+const nurseryChainLen = 5
+
+// nurseryBurst exercises the generational and mostly-concurrent machinery
+// with faults armed: each round rebuilds committed chains of nursery-born
+// objects (overwriting last round's — instant garbage), forces a minor
+// collection (its logged LS evacuations run under the fault plan, so a
+// device fault here is a crash mid-minor), starts a volatile collection
+// that leaves the concurrent scan in flight at the round's crash, and
+// abandons an uncommitted transaction holding fresh nursery objects that
+// recovery must not resurrect.
+func (r *chaosRun) nurseryBurst(round int) (online bool) {
+	hp := r.d.hp
+	for w := 0; w < nurseryChains; w++ {
+		base := uint64(round)*1000 + uint64(w)*100
+		err, fault := guard(func() error {
+			tr := hp.Begin()
+			var head *core.Ref
+			for i := nurseryChainLen - 1; i >= 0; i-- {
+				n, err := tr.Alloc(3, 1, 1)
+				if err != nil {
+					tr.Abort()
+					return err
+				}
+				if err := tr.SetData(n, 0, base+uint64(i)); err != nil {
+					tr.Abort()
+					return err
+				}
+				if err := tr.SetPtr(n, 0, head); err != nil {
+					tr.Abort()
+					return err
+				}
+				head = n
+			}
+			if err := tr.SetRoot(nurserySlot0+w, head); err != nil {
+				tr.Abort()
+				return err
+			}
+			return tr.Commit()
+		})
+		switch {
+		case fault != nil:
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		case err == nil:
+			r.nurBase[w] = base
+			r.nurLive[w] = true
+		case errors.Is(err, core.ErrConflict):
+			// The driver's in-doubt prepared transaction holds the root
+			// array; this chain keeps its previous acknowledged state.
+		default:
+			r.res.record(Violation, fmt.Sprintf("nursery burst chain %d: %v", w, err))
+			r.dead = true
+			return true
+		}
+	}
+	// A minor collection with faults armed (logged LS moves can tear), then
+	// a volatile collection whose concurrent scan is left in flight so the
+	// round's crash lands mid-scan.
+	_, fault := guard(func() error {
+		if _, err := hp.CollectNursery(); err != nil {
+			return err
+		}
+		tr := hp.Begin()
+		n, err := tr.Alloc(3, 0, 2)
+		if err == nil {
+			err = tr.SetVolRoot(8, n)
+		}
+		if err != nil {
+			tr.Abort()
+			return nil // heap pressure; skip the garnish, keep the scan
+		}
+		if err := tr.Commit(); err != nil && !errors.Is(err, core.ErrConflict) {
+			return err
+		}
+		if _, err := hp.CollectVolatile(); err != nil {
+			return err
+		}
+		// Advance the scan a seed-chosen number of quanta (possibly zero,
+		// possibly to completion-but-unretired) so the crash lands at a
+		// deterministic mid-scan point.
+		for steps := r.rng.Intn(6); steps > 0; steps-- {
+			if !hp.StepVolatileScan() {
+				break
+			}
+		}
+		return nil
+	})
+	if fault != nil {
+		r.res.record(DetectedOnline, fault.Error())
+		return true
+	}
+	// Abandon a transaction holding uncommitted nursery allocations and an
+	// uncommitted stable-slot overwrite: recovery must keep chain 0 at its
+	// acknowledged value and must not resurrect the orphan.
+	_, fault = guard(func() error {
+		tr := hp.Begin()
+		n, err := tr.Alloc(3, 1, 1)
+		if err != nil {
+			tr.Abort()
+			return nil
+		}
+		if err := tr.SetData(n, 0, 0xdead); err != nil {
+			tr.Abort()
+			return nil
+		}
+		c, err := tr.Root(nurserySlot0)
+		if err != nil || c == nil {
+			return nil // in-doubt conflict; leave the alloc in flight
+		}
+		_ = tr.SetPtr(c, 0, n)
+		return nil // never committed, never aborted
+	})
+	if fault != nil {
+		r.res.record(DetectedOnline, fault.Error())
+		return true
+	}
+	return false
+}
+
+// auditNursery verifies, post-recovery, that every acknowledged chain
+// reads back exactly as committed: nurseryChainLen nodes, in-order values.
+// A short, long, or misvalued chain means a promoted object was lost, torn
+// or resurrected.
+func (r *chaosRun) auditNursery(hp *core.Heap) error {
+	tr := hp.Begin()
+	defer tr.Abort()
+	for w := 0; w < nurseryChains; w++ {
+		if !r.nurLive[w] {
+			continue
+		}
+		c, err := tr.Root(nurserySlot0 + w)
+		if err != nil {
+			return fmt.Errorf("nursery chain %d: reading root: %v", w, err)
+		}
+		for i := 0; i < nurseryChainLen; i++ {
+			if c == nil {
+				return fmt.Errorf("nursery chain %d: truncated at node %d after recovery", w, i)
+			}
+			v, err := tr.Data(c, 0)
+			if err != nil {
+				return fmt.Errorf("nursery chain %d node %d: %v", w, i, err)
+			}
+			if want := r.nurBase[w] + uint64(i); v != want {
+				return fmt.Errorf("nursery chain %d node %d: value %d, want %d (lost or phantom promotion)", w, i, v, want)
+			}
+			if c, err = tr.Ptr(c, 0); err != nil {
+				return fmt.Errorf("nursery chain %d node %d: next: %v", w, i, err)
+			}
+		}
+		if c != nil {
+			return fmt.Errorf("nursery chain %d: trailing node after recovery (uncommitted write survived)", w)
+		}
+	}
+	return nil
+}
+
 // auditMutators verifies, post-recovery, that every mutator counter holds
 // exactly its last acknowledged committed value: committed increments
 // survived the crash, the abandoned in-flight update did not.
@@ -557,7 +751,10 @@ func (r *chaosRun) recoverAndAudit(onlineAlready bool) {
 		if err := r.d.Verify(); err != nil {
 			return err
 		}
-		return r.auditMutators(hp)
+		if err := r.auditMutators(hp); err != nil {
+			return err
+		}
+		return r.auditNursery(hp)
 	})
 	switch {
 	case fault != nil:
@@ -601,7 +798,10 @@ func (r *chaosRun) mediaRepair(logDev storage.LogDevice) {
 		if err := r.d.Verify(); err != nil {
 			return err
 		}
-		return r.auditMutators(hp)
+		if err := r.auditMutators(hp); err != nil {
+			return err
+		}
+		return r.auditNursery(hp)
 	})
 	switch {
 	case fault != nil:

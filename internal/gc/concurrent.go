@@ -1,0 +1,203 @@
+package gc
+
+import (
+	"time"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Mostly-concurrent volatile collection (Config.ConcurrentVGC), after
+// PyPy's MostlyConcurrentMarkSweepGC: the stop latch is held only for the
+// flip — root rewrites, remembered-set fixes and the logged evacuation of
+// every newly stable object — while the Cheney scan of to-space runs in
+// quanta on a collector goroutine. Mutators running during the scan are
+// protected by two barriers maintained by the core:
+//
+//   - a read barrier (Transport): every volatile pointer load forwards
+//     from-space targets, so mutators never observe — and so never store —
+//     a from-space address after the flip;
+//   - a snapshot-at-the-beginning deletion barrier: overwritten volatile
+//     pointers are grayed and evacuated before any abort can restore them,
+//     so undo never resurrects a from-space address either.
+//
+// All logged work (V2SCopy, SFix, VFlip) happens at the flip; the scan is
+// purely unlogged volatile copying. A crash mid-scan is therefore
+// indistinguishable to recovery from a crash after a completed collection.
+
+// StartConcurrent performs the stop-the-world flip of a mostly-concurrent
+// collection and returns the number of newly stable objects moved. The
+// caller schedules ScanQuantum until it reports no work, then calls
+// FinishConcurrent. The nursery must be empty at the flip (the core runs a
+// minor collection first): the scan never visits the nursery, so a
+// pre-flip nursery object could smuggle a from-space pointer past it.
+func (v *VolatileCollector) StartConcurrent() int {
+	if v.concActive {
+		panic("gc: concurrent collection already active")
+	}
+	if v.nursery != nil && v.nurseryUsedWords() > 0 {
+		panic("gc: concurrent flip with a non-empty nursery")
+	}
+	start := time.Now()
+	v.epoch++
+	v.stats.Collections++
+	v.stats.ConcCollections++
+	v.from = v.spaces[v.cur]
+	v.cur = 1 - v.cur
+	v.to = v.spaces[v.cur]
+	v.to.Reset()
+	v.fromNursery = false
+	v.minor, v.queueCopies, v.allocHigh = false, false, false
+	v.movedQ = nil
+	moved := 0
+
+	if v.hooks.ForEachRoot != nil {
+		v.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
+			p := get()
+			if !p.IsNil() && v.inFrom(p) {
+				set(v.evacuate(p))
+			}
+		})
+	}
+	if v.hooks.StableSlots != nil {
+		v.fixStableSlots(v.hooks.StableSlots(), false)
+	}
+	// Drain every LS entry out of from-space now, reachable or not: the
+	// moves are logged, and logged work may not run on the collector
+	// goroutine.
+	if v.hooks.NewlyStable != nil {
+		for _, a := range v.hooks.NewlyStable() {
+			if v.inFrom(a) && !v.h.Descriptor(a).Forwarded() {
+				v.evacuate(a)
+			}
+		}
+	}
+	for len(v.movedQ) > 0 {
+		obj := v.movedQ[0]
+		v.movedQ = v.movedQ[1:]
+		moved++
+		v.scanMoved(obj)
+	}
+	// The flip is the collection as far as the log is concerned; the
+	// scan that follows is pure unlogged copying.
+	v.log.Append(wal.VFlipRec{Epoch: v.epoch, Moved: moved})
+	v.scan = v.to.Lo
+	v.scanSlot = 0
+	v.concReserve = spaceUsedWords(v.from)
+	v.concBaseCopied = v.stats.CopiedWords
+	v.concActive = true
+	d := time.Since(start)
+	v.flipPauseH.Observe(uint64(d))
+	v.pauseH.Observe(uint64(d))
+	v.tr.Complete("vgc", "flip", start, d)
+	return moved
+}
+
+func spaceUsedWords(s *heap.Space) int {
+	return word.BytesToWords(int(s.CopyPtr-s.Lo) + int(s.Hi-s.AllocPtr))
+}
+
+// ScanQuantum advances the concurrent Cheney scan by roughly budgetWords
+// of work — examined pointer slots plus the words any evacuation copies —
+// and reports whether work remains. The scan resumes mid-object (scanSlot)
+// so a single wide object cannot stretch one quantum past the budget:
+// slots before scanSlot are black, slots after are gray, and mutators
+// between quanta can only store to-space addresses (the read barrier
+// forwards every load), so slot granularity preserves the Cheney
+// invariant. The caller must exclude mutators (the core's collector
+// goroutine holds the gate exclusively per quantum).
+func (v *VolatileCollector) ScanQuantum(budgetWords int) bool {
+	if !v.concActive {
+		return false
+	}
+	start := time.Now()
+	for budgetWords > 0 && v.scan < v.to.CopyPtr {
+		d := v.h.Descriptor(v.scan)
+		np := d.NPtrs()
+		for v.scanSlot < np {
+			if budgetWords <= 0 {
+				v.stats.ConcQuanta++
+				v.quantumH.Since(start)
+				return true
+			}
+			slot := v.scan + word.Addr(heap.PtrOffset(v.scanSlot))
+			v.scanSlot++
+			budgetWords--
+			p := word.Addr(v.mem.ReadWord(slot))
+			if !p.IsNil() && v.inFrom(p) {
+				to := v.evacuate(p)
+				v.mem.WriteWord(slot, uint64(to), word.NilLSN)
+				budgetWords -= v.h.Descriptor(to).SizeWords()
+			}
+		}
+		v.scan = v.scan.Add(d.SizeWords())
+		v.scanSlot = 0
+	}
+	v.stats.ConcQuanta++
+	v.quantumH.Since(start)
+	return v.scan < v.to.CopyPtr
+}
+
+// Transport is the mutator read barrier: it forwards p out of from-space
+// if the concurrent scan has not reached it yet. Mutators call it under
+// the shared gate; transMu serializes their copies against each other
+// (the collector goroutine holds the gate exclusively, so it cannot race
+// them).
+func (v *VolatileCollector) Transport(p word.Addr) word.Addr {
+	v.transMu.Lock()
+	defer v.transMu.Unlock()
+	if !v.concActive || !v.inFrom(p) {
+		return p
+	}
+	v.stats.ConcTransports++
+	return v.evacuate(p)
+}
+
+// EvacuateGray evacuates one grayed (SATB-overwritten) pointer target.
+// Called with mutators stopped, before any transaction abort can restore
+// the overwritten value.
+func (v *VolatileCollector) EvacuateGray(p word.Addr) {
+	if !v.concActive || p.IsNil() || !v.inFrom(p) {
+		return
+	}
+	v.evacuate(p)
+}
+
+// FinishConcurrent drains the remaining scan work inline and retires the
+// from-space. Called with mutators stopped.
+func (v *VolatileCollector) FinishConcurrent() {
+	if !v.concActive {
+		return
+	}
+	start := time.Now()
+	for v.ScanQuantum(1 << 30) {
+	}
+	v.mem.DiscardRange(v.from.Lo, v.from.Hi)
+	v.from.Reset()
+	v.from = nil
+	v.to = nil
+	v.concActive = false
+	v.tr.Complete("vgc", "drain", start, time.Since(start))
+}
+
+// AbandonConcurrent forgets an in-flight concurrent collection without
+// touching memory — the crash path. The flip was fully logged, so recovery
+// treats the interrupted scan as a completed collection.
+func (v *VolatileCollector) AbandonConcurrent() {
+	if !v.concActive {
+		return
+	}
+	v.concActive = false
+	v.from = nil
+	v.to = nil
+}
+
+// ConcurrentActive reports whether a concurrent scan is in flight.
+func (v *VolatileCollector) ConcurrentActive() bool { return v.concActive }
+
+// ConcFromContains reports whether a falls in the from-space of the
+// in-flight concurrent collection.
+func (v *VolatileCollector) ConcFromContains(a word.Addr) bool {
+	return v.concActive && v.from.Contains(a)
+}

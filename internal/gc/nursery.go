@@ -1,0 +1,187 @@
+package gc
+
+import (
+	"time"
+
+	"stableheap/internal/heap"
+	"stableheap/internal/word"
+)
+
+// nurseryRatio is the CertiCoq-style RATIO: the nursery's soft allocation
+// cap starts at capacity/nurseryRatio and grows by the same factor when a
+// minor collection finds more than a third of the nursery surviving.
+const nurseryRatio = 4
+
+// SetNursery installs a nursery generation over [lo, hi). New volatile
+// objects are born there unlogged; minor collections copy survivors into
+// the aged semispace (or, for newly stable objects, the stable area) and
+// reset the nursery wholesale.
+func (v *VolatileCollector) SetNursery(lo, hi word.Addr) {
+	v.nursery = heap.NewSpace(lo, hi)
+	capWords := word.BytesToWords(int(hi - lo))
+	limit := capWords / nurseryRatio
+	if limit < 256 {
+		limit = 256
+	}
+	if limit > capWords {
+		limit = capWords
+	}
+	v.nurLimit = limit
+}
+
+// Nursery returns the nursery space (nil when disabled).
+func (v *VolatileCollector) Nursery() *heap.Space { return v.nursery }
+
+// InNursery reports whether a falls inside the nursery.
+func (v *VolatileCollector) InNursery(a word.Addr) bool {
+	return v.nursery != nil && v.nursery.Contains(a)
+}
+
+// NurseryFits reports whether an allocation of sizeWords belongs in the
+// nursery (oversized objects go straight to the aged space).
+func (v *VolatileCollector) NurseryFits(sizeWords int) bool {
+	return v.nursery != nil && sizeWords <= v.nurLimit
+}
+
+func (v *VolatileCollector) nurseryUsedWords() int {
+	return word.BytesToWords(int(v.nursery.CopyPtr - v.nursery.Lo))
+}
+
+// NurseryUsedWords returns the words currently allocated in the nursery.
+func (v *VolatileCollector) NurseryUsedWords() int {
+	if v.nursery == nil {
+		return 0
+	}
+	return v.nurseryUsedWords()
+}
+
+// AllocNursery reserves a new object in the nursery; ok is false when the
+// soft cap is reached (the caller runs a minor collection and retries).
+func (v *VolatileCollector) AllocNursery(sizeWords int) (word.Addr, bool) {
+	if v.nursery == nil {
+		return word.NilAddr, false
+	}
+	if v.nurseryUsedWords()+sizeWords > v.nurLimit {
+		return word.NilAddr, false
+	}
+	a, ok := v.nursery.AllocLow(sizeWords)
+	if ok {
+		v.stats.NurseryAllocObjs++
+		v.stats.NurseryAllocWords += int64(sizeWords)
+	}
+	return a, ok
+}
+
+// CanMinor reports whether the aged space has room to absorb the whole
+// nursery (the worst case for a minor collection). During a concurrent
+// scan the headroom reserved for in-flight copies is off limits.
+func (v *VolatileCollector) CanMinor() bool {
+	if v.nursery == nil {
+		return false
+	}
+	free := v.Current().FreeWords()
+	if v.concActive {
+		free -= v.concRemainingWords()
+	}
+	return free >= v.nurseryUsedWords()
+}
+
+// CollectNursery runs one minor collection: survivors are copied into the
+// aged semispace (promotion), newly stable nursery objects move into the
+// stable area under the WAL protocol, and the nursery is reset wholesale.
+// volSlots is the nursery remembered set — aged volatile slots that may
+// point into the nursery. Minor collections do not flip semispaces and do
+// not advance the epoch; they may run while a concurrent scan is parked
+// (promotions then go to the high end of to-space, which the scan never
+// visits — safe, because objects born after the flip cannot hold
+// from-space pointers). Returns the number of newly stable objects moved.
+func (v *VolatileCollector) CollectNursery(volSlots []word.Addr) int {
+	if v.nursery == nil {
+		return 0
+	}
+	start := time.Now()
+	v.stats.MinorCollections++
+	basePromoted := v.stats.PromotedWords
+	usedWords := v.nurseryUsedWords()
+	v.minor = true
+	v.fromNursery = true
+	savedFrom := v.from // preserve the concurrent from-space, if any
+	v.from = nil
+	v.to = v.Current()
+	v.allocHigh = v.concActive
+	v.queueCopies = true
+	v.copyQ = nil
+	v.movedQ = nil
+	moved := 0
+
+	if v.hooks.ForEachRoot != nil {
+		v.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
+			p := get()
+			if !p.IsNil() && v.inFrom(p) {
+				set(v.evacuate(p))
+			}
+		})
+	}
+	if v.hooks.StableSlots != nil {
+		v.fixStableSlots(v.hooks.StableSlots(), false)
+	}
+	v.fixVolatileSlots(volSlots)
+	// Newly stable nursery objects move out whether or not they are
+	// reachable: their LS entries must not dangle into the reset
+	// nursery. (Unreachable ones become stable garbage for the stable
+	// collector — the paper's discipline already covers that.)
+	if v.hooks.NewlyStable != nil {
+		for _, a := range v.hooks.NewlyStable() {
+			if v.inFrom(a) && !v.h.Descriptor(a).Forwarded() {
+				v.evacuate(a)
+			}
+		}
+	}
+	for len(v.copyQ) > 0 || len(v.movedQ) > 0 {
+		for len(v.copyQ) > 0 {
+			obj := v.copyQ[0]
+			v.copyQ = v.copyQ[1:]
+			d := v.h.Descriptor(obj)
+			for i := 0; i < d.NPtrs(); i++ {
+				slot := obj + word.Addr(heap.PtrOffset(i))
+				p := word.Addr(v.mem.ReadWord(slot))
+				if !p.IsNil() && v.inFrom(p) {
+					v.mem.WriteWord(slot, uint64(v.evacuate(p)), word.NilLSN)
+				}
+			}
+		}
+		for len(v.movedQ) > 0 {
+			obj := v.movedQ[0]
+			v.movedQ = v.movedQ[1:]
+			moved++
+			v.scanMoved(obj)
+		}
+	}
+
+	// RATIO growth: a high survival rate means the nursery is too small
+	// for the allocation pattern — grow the soft cap toward capacity.
+	promotedW := int(v.stats.PromotedWords - basePromoted)
+	capWords := word.BytesToWords(int(v.nursery.Hi - v.nursery.Lo))
+	if promotedW*3 > usedWords && v.nurLimit < capWords {
+		nl := v.nurLimit * nurseryRatio
+		if nl > capWords {
+			nl = capWords
+		}
+		v.nurLimit = nl
+	}
+
+	v.mem.DiscardRange(v.nursery.Lo, v.nursery.Hi)
+	v.nursery.Reset()
+	v.from = savedFrom
+	v.fromNursery = false
+	v.minor = false
+	v.queueCopies = false
+	v.allocHigh = false
+	if !v.concActive {
+		v.to = nil
+	}
+	d := time.Since(start)
+	v.minorPauseH.Observe(uint64(d))
+	v.tr.Complete("vgc", "minor", start, d)
+	return moved
+}

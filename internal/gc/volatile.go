@@ -2,6 +2,7 @@ package gc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"stableheap/internal/heap"
@@ -21,6 +22,11 @@ type VolatileHooks struct {
 	// stable-area slot currently holding a pointer into the volatile
 	// area. These slots are roots of the volatile collection.
 	StableSlots func() []word.Addr
+	// NewlyStable returns the volatile addresses of every tracked
+	// newly-stable (LS) object. Minor collections and concurrent flips
+	// evacuate the ones inside their from-set — reachable or not — so
+	// no LS entry can dangle into a space about to be discarded.
+	NewlyStable func() []word.Addr
 	// AllocStable reserves stable-area space for a newly stable object
 	// being evacuated (Ch. 5's "move at the next volatile collection").
 	AllocStable func(sizeWords int) word.Addr
@@ -37,7 +43,8 @@ type VolatileHooks struct {
 }
 
 // VolatileStats counts volatile-area collections. Pause is the always-on
-// stop-the-world pause histogram.
+// stop-the-world pause histogram; MinorPause, FlipPause and QuantumPause
+// cover the nursery and mostly-concurrent modes.
 type VolatileStats struct {
 	Collections int
 	CopiedObjs  int64
@@ -45,15 +52,35 @@ type VolatileStats struct {
 	MovedObjs   int64 // evacuated into the stable area
 	MovedWords  int64
 	Pause       obs.HistSnapshot
+
+	// Nursery generation.
+	MinorCollections  int
+	NurseryAllocObjs  int64
+	NurseryAllocWords int64
+	PromotedObjs      int64 // nursery survivors copied into older spaces
+	PromotedWords     int64
+	MinorPause        obs.HistSnapshot
+
+	// Mostly-concurrent mode.
+	ConcCollections int
+	ConcQuanta      int64
+	ConcTransports  int64
+	FlipPause       obs.HistSnapshot
+	QuantumPause    obs.HistSnapshot
 }
 
-// VolatileCollector is the plain, unlogged stop-the-world Cheney collector
-// of the volatile area (Ch. 5). Ordinary volatile objects are copied
-// without any logging — this is precisely how the divided heap avoids the
-// costs of atomic collection for volatile state. Newly stable objects
-// (AS bit set) are instead evacuated into the stable area with logged
-// V2SCopy records, and stable-area slots that pointed at them are fixed
-// with logged, redo-only SFix records (the paper's "S4vscan").
+// VolatileCollector is the plain, unlogged copying collector of the
+// volatile area (Ch. 5). Ordinary volatile objects are copied without any
+// logging — this is precisely how the divided heap avoids the costs of
+// atomic collection for volatile state. Newly stable objects (AS bit set)
+// are instead evacuated into the stable area with logged V2SCopy records,
+// and stable-area slots that pointed at them are fixed with logged,
+// redo-only SFix records (the paper's "S4vscan").
+//
+// Beyond the original stop-the-world Collect, the collector supports a
+// small nursery generation (CollectNursery) and a mostly-concurrent mode
+// (StartConcurrent / ScanQuantum / FinishConcurrent) where only the flip
+// is stop-the-world and the Cheney scan runs on a collector goroutine.
 type VolatileCollector struct {
 	mem   *vm.Store
 	h     *heap.Heap
@@ -64,12 +91,33 @@ type VolatileCollector struct {
 	cur    int
 	epoch  uint64
 
+	// nursery generation (nil when disabled)
+	nursery  *heap.Space
+	nurLimit int // soft allocation cap in words, RATIO growth
+
 	// collection-local state
-	from, to *heap.Space
-	movedQ   []word.Addr // stable-area addresses of moved objects to scan
-	stats    VolatileStats
-	pauseH   obs.Histogram
-	tr       *obs.Trace
+	from, to    *heap.Space
+	fromNursery bool // nursery is part of the from-set
+	minor       bool // minor (nursery-only) collection in progress
+	queueCopies bool // scan copies via copyQ instead of a scan pointer
+	allocHigh   bool // copies go to the high end (promotion during scan)
+	copyQ       []word.Addr
+	movedQ      []word.Addr // stable-area addresses of moved objects to scan
+
+	// mostly-concurrent collection state
+	concActive     bool
+	scan           word.Addr // concurrent Cheney scan pointer (object base)
+	scanSlot       int       // next pointer slot within the object at scan
+	concReserve    int       // from-space words still to copy at the flip
+	concBaseCopied int64     // stats.CopiedWords at the flip
+	transMu        sync.Mutex
+
+	stats       VolatileStats
+	pauseH      obs.Histogram
+	minorPauseH obs.Histogram
+	flipPauseH  obs.Histogram
+	quantumH    obs.Histogram
+	tr          *obs.Trace
 }
 
 // NewVolatile creates the volatile-area collector over [lo, hi), split into
@@ -91,17 +139,23 @@ func (v *VolatileCollector) SetHooks(h VolatileHooks) { v.hooks = h }
 // SetTrace wires an optional trace ring; nil disables tracing.
 func (v *VolatileCollector) SetTrace(t *obs.Trace) { v.tr = t }
 
-// Stats returns accumulated counters and the pause-histogram snapshot.
+// Stats returns accumulated counters and the pause-histogram snapshots.
 func (v *VolatileCollector) Stats() VolatileStats {
+	v.transMu.Lock()
 	s := v.stats
+	v.transMu.Unlock()
 	s.Pause = v.pauseH.Snapshot()
+	s.MinorPause = v.minorPauseH.Snapshot()
+	s.FlipPause = v.flipPauseH.Snapshot()
+	s.QuantumPause = v.quantumH.Snapshot()
 	return s
 }
 
-// Epoch returns the number of volatile collections performed.
+// Epoch returns the number of volatile flips performed (minor collections
+// do not flip and do not advance the epoch).
 func (v *VolatileCollector) Epoch() uint64 { return v.epoch }
 
-// Current returns the space receiving allocations.
+// Current returns the space receiving aged allocations.
 func (v *VolatileCollector) Current() *heap.Space { return v.spaces[v.cur] }
 
 // CurrentIndex returns which semispace is current (for checkpoints).
@@ -110,19 +164,62 @@ func (v *VolatileCollector) CurrentIndex() int { return v.cur }
 // SetCurrentIndex restores the current-semispace choice (recovery).
 func (v *VolatileCollector) SetCurrentIndex(i int) { v.cur = i }
 
-// InArea reports whether a falls in the volatile area.
+// InArea reports whether a falls in the volatile area (either semispace or
+// the nursery).
 func (v *VolatileCollector) InArea(a word.Addr) bool {
-	return v.spaces[0].Contains(a) || v.spaces[1].Contains(a)
+	if v.spaces[0].Contains(a) || v.spaces[1].Contains(a) {
+		return true
+	}
+	return v.nursery != nil && v.nursery.Contains(a)
 }
 
-// Alloc reserves a new object in the volatile area; ok is false when full
-// (the caller collects and retries).
+// inFrom reports whether a falls in the from-set of the collection in
+// progress: the from semispace (full and concurrent collections) and/or
+// the nursery (minor and full collections).
+func (v *VolatileCollector) inFrom(a word.Addr) bool {
+	if v.from != nil && v.from.Contains(a) {
+		return true
+	}
+	return v.fromNursery && v.nursery.Contains(a)
+}
+
+// Alloc reserves a new aged object in the volatile area; ok is false when
+// full (the caller collects and retries). While a concurrent scan is in
+// flight, allocations go to the high end of to-space and must leave
+// headroom for the copies the scan has yet to make.
 func (v *VolatileCollector) Alloc(sizeWords int) (word.Addr, bool) {
+	if v.concActive {
+		if v.to.FreeWords()-sizeWords < v.concRemainingWords() {
+			return word.NilAddr, false
+		}
+		return v.to.AllocHigh(sizeWords)
+	}
 	return v.Current().AllocLow(sizeWords)
+}
+
+// concRemainingWords bounds the from-space words the in-flight concurrent
+// scan may still copy into to-space.
+func (v *VolatileCollector) concRemainingWords() int {
+	rem := v.concReserve - int(v.stats.CopiedWords-v.concBaseCopied)
+	if rem < 0 {
+		return 0
+	}
+	return rem
 }
 
 // FreeWords returns free space in the current volatile semispace.
 func (v *VolatileCollector) FreeWords() int { return v.Current().FreeWords() }
+
+// NurseryLimitWords returns the nursery's current soft allocation cap (0
+// without a nursery): the worst-case promotion volume of one minor
+// collection, and so the core's pacing unit for starting a concurrent
+// full collection while the aged space can still absorb upcoming minors.
+func (v *VolatileCollector) NurseryLimitWords() int {
+	if v.nursery == nil {
+		return 0
+	}
+	return v.nurLimit
+}
 
 // Reset empties the volatile area (after recovery: volatile contents do not
 // survive a crash; recovered newly-stable objects are re-materialized by
@@ -130,11 +227,18 @@ func (v *VolatileCollector) FreeWords() int { return v.Current().FreeWords() }
 func (v *VolatileCollector) Reset() {
 	v.spaces[0].Reset()
 	v.spaces[1].Reset()
+	if v.nursery != nil {
+		v.nursery.Reset()
+	}
 }
 
-// Collect runs one stop-the-world volatile collection, returning the number
-// of newly stable objects moved into the stable area.
+// Collect runs one stop-the-world volatile collection (nursery included in
+// the from-set), returning the number of newly stable objects moved into
+// the stable area.
 func (v *VolatileCollector) Collect() int {
+	if v.concActive {
+		panic("gc: stop-the-world collect during a concurrent scan")
+	}
 	start := time.Now()
 	v.epoch++
 	v.stats.Collections++
@@ -142,6 +246,8 @@ func (v *VolatileCollector) Collect() int {
 	v.cur = 1 - v.cur
 	v.to = v.spaces[v.cur]
 	v.to.Reset()
+	v.fromNursery = v.nursery != nil
+	v.minor, v.queueCopies, v.allocHigh = false, false, false
 	v.movedQ = nil
 	moved := 0
 
@@ -149,7 +255,7 @@ func (v *VolatileCollector) Collect() int {
 	if v.hooks.ForEachRoot != nil {
 		v.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
 			p := get()
-			if !p.IsNil() && v.from.Contains(p) {
+			if !p.IsNil() && v.inFrom(p) {
 				set(v.evacuate(p))
 			}
 		})
@@ -157,7 +263,7 @@ func (v *VolatileCollector) Collect() int {
 	// …and the stable→volatile remembered slots, whose rewrites are
 	// stable-area modifications and follow the WAL protocol.
 	if v.hooks.StableSlots != nil {
-		v.fixStableSlots(v.hooks.StableSlots())
+		v.fixStableSlots(v.hooks.StableSlots(), false)
 	}
 
 	// Cheney scan of the volatile to-space.
@@ -168,7 +274,7 @@ func (v *VolatileCollector) Collect() int {
 			for i := 0; i < d.NPtrs(); i++ {
 				slot := scan + word.Addr(heap.PtrOffset(i))
 				p := word.Addr(v.mem.ReadWord(slot))
-				if !p.IsNil() && v.from.Contains(p) {
+				if !p.IsNil() && v.inFrom(p) {
 					v.mem.WriteWord(slot, uint64(v.evacuate(p)), word.NilLSN)
 				}
 			}
@@ -191,6 +297,11 @@ func (v *VolatileCollector) Collect() int {
 	v.mem.DiscardRange(v.from.Lo, v.from.Hi)
 	v.from.Reset()
 	v.from = nil
+	if v.fromNursery {
+		v.mem.DiscardRange(v.nursery.Lo, v.nursery.Hi)
+		v.nursery.Reset()
+		v.fromNursery = false
+	}
 	d := time.Since(start)
 	v.pauseH.Observe(uint64(d))
 	v.tr.Complete("vgc", "collect", start, d)
@@ -199,17 +310,24 @@ func (v *VolatileCollector) Collect() int {
 
 // CollectRecovered evacuates recovered newly stable objects out of the
 // volatile area after a crash. Redo re-materialized them at their pre-crash
-// volatile addresses — in either semispace — and everything else in the
-// volatile area is dead (volatile state does not survive crashes), so the
-// whole area is treated as from-space and the only live objects are AS
-// objects reachable from the rebuilt stable→volatile remembered set.
+// volatile addresses — in either semispace or the nursery — and everything
+// else in the volatile area is dead (volatile state does not survive
+// crashes), so the whole area is treated as from-space and the only live
+// objects are AS objects reachable from the rebuilt stable→volatile
+// remembered set.
 func (v *VolatileCollector) CollectRecovered() int {
 	v.epoch++
 	v.stats.Collections++
-	// Pseudo from-space spanning both semispaces; no volatile to-space
-	// copies can occur (every reachable object carries the AS bit).
-	v.from = heap.NewSpace(v.spaces[0].Lo, v.spaces[1].Hi)
+	// Pseudo from-space spanning both semispaces and the nursery; no
+	// volatile to-space copies can occur (every reachable object carries
+	// the AS bit).
+	hi := v.spaces[1].Hi
+	if v.nursery != nil {
+		hi = v.nursery.Hi
+	}
+	v.from = heap.NewSpace(v.spaces[0].Lo, hi)
 	v.to = nil
+	v.fromNursery = false
 	v.movedQ = nil
 	moved := 0
 	// Roots: besides the stable→volatile remembered slots, transactions
@@ -219,13 +337,13 @@ func (v *VolatileCollector) CollectRecovered() int {
 	if v.hooks.ForEachRoot != nil {
 		v.hooks.ForEachRoot(func(get func() word.Addr, set func(word.Addr)) {
 			p := get()
-			if !p.IsNil() && v.from.Contains(p) {
+			if !p.IsNil() && v.inFrom(p) {
 				set(v.evacuate(p))
 			}
 		})
 	}
 	if v.hooks.StableSlots != nil {
-		v.fixStableSlots(v.hooks.StableSlots())
+		v.fixStableSlots(v.hooks.StableSlots(), false)
 	}
 	for len(v.movedQ) > 0 {
 		obj := v.movedQ[0]
@@ -238,12 +356,15 @@ func (v *VolatileCollector) CollectRecovered() int {
 	v.from = nil
 	v.spaces[0].Reset()
 	v.spaces[1].Reset()
+	if v.nursery != nil {
+		v.nursery.Reset()
+	}
 	return moved
 }
 
 // evacuate transports the volatile object at from: newly stable objects go
-// to the stable area (logged), the rest to the volatile to-space
-// (unlogged). Returns the new address.
+// to the stable area (logged), the rest to the volatile to-space or the
+// aged space (unlogged). Returns the new address.
 func (v *VolatileCollector) evacuate(from word.Addr) word.Addr {
 	d := v.h.Descriptor(from)
 	if d.Forwarded() {
@@ -251,21 +372,43 @@ func (v *VolatileCollector) evacuate(from word.Addr) word.Addr {
 	}
 	size := d.SizeWords()
 	if d.AS() {
+		if v.concActive && !v.minor {
+			// The flip drains every LS entry out of from-space, and
+			// commits only mark to-space or nursery objects AS, so
+			// the concurrent scan can never meet one: a logged move
+			// off the collector goroutine would break the WAL
+			// protocol.
+			panic(fmt.Sprintf("gc: newly stable object %v reached by the concurrent scan", from))
+		}
 		return v.moveStable(from, d, size)
 	}
 	if v.to == nil {
 		// CollectRecovered: only AS objects can be live after a crash.
 		panic(fmt.Sprintf("gc: non-stable object %v reachable in the volatile area after recovery", from))
 	}
-	to, ok := v.to.AllocLow(size)
+	var to word.Addr
+	var ok bool
+	if v.allocHigh {
+		to, ok = v.to.AllocHigh(size)
+	} else {
+		to, ok = v.to.AllocLow(size)
+	}
 	if !ok {
 		panic(fmt.Sprintf("gc: volatile to-space exhausted copying %d words", size))
 	}
 	img := v.mem.ReadBytes(from, word.WordsToBytes(size))
 	v.mem.WriteBytes(to, img, word.NilLSN)
 	v.mem.WriteWord(from, uint64(heap.ForwardingDescriptor(to)), word.NilLSN)
-	v.stats.CopiedObjs++
-	v.stats.CopiedWords += int64(size)
+	if v.minor {
+		v.stats.PromotedObjs++
+		v.stats.PromotedWords += int64(size)
+	} else {
+		v.stats.CopiedObjs++
+		v.stats.CopiedWords += int64(size)
+	}
+	if v.queueCopies {
+		v.copyQ = append(v.copyQ, to)
+	}
 	if v.hooks.OnCopy != nil {
 		v.hooks.OnCopy(from, to, size)
 	}
@@ -295,19 +438,25 @@ func (v *VolatileCollector) moveStable(from word.Addr, d heap.Descriptor, size i
 }
 
 // scanMoved translates the volatile pointers inside an object that just
-// moved to the stable area, logging the rewrites per page.
+// moved to the stable area, logging the rewrites per page. registerAll is
+// set: a slot of a freshly stable object pointing at a volatile object
+// outside the from-set (an aged survivor during a minor collection) still
+// must enter the remembered set, which a same-value SFix accomplishes.
 func (v *VolatileCollector) scanMoved(obj word.Addr) {
 	d := v.h.Descriptor(obj)
 	var slots []word.Addr
 	for i := 0; i < d.NPtrs(); i++ {
 		slots = append(slots, obj+word.Addr(heap.PtrOffset(i)))
 	}
-	v.fixStableSlots(slots)
+	v.fixStableSlots(slots, true)
 }
 
 // fixStableSlots rewrites stable-area slots whose targets the collection
 // moved, batching one SFix record per page (slot writes carry its LSN).
-func (v *VolatileCollector) fixStableSlots(slots []word.Addr) {
+// With registerAll set, slots holding volatile pointers outside the
+// from-set get a same-value fix so their replay registers them in the
+// remembered set.
+func (v *VolatileCollector) fixStableSlots(slots []word.Addr, registerAll bool) {
 	ps := v.mem.PageSize()
 	var fixes []wal.PtrFix
 	var results []bool // stillVolatile per fix
@@ -327,10 +476,18 @@ func (v *VolatileCollector) fixStableSlots(slots []word.Addr) {
 	}
 	for _, slot := range slots {
 		p := word.Addr(v.mem.ReadWord(slot))
-		if p.IsNil() || !v.from.Contains(p) {
+		if p.IsNil() {
 			continue
 		}
-		newp := v.evacuate(p)
+		var newp word.Addr
+		switch {
+		case v.inFrom(p):
+			newp = v.evacuate(p)
+		case registerAll && v.InArea(p):
+			newp = p
+		default:
+			continue
+		}
 		pg := slot.Page(ps)
 		if pg != curPage {
 			flush()
@@ -340,4 +497,16 @@ func (v *VolatileCollector) fixStableSlots(slots []word.Addr) {
 		results = append(results, v.InArea(newp))
 	}
 	flush()
+}
+
+// fixVolatileSlots rewrites volatile-area slots (the nursery remembered
+// set) whose targets the collection moved. Volatile writes are unlogged.
+func (v *VolatileCollector) fixVolatileSlots(slots []word.Addr) {
+	for _, slot := range slots {
+		p := word.Addr(v.mem.ReadWord(slot))
+		if p.IsNil() || !v.inFrom(p) {
+			continue
+		}
+		v.mem.WriteWord(slot, uint64(v.evacuate(p)), word.NilLSN)
+	}
 }

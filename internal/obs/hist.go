@@ -139,6 +139,36 @@ func (s HistSnapshot) MaxDur() time.Duration { return time.Duration(s.Max) }
 // MeanDur is the mean for nanosecond histograms.
 func (s HistSnapshot) MeanDur() time.Duration { return time.Duration(s.Mean()) }
 
+// Delta returns the observations recorded after base was taken (bucket-
+// wise differences) — the phase-measurement counterpart of Merge, for
+// excluding a setup phase from a benchmark's distribution. The Max of the
+// delta is exact when the phase set a new maximum; otherwise it is the
+// upper bound of the highest bucket the phase touched (within 2×, the
+// histogram's resolution), clamped to the all-time maximum.
+func (s HistSnapshot) Delta(base HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	d.Count = s.Count - base.Count
+	d.Sum = s.Sum - base.Sum
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - base.Buckets[i]
+	}
+	if s.Max > base.Max {
+		d.Max = s.Max
+		return d
+	}
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if d.Buckets[i] > 0 {
+			u := BucketUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			d.Max = u
+			break
+		}
+	}
+	return d
+}
+
 // Merge returns the union of two snapshots (bucket-wise sums, max of
 // maxes) — the property that makes per-shard or per-run histograms
 // aggregable without raw samples.

@@ -35,6 +35,13 @@ type Env struct {
 	// AddLS registers a newly stable object (volatile address) in the LS
 	// set.
 	AddLS func(word.Addr)
+	// Forward maps a volatile address to the object's current location —
+	// the mostly-concurrent collector's read barrier. While a concurrent
+	// scan is in flight, raw slot reads can surface from-space addresses;
+	// everything the tracker marks or logs must be forwarded first, or the
+	// batch would stabilize addresses the scan's from-space discard kills.
+	// Nil means identity.
+	Forward func(word.Addr) word.Addr
 }
 
 // Stats counts tracker activity.
@@ -92,8 +99,14 @@ func (tr *Tracker) Track(t *tx.Tx, candidates []*tx.Handle) error {
 // stabilize makes the object at addr (and everything volatile it reaches)
 // stable. Returns the number of objects newly stabilized.
 func (tr *Tracker) stabilize(t *tx.Tx, addr word.Addr) (int, error) {
-	if addr.IsNil() || !tr.env.InVolatile(addr) {
-		return 0, nil // already physically stable (or nil)
+	if addr.IsNil() {
+		return 0, nil
+	}
+	if tr.env.Forward != nil {
+		addr = tr.env.Forward(addr)
+	}
+	if !tr.env.InVolatile(addr) {
+		return 0, nil // already physically stable
 	}
 	d := tr.h.Descriptor(addr)
 	if d.Forwarded() {
@@ -119,6 +132,18 @@ func (tr *Tracker) stabilize(t *tx.Tx, addr word.Addr) (int, error) {
 	if d.AS() {
 		tr.stats.AlreadyAS++
 		return 0, nil
+	}
+	// Forward the pointer fields in place before the image is taken: an
+	// unscanned slot may still hold a from-space address, and the base
+	// record must never capture one (recovery would replay a pointer into
+	// space the collection discarded).
+	if tr.env.Forward != nil {
+		for i := 0; i < d.NPtrs(); i++ {
+			p := tr.h.Ptr(addr, i)
+			if f := tr.env.Forward(p); f != p {
+				tr.h.SetPtr(addr, i, f, word.NilLSN)
+			}
+		}
 	}
 	// Set the AS bit first so the base image carries it (redo of the
 	// base record then restores the bit along with the value), and so

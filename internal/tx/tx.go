@@ -117,6 +117,13 @@ type Env struct {
 	// — by updates and by undo — so the core can maintain the
 	// stable→volatile remembered set. May be nil.
 	OnStableSlotWrite func(slot word.Addr, ptrToVolatile bool)
+	// OnVolatilePtrWrite fires for every pointer store into a volatile
+	// slot — by unlogged writes and by their undo — with the value being
+	// overwritten and the value stored. The core uses it for the
+	// nursery's generational remembered set and, in mostly-concurrent
+	// collection, as the snapshot-at-the-beginning deletion barrier.
+	// May be nil.
+	OnVolatilePtrWrite func(slot, old, stored word.Addr)
 }
 
 // Manager owns the transaction table and the recoverable-action protocol.
@@ -124,17 +131,26 @@ type Env struct {
 // Concurrency: the table map and the id generator are guarded by an
 // internal mutex and the outcome counters are atomics, so Begin, Update,
 // Commit and Abort may run from concurrent transactions (each Tx is owned
-// by a single goroutine). The whole-table walks (OnCopy, ForEachHandle,
-// ForEachUndoRoot, TableEntries, AbortAll, Crash) mutate per-transaction
-// state of OTHER transactions and are only safe from contexts that exclude
-// all mutators — the heap's stop latch held exclusively.
+// by a single goroutine). OnCopy additionally locks the table and the undo
+// lists (undoMu), because the mostly-concurrent collector's read barrier
+// copies objects from mutator contexts. The remaining whole-table walks
+// (ForEachHandle, ForEachUndoRoot, TableEntries, AbortAll, Crash) mutate
+// per-transaction state of OTHER transactions and are only safe from
+// contexts that exclude all mutators — the heap's stop latch held
+// exclusively.
 type Manager struct {
-	log    *wal.Manager
-	mem    *vm.Store
-	h      *heap.Heap
-	locks  *lock.Manager
-	env    Env
-	mu     sync.Mutex // guards nextTx and the active map
+	log   *wal.Manager
+	mem   *vm.Store
+	h     *heap.Heap
+	locks *lock.Manager
+	env   Env
+	mu    sync.Mutex // guards nextTx and the active map
+	// undoMu guards every transaction's undo lists (undoSlots, undoVals,
+	// volUndo) against OnCopy: during a mostly-concurrent volatile
+	// collection the read barrier evacuates objects from a mutator
+	// context, so OnCopy can run concurrently with other transactions
+	// appending undo entries. Order: m.mu before undoMu.
+	undoMu sync.Mutex
 	nextTx word.TxID
 	active map[word.TxID]*Tx
 	stats  Stats // fields incremented atomically
@@ -256,11 +272,15 @@ func (m *Manager) Update(t *Tx, obj, addr word.Addr, redo []byte, isPtrSlot bool
 	})
 	t.lastLSN = lsn
 	m.mem.WriteBytes(addr, redo, lsn)
+	m.undoMu.Lock()
 	t.undoSlots = append(t.undoSlots, uttEntry{lsn: lsn, logged: addr, cur: addr})
 	if isPtrSlot {
 		if old := word.Addr(word.GetWord(undo, 0)); !old.IsNil() {
 			t.undoVals = append(t.undoVals, uttEntry{lsn: lsn, logged: old, cur: old})
 		}
+	}
+	m.undoMu.Unlock()
+	if isPtrSlot {
 		if m.env.OnStableSlotWrite != nil {
 			m.env.OnStableSlotWrite(addr, flags&wal.UFPtrToVolatile != 0)
 		}
@@ -282,7 +302,9 @@ func (m *Manager) UpdateLogical(t *Tx, obj, addr word.Addr, delta uint64) {
 	t.lastLSN = lsn
 	cur := m.mem.ReadWord(addr)
 	m.mem.WriteWord(addr, cur+delta, lsn)
+	m.undoMu.Lock()
 	t.undoSlots = append(t.undoSlots, uttEntry{lsn: lsn, logged: addr, cur: addr})
+	m.undoMu.Unlock()
 	atomic.AddInt64(&m.stats.Updates, 1)
 }
 
@@ -292,8 +314,15 @@ func (m *Manager) UpdateLogical(t *Tx, obj, addr word.Addr, delta uint64) {
 func (m *Manager) VolatileWrite(t *Tx, addr word.Addr, data []byte, isPtrSlot bool) {
 	m.mustBeActive(t)
 	old := m.mem.ReadBytes(addr, len(data))
+	m.undoMu.Lock()
 	t.volUndo = append(t.volUndo, volWrite{addr: addr, old: old, isPtr: isPtrSlot})
+	m.undoMu.Unlock()
 	m.mem.WriteBytes(addr, data, word.NilLSN)
+	if isPtrSlot && m.env.OnVolatilePtrWrite != nil {
+		m.env.OnVolatilePtrWrite(addr,
+			word.Addr(word.GetWord(old, 0)),
+			word.Addr(word.GetWord(data, 0)))
+	}
 	atomic.AddInt64(&m.stats.VolWrites, 1)
 }
 
@@ -457,9 +486,16 @@ func (m *Manager) Abort(t *Tx) {
 	m.mustBeActive(t)
 	t.lastLSN = m.log.Append(wal.AbortRec{TxHdr: wal.TxHdr{TxID: t.id, PrevLSN: t.lastLSN}})
 	m.undoFrom(t, t.lastLSN)
-	// Unlogged volatile writes: restore from memory, newest first.
+	// Unlogged volatile writes: restore from memory, newest first. Each
+	// restore is itself a volatile pointer store, so the barrier hook
+	// fires for it too (grayed overwrites, nursery remembered set).
 	for i := len(t.volUndo) - 1; i >= 0; i-- {
 		w := t.volUndo[i]
+		if w.isPtr && m.env.OnVolatilePtrWrite != nil {
+			m.env.OnVolatilePtrWrite(w.addr,
+				word.Addr(m.mem.ReadWord(w.addr)),
+				word.Addr(word.GetWord(w.old, 0)))
+		}
 		m.mem.WriteBytes(w.addr, w.old, word.NilLSN)
 	}
 	t.status = Aborted
@@ -572,6 +608,10 @@ func (m *Manager) undoFrom(t *Tx, start word.LSN) {
 // of one object never drags the other entry's translation along.
 func (m *Manager) OnCopy(from, to word.Addr, sizeWords int) {
 	hi := from.Add(sizeWords)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.undoMu.Lock()
+	defer m.undoMu.Unlock()
 	for _, t := range m.active {
 		for i := range t.undoSlots {
 			if e := &t.undoSlots[i]; e.cur >= from && e.cur < hi {

@@ -564,6 +564,7 @@ func (s *Store) DiscardRange(lo, hi word.Addr) []wal.DirtyPage {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var ghosts []wal.DirtyPage
+	dropped := 0
 	for _, id := range s.residentPagesLocked() {
 		base := id.Base(s.cfg.PageSize)
 		if base < lo || base >= hi {
@@ -577,15 +578,25 @@ func (s *Store) DiscardRange(lo, hi word.Addr) []wal.DirtyPage {
 			ghosts = append(ghosts, wal.DirtyPage{Page: id, RecLSN: p.recLSN})
 		}
 		delete(s.pages, id)
-		for i, rid := range s.ring {
-			if rid == id {
-				s.ring = append(s.ring[:i], s.ring[i+1:]...)
+		dropped++
+	}
+	if dropped > 0 {
+		// One compaction pass over the clock ring: dropping page-by-page
+		// would cost O(range × ring) — the minor-collection pause was
+		// dominated by exactly that before the nursery resets got hot.
+		out := s.ring[:0]
+		hand := s.hand
+		for i, id := range s.ring {
+			if _, ok := s.pages[id]; !ok {
 				if s.hand > i {
-					s.hand--
+					hand--
 				}
-				break
+				continue
 			}
+			out = append(out, id)
 		}
+		s.ring = out
+		s.hand = hand
 	}
 	return ghosts
 }
