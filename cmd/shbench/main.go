@@ -80,7 +80,8 @@ func list() {
   e15  extension: log space bounded by truncation
   e16  extension: log-shipping failover time vs replication lag
   e18  extension: multi-core transaction-path scaling
-  e19  extension: nursery + mostly-concurrent volatile GC pauses`)
+  e19  extension: nursery + mostly-concurrent volatile GC pauses
+  e20  extension: flight recorder + watchdog overhead on the hot path`)
 }
 
 func usage() {

@@ -18,7 +18,12 @@
 //
 //	shchaos [-seeds n | -seed n] [-steps n] [-crashes n] [-flush f]
 //	        [-midgc] [-repl] [-scenario default|concurrent|nursery]
-//	        [-mutators n] [-shrink] [-json]
+//	        [-mutators n] [-shrink] [-json] [-blackbox file]
+//
+// Every seed runs with the flight recorder on; -blackbox writes one
+// seed's recorder journal (the first violating seed's, else the last
+// swept seed's) to a file that cmd/shtrace decodes into the pre-crash
+// timeline.
 //
 // -scenario concurrent adds a concurrent mutator burst to every round:
 // goroutines increment disjoint counters while the stable collector runs,
@@ -84,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mutators := fs.Int("mutators", 0, "concurrent mutator goroutines per burst (0 = scenario default)")
 	shrink := fs.Bool("shrink", false, "greedily minimize the fault plan of each violating seed")
 	asJSON := fs.Bool("json", false, "print the verdict matrix and per-seed results as JSON")
+	blackbox := fs.String("blackbox", "", "write a seed's flight-recorder journal to this file (first violating seed, else the last seed; decode with shtrace)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -114,6 +120,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep = crashtest.Sweep(sc, *oneSeed, 1)
 	} else {
 		rep = crashtest.Sweep(sc, *from, *seeds)
+	}
+
+	if *blackbox != "" {
+		var dump []byte
+		for _, res := range rep.Results {
+			if len(res.Dump) > 0 {
+				dump = res.Dump
+			}
+			if res.Failed() {
+				break // first violating seed's journal wins
+			}
+		}
+		if err := os.WriteFile(*blackbox, dump, 0o644); err != nil {
+			fmt.Fprintf(stderr, "shchaos: writing -blackbox: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "shchaos: wrote flight-recorder journal (%d bytes) to %s\n", len(dump), *blackbox)
 	}
 
 	// -shrink: for each violating seed, find the minimal plan that still

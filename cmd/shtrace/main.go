@@ -1,0 +1,88 @@
+// Command shtrace decodes a flight-recorder (black-box) dump into a
+// human-readable timeline or a Chrome trace_event JSON document.
+//
+// The dump is the byte stream a heap's flight journal accumulated —
+// written by core.Config.FlightRecorder, exported by Heap.FlightDump or
+// shchaos -blackbox. It may contain frames from several boots (a chaos
+// run crashes and recovers many times); by default the newest boot's
+// events are shown, which is exactly the pre-crash timeline after a
+// crash.
+//
+// Usage:
+//
+//	shtrace -in dump.bin              # timeline of the newest boot
+//	shtrace -in dump.bin -tail 20     # only the last 20 events
+//	shtrace -in dump.bin -all         # every boot, oldest first
+//	shtrace -in dump.bin -chrome t.json  # Chrome trace (about://tracing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stableheap/internal/obs"
+)
+
+func main() {
+	in := flag.String("in", "", "black-box dump file to decode (required)")
+	chrome := flag.String("chrome", "", "also write a Chrome trace_event JSON file")
+	tail := flag.Int("tail", 0, "print only the last N events per boot (0: all)")
+	all := flag.Bool("all", false, "print every boot in the journal, oldest first (default: newest only)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	boots, err := obs.DecodeDumpBoots(data)
+	if err != nil {
+		fail(fmt.Errorf("decoding %s: %w", *in, err))
+	}
+	if len(boots) == 0 {
+		fmt.Println("empty dump: no events recorded")
+		return
+	}
+	show := boots[len(boots)-1:]
+	if *all {
+		show = boots
+	}
+	for _, b := range show {
+		evs := b.Events
+		if len(evs) == 0 {
+			continue
+		}
+		fmt.Printf("boot %s — %d events (seq %d..%d)\n",
+			time.Unix(0, b.Boot).UTC().Format(time.RFC3339Nano),
+			len(evs), evs[0].Seq, evs[len(evs)-1].Seq)
+		if *tail > 0 {
+			fmt.Print(obs.FormatTail(evs, *tail))
+		} else {
+			fmt.Print(obs.FormatEvents(evs))
+		}
+	}
+	evs := boots[len(boots)-1].Events
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteEventsChrome(f, evs); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *chrome)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "shtrace:", err)
+	os.Exit(1)
+}

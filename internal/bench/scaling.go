@@ -38,18 +38,28 @@ func (l *slowForceLog) ForceAll() {
 // 15k-RPM disk with a write cache (~1ms).
 const scalingForceDelay = 250 * time.Microsecond
 
-// scalingMeasure runs g goroutines committing read-modify-write
-// transactions for the given duration and returns committed transactions,
-// conflicts and deadlock aborts. pick chooses each transaction's counter
-// slot from the worker's private rng.
-func scalingMeasure(g int, duration time.Duration, counters int, pick func(w int, rng *rand.Rand) int) (committed, conflicts, deadlocks int64) {
+// scalingConfig is the heap configuration the scaling benches share.
+func scalingConfig() core.Config {
 	cfg := core.Config{
 		PageSize: 1024, StableWords: 64 * 1024, VolatileWords: 16 * 1024,
 		Divided: true, Incremental: true,
 		GroupCommitWindow: 100 * time.Microsecond,
 		LockWait:          5 * time.Millisecond,
 	}
-	cfg = cfg.WithDefaults()
+	return cfg.WithDefaults()
+}
+
+// scalingMeasure runs g goroutines committing read-modify-write
+// transactions for the given duration and returns committed transactions,
+// conflicts and deadlock aborts. pick chooses each transaction's counter
+// slot from the worker's private rng.
+func scalingMeasure(g int, duration time.Duration, counters int, pick func(w int, rng *rand.Rand) int) (committed, conflicts, deadlocks int64) {
+	return scalingMeasureCfg(scalingConfig(), g, duration, counters, pick)
+}
+
+// scalingMeasureCfg is scalingMeasure over an explicit configuration —
+// E20 toggles the flight recorder on the otherwise identical workload.
+func scalingMeasureCfg(cfg core.Config, g int, duration time.Duration, counters int, pick func(w int, rng *rand.Rand) int) (committed, conflicts, deadlocks int64) {
 	logDev := &slowForceLog{LogDevice: storage.NewLog(cfg.LogSegBytes), delay: scalingForceDelay}
 	hp := core.OpenOn(cfg, storage.NewDisk(cfg.PageSize), logDev)
 	defer hp.Close()

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 
+	"stableheap/internal/obs"
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
 )
@@ -60,7 +64,9 @@ func (hp *Heap) StepVolatileScan() bool {
 		return false
 	}
 	hp.drainGrayLocked()
-	return hp.vgc.ScanQuantum(cvgcQuantumWords)
+	more := hp.vgc.ScanQuantum(cvgcQuantumWords)
+	hp.bb.Record(obs.EvVGCQuantum, 0, hp.vgc.Epoch(), 0)
+	return more
 }
 
 // assistVolatileScan lets a mutator that just committed advance an
@@ -93,6 +99,10 @@ func (hp *Heap) assistVolatileScan() {
 // started a newer one), the loop exits without touching anything.
 func (hp *Heap) scanLoop(epoch uint64) {
 	defer hp.scanWG.Done()
+	// CPU profiles separate collector work from mutator work by these
+	// labels (obs.Serve wires /debug/pprof/).
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("subsystem", "vgc-scan", "epoch", strconv.FormatUint(epoch, 10))))
 	// A device fault injected under the scanner (internal/faultfs)
 	// surfaces as a typed panic; the scan simply stops — the next
 	// mutator to need the collection finished will run into the fault
@@ -112,10 +122,9 @@ func (hp *Heap) scanLoop(epoch uint64) {
 				return false
 			}
 			hp.drainGrayLocked()
-			if hp.vgc.ScanQuantum(cvgcQuantumWords) {
-				return true
-			}
-			return false
+			more := hp.vgc.ScanQuantum(cvgcQuantumWords)
+			hp.bb.Record(obs.EvVGCQuantum, 0, epoch, 0)
+			return more
 		}()
 		if !more {
 			break
@@ -144,8 +153,10 @@ func (hp *Heap) finishConcurrentLocked() {
 		return
 	}
 	hp.drainGrayLocked()
+	epoch := hp.vgc.Epoch()
 	hp.vgc.FinishConcurrent()
 	hp.cvgcOn.Store(false)
+	hp.bb.Record(obs.EvVGCFinish, 0, epoch, 0)
 	hp.maybeStartStableGC()
 }
 

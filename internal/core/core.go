@@ -149,6 +149,30 @@ type Config struct {
 	// deadlock detector, leaving only the LockWait timeout backstop (the
 	// pre-detector policy; useful for A/B measurement).
 	NoDeadlockDetect bool
+	// FlightRecorder enables the crash-surviving black-box ring
+	// (internal/obs): compact binary event records — tx begin/commit/abort,
+	// GC flips and quanta, WAL forces, latch stalls, injected faults —
+	// journaled through a dedicated log device so the pre-crash timeline is
+	// readable after recovery (Heap.FlightEvents, cmd/shtrace).
+	FlightRecorder bool
+	// FlightRecorderEvents bounds the black-box ring (default
+	// obs.DefaultBlackBoxEvents); the oldest records are overwritten.
+	FlightRecorderEvents int
+	// FlightJournal, when set, is the device the recorder journals to —
+	// pass the same device across crash/recover cycles to accumulate the
+	// timeline of every run (frames are tagged per run; obs.ReadLatest
+	// separates them). Nil allocates a fresh private device. The journal
+	// device is deliberately never the WAL device and is not expected to
+	// be fault-wrapped: it models battery-backed recorder hardware.
+	FlightJournal storage.LogDevice
+	// WatchdogInterval, when positive, starts a stall-watchdog goroutine
+	// that snapshots the metrics on this ticker and runs anomaly rules
+	// over consecutive windows (mutator stalls far beyond p99, nursery
+	// minor-collection runaway, group-commit convoys); trips count in
+	// obs_watchdog_trips_total and record EvWatchdog events. Off (0) by
+	// default: deterministic harnesses must not host a background
+	// goroutine that perturbs scheduling.
+	WatchdogInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -297,9 +321,15 @@ type Heap struct {
 	group *groupCommitter
 
 	// met holds the heap-level latency histograms (always on); tr is the
-	// optional trace ring (nil unless Config.Trace).
-	met heapMetrics
-	tr  *obs.Trace
+	// optional trace ring (nil unless Config.Trace); bb/journal/wd are the
+	// flight recorder, its persistence journal and the stall watchdog (all
+	// nil unless Config.FlightRecorder / WatchdogInterval — and all their
+	// methods are nil-safe, so instrumentation sites call unconditionally).
+	met     heapMetrics
+	tr      *obs.Trace
+	bb      *obs.BlackBox
+	journal *obs.Journal
+	wd      *obs.Watchdog
 
 	// area bounds (nurLo/nurHi are zero when the nursery is disabled)
 	stableLo, stableHi word.Addr
@@ -329,6 +359,7 @@ func OpenOn(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap 
 	cfg = cfg.withDefaults()
 	hp := build(cfg, disk, logDev)
 	hp.format()
+	hp.startWatchdog()
 	return hp
 }
 
@@ -383,6 +414,15 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 	}
 	log.SetTrace(hp.tr)
 	hp.sgc.SetTrace(hp.tr)
+	if cfg.FlightRecorder {
+		hp.bb = obs.NewBlackBox(cfg.FlightRecorderEvents)
+		jd := cfg.FlightJournal
+		if jd == nil {
+			jd = storage.NewLog(1 << 20)
+		}
+		hp.journal = obs.NewJournal(jd, hp.bb)
+	}
+	log.SetRecorder(hp.bb)
 
 	hp.ckpt = recovery.NewCheckpointer(log, mem, word.NilLSN)
 
@@ -723,6 +763,7 @@ func (hp *Heap) startStableGC() {
 	// first.
 	hp.finishConcurrentLocked()
 	hp.rootObj = hp.sgc.StartCollection(hp.rootObj)
+	hp.bb.Record(obs.EvGCFlip, 0, uint64(hp.sgc.Stats().Collections), 0)
 }
 
 // stepStableGC advances an active incremental collection by one quantum
@@ -788,6 +829,8 @@ func (hp *Heap) collectVolatile() error {
 		if hp.vgc.NurseryUsedWords() == 0 {
 			hp.takeNRem() // stale entries must not dangle across the flip
 			hp.vgc.StartConcurrent()
+			hp.bb.SetGCEpoch(hp.vgc.Epoch())
+			hp.bb.Record(obs.EvVGCFlip, 0, hp.vgc.Epoch(), 1)
 			hp.startConcurrentScan()
 			return nil
 		}
@@ -801,6 +844,8 @@ func (hp *Heap) collectVolatile() error {
 	// have the copy hook rebase entries throughout the collection.
 	hp.takeNRem()
 	hp.vgc.Collect()
+	hp.bb.SetGCEpoch(hp.vgc.Epoch())
+	hp.bb.Record(obs.EvVGCFlip, 0, hp.vgc.Epoch(), 0)
 	hp.ls = make(map[word.Addr]bool)
 	// Evacuations consumed stable space; if it is running low, start an
 	// incremental stable collection now so it finishes before the space
@@ -842,7 +887,11 @@ func (hp *Heap) collectNursery() error {
 			hp.sgc.Finish()
 		}
 	}
+	usedBefore := hp.vgc.NurseryUsedWords()
+	promotedBefore := hp.vgc.Stats().PromotedWords
 	hp.vgc.CollectNursery(hp.takeNRem())
+	hp.bb.Record(obs.EvMinorGC, 0,
+		uint64(hp.vgc.Stats().PromotedWords-promotedBefore), uint64(usedBefore))
 	hp.maybeStartStableGC()
 	// Proactive pacing: a minor collection can promote up to one nursery
 	// limit of words, and CanMinor fails once aged free space drops below
@@ -868,6 +917,7 @@ func (hp *Heap) Begin() *Tx {
 	if hp.hist != nil {
 		hp.hist.Begin(t.t.ID())
 	}
+	hp.bb.Record(obs.EvTxBegin, uint64(t.t.ID()), 0, 0)
 	return t
 }
 
@@ -969,6 +1019,9 @@ func (t *Tx) Alloc(typeID uint16, nptrs, ndata int) (*Ref, error) {
 		return nil, err
 	}
 	hp := t.hp
+	if hp.journal != nil {
+		defer hp.flushOnPanic()
+	}
 	// Allocation bumps a collector frontier and may trigger a collection:
 	// always an exclusive action.
 	hp.lockExclusive()
@@ -1365,6 +1418,9 @@ func (t *Tx) Commit() error {
 		return ErrTxDone
 	}
 	hp := t.hp
+	if hp.journal != nil {
+		defer hp.flushOnPanic()
+	}
 	start := time.Now()
 	// Candidates for THIS transaction are only appended by its own
 	// goroutine, so the peek is stable for the rest of the commit.
@@ -1412,6 +1468,7 @@ func (t *Tx) Commit() error {
 	d := time.Since(start)
 	hp.met.txCommit.Observe(uint64(d))
 	hp.tr.Complete("tx", "commit", start, d)
+	hp.bb.Record(obs.EvTxCommit, uint64(t.t.ID()), uint64(d), 0)
 	hp.assistVolatileScan()
 	return nil
 }
@@ -1432,6 +1489,7 @@ func (t *Tx) commitExclusive(start time.Time) error {
 					hp.hist.Abort(t.t.ID())
 				}
 				hp.met.txConflict.Since(start)
+				hp.bb.Record(obs.EvTxConflict, uint64(t.t.ID()), uint64(time.Since(start)), 0)
 				return t.fail(ErrConflict)
 			}
 		}
@@ -1442,6 +1500,7 @@ func (t *Tx) commitExclusive(start time.Time) error {
 				hp.hist.Abort(t.t.ID())
 			}
 			hp.met.txAbort.Since(start)
+			hp.bb.Record(obs.EvTxAbort, uint64(t.t.ID()), 0, 0)
 			return t.err
 		}
 		if hp.group == nil {
@@ -1473,6 +1532,7 @@ func (t *Tx) commitExclusive(start time.Time) error {
 	d := time.Since(start)
 	hp.met.txCommit.Observe(uint64(d))
 	hp.tr.Complete("tx", "commit", start, d)
+	hp.bb.Record(obs.EvTxCommit, uint64(t.t.ID()), uint64(d), 0)
 	hp.assistVolatileScan()
 	return nil
 }
@@ -1498,6 +1558,9 @@ func (t *Tx) Prepare() error {
 		return ErrTxDone
 	}
 	hp := t.hp
+	if hp.journal != nil {
+		defer hp.flushOnPanic()
+	}
 	hp.lockExclusive()
 	defer hp.unlockExclusive()
 	if t.err == nil && hp.track != nil {
@@ -1528,6 +1591,9 @@ func (t *Tx) Abort() error {
 		return ErrTxDone
 	}
 	hp := t.hp
+	if hp.journal != nil {
+		defer hp.flushOnPanic()
+	}
 	start := time.Now()
 	// Abort undoes updates in place, anywhere in the heap: exclusive.
 	hp.lockExclusive()
@@ -1538,5 +1604,6 @@ func (t *Tx) Abort() error {
 		hp.hist.Abort(t.t.ID())
 	}
 	hp.met.txAbort.Since(start)
+	hp.bb.Record(obs.EvTxAbort, uint64(t.t.ID()), 0, 0)
 	return nil
 }

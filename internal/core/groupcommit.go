@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -37,9 +39,13 @@ type GroupCommitStats struct {
 	MaxWait int64 // largest batch released by one force
 }
 
+// defaultGroupBatch is the batch cap when Config.GroupCommitBatch is 0;
+// the watchdog's convoy rule keys off the same value.
+const defaultGroupBatch = 16
+
 func newGroupCommitter(hp *Heap, window time.Duration, batch int) *groupCommitter {
 	if batch <= 0 {
-		batch = 16
+		batch = defaultGroupBatch
 	}
 	g := &groupCommitter{
 		hp: hp, window: window, batch: batch,
@@ -89,6 +95,8 @@ func (g *groupCommitter) waitDurable(lsn word.LSN) {
 // through the highest pending commit.
 func (g *groupCommitter) flusher() {
 	defer close(g.flusherDone)
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("subsystem", "group-commit")))
 	timer := time.NewTimer(g.window)
 	defer timer.Stop()
 	for {

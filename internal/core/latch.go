@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"stableheap/internal/obs"
 	"stableheap/internal/word"
 )
 
@@ -106,8 +107,18 @@ func (hp *Heap) lockExclusive() {
 	if hp.cvgcOn.Load() {
 		hp.drainGrayLocked()
 	}
-	hp.met.latchStop.Since(start)
+	wait := time.Since(start)
+	hp.met.latchStop.Observe(uint64(wait))
+	if wait > latchStallThreshold {
+		hp.bb.Record(obs.EvLatchStall, 0, uint64(wait), 0)
+	}
 }
+
+// latchStallThreshold is the exclusive-acquisition wait beyond which a
+// latch-stall event lands in the flight recorder: long enough that the
+// uncontended path (nanoseconds) and routine drains (microseconds) never
+// record, short enough to catch any stall a watchdog rule would trip on.
+const latchStallThreshold = time.Millisecond
 
 // unlockExclusive republishes the collector-activity mirror and releases
 // the stop latch. Every exclusive section that may have started or finished

@@ -6,6 +6,7 @@ import (
 
 	"stableheap/internal/gc"
 	"stableheap/internal/lock"
+	"stableheap/internal/obs"
 	"stableheap/internal/recovery"
 	"stableheap/internal/stability"
 	"stableheap/internal/storage"
@@ -44,7 +45,9 @@ func (hp *Heap) checkpointLocked() word.LSN {
 		}
 		cp.SRem = hp.stableSlots()
 	}
-	return hp.ckpt.Take(cp)
+	lsn := hp.ckpt.Take(cp)
+	hp.bb.Record(obs.EvCheckpoint, 0, uint64(lsn), 0)
+	return lsn
 }
 
 // TruncateLog frees reclaimable log space (callable any time; policy is
@@ -59,6 +62,9 @@ func (hp *Heap) TruncateLog() {
 // retires, active transactions abort, dirty pages flush, and a final
 // checkpoint is forced.
 func (hp *Heap) Close() {
+	// The watchdog goroutine snapshots metrics under the shared latch:
+	// stop it before anything below goes exclusive.
+	hp.stopWatchdog()
 	if hp.group != nil {
 		hp.group.close()
 	}
@@ -77,6 +83,7 @@ func (hp *Heap) Close() {
 	// The collector goroutine (if any) saw its collection retired above and
 	// is on its way out; it must not outlive the heap it scans.
 	hp.scanWG.Wait()
+	hp.journal.Flush()
 }
 
 // Crash simulates a system failure (§2.2.2): main memory, the volatile
@@ -84,6 +91,7 @@ func (hp *Heap) Close() {
 // the stable log survive. The heap is unusable afterwards; call Recover
 // with the surviving devices.
 func (hp *Heap) Crash() (storage.PageStore, storage.LogDevice) {
+	hp.stopWatchdog()
 	if hp.group != nil {
 		hp.group.close()
 	}
@@ -94,12 +102,21 @@ func (hp *Heap) Crash() (storage.PageStore, storage.LogDevice) {
 		// unlogged copying, the flip record is already in the log, and
 		// recovery treats the whole volatile area as dead.
 		hp.abandonConcurrentLocked()
+		// CrashDevice applies any planned torn writes (internal/faultfs)
+		// and records them as EvFault events — so crash THEN stamp the
+		// EvCrash marker, and the flushed timeline ends with the injected
+		// fault followed by the crash, exactly the order things happened.
 		hp.log.CrashDevice()
 		hp.mem.Crash()
 		hp.locks.Reset()
 		hp.txm.Crash()
+		hp.bb.Record(obs.EvCrash, 0, 0, 0)
 	}()
 	hp.scanWG.Wait()
+	// The journal device models battery-backed recorder hardware: it is
+	// not among the crashed devices, so the flush below is what makes the
+	// pre-crash timeline readable after recovery.
+	hp.journal.Flush()
 	return hp.disk, hp.logDev
 }
 
@@ -215,6 +232,9 @@ func recoverCommon(cfg Config, disk storage.PageStore, logDev storage.LogDevice,
 	// the collector-activity mirror so the first concurrent actions route
 	// through the exclusive path (single-threaded here, no latch needed).
 	hp.syncCoarse()
+	hp.bb.Record(obs.EvRecovery, 0, uint64(res.RedoApplied), uint64(res.RedoScanned))
+	hp.journal.Flush()
+	hp.startWatchdog()
 	return hp, nil
 }
 

@@ -24,9 +24,12 @@ type heapMetrics struct {
 }
 
 // Metrics returns the unified observability snapshot: every subsystem's
-// counters and latency histograms under one namespace. Counter names end
-// in _total, nanosecond histograms in _ns; the one unitless histogram is
-// group_commit_batch (committers per force).
+// counters and latency histograms under one namespace. Names follow one
+// scheme: a subsystem prefix (tx_, gc_, vgc_, cache_, wal_, lock_,
+// checkpoint_, track_, group_, recovery_, obs_), counters end in _total,
+// nanosecond histograms in _ns; the one unitless histogram is
+// group_commit_batch (committers per force), and obs_trace_buffered is a
+// gauge (events currently retained in the ring).
 func (hp *Heap) Metrics() obs.Snapshot {
 	// Shared latch: subsystem stats that are not internally synchronized
 	// (collector counters, tracker counters) only mutate in exclusive
@@ -88,14 +91,14 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	s.SetCounter("cache_flushes_total", ms.Flushes)
 	s.SetCounter("cache_evictions_total", ms.Evictions)
 	s.SetCounter("cache_fresh_pages_total", ms.FreshPages)
-	s.SetCounter("barrier_traps_total", ms.Traps)
+	s.SetCounter("gc_barrier_traps_total", ms.Traps)
 	s.SetCounter("wal_constraint_forces_total", ms.LogForces)
 
 	ls := hp.log.DeviceStats()
-	s.SetCounter("log_appends_total", ls.Appends)
-	s.SetCounter("log_forces_total", ls.Forces)
-	s.SetCounter("log_bytes_appended_total", ls.BytesAppended)
-	s.SetCounter("log_bytes_stable_total", ls.BytesStable)
+	s.SetCounter("wal_appends_total", ls.Appends)
+	s.SetCounter("wal_forces_total", ls.Forces)
+	s.SetCounter("wal_bytes_appended_total", ls.BytesAppended)
+	s.SetCounter("wal_bytes_stable_total", ls.BytesStable)
 	s.SetHist("wal_append_ns", hp.log.AppendHist())
 	s.SetHist("wal_force_ns", hp.log.ForceHist())
 
@@ -107,8 +110,8 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	s.SetCounter("lock_rekeys_total", ks.Rekeys)
 
 	cs := hp.ckpt.Stats()
-	s.SetCounter("checkpoints_total", cs.Taken)
-	s.SetCounter("checkpoints_promoted_total", cs.Promoted)
+	s.SetCounter("checkpoint_taken_total", cs.Taken)
+	s.SetCounter("checkpoint_promoted_total", cs.Promoted)
 	s.SetCounter("checkpoint_cleaned_pages_total", cs.Cleaned)
 
 	if hp.track != nil {
@@ -143,8 +146,16 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	}
 
 	if hp.tr != nil {
-		s.SetCounter("trace_events_total", int64(hp.tr.Len()))
-		s.SetCounter("trace_dropped_total", int64(hp.tr.Dropped()))
+		s.SetCounter("obs_trace_events_total", int64(hp.tr.Total()))
+		s.SetCounter("obs_trace_dropped_total", int64(hp.tr.Dropped()))
+		s.SetCounter("obs_trace_buffered", int64(hp.tr.Len()))
+	}
+	if hp.bb != nil {
+		s.SetCounter("obs_blackbox_events_total", int64(hp.bb.Seq()))
+		s.SetCounter("obs_blackbox_dropped_total", int64(hp.bb.Dropped()))
+	}
+	if hp.wd != nil {
+		s.SetCounter("obs_watchdog_trips_total", int64(hp.wd.Trips()))
 	}
 	return s
 }

@@ -51,7 +51,7 @@ func TestMetricsSnapshot(t *testing.T) {
 			t.Errorf("histogram %s recorded %d observations of zero time", name, h.Count)
 		}
 	}
-	for _, name := range []string{"tx_committed_total", "tx_aborted_total", "gc_collections_total", "cache_hits_total", "log_appends_total", "log_forces_total"} {
+	for _, name := range []string{"tx_committed_total", "tx_aborted_total", "gc_collections_total", "cache_hits_total", "wal_appends_total", "wal_forces_total"} {
 		if m.Counter(name) == 0 {
 			t.Errorf("counter %s is zero after a mixed workload", name)
 		}

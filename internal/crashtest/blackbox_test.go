@@ -1,0 +1,156 @@
+package crashtest
+
+import (
+	"strings"
+	"testing"
+
+	"stableheap/internal/core"
+	"stableheap/internal/faultfs"
+	"stableheap/internal/obs"
+	"stableheap/internal/storage"
+)
+
+// TestBlackBoxPreCrashTimeline is the flight recorder's acceptance test:
+// a chaos-style crash with the recorder enabled must yield a decodable
+// dump whose last events include the injected fault and whose body shows
+// the in-flight transaction and GC state at the moment of death.
+func TestBlackBoxPreCrashTimeline(t *testing.T) {
+	plan := faultfs.Plan{Seed: 7, TornPage: true, TornForce: true}
+	cfg := ChaosConfig()
+	jdev := storage.NewLog(1 << 20)
+	cfg.FlightJournal = jdev
+	inj := faultfs.New(plan, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
+	d := NewOn(cfg, plan.Seed, inj.Disk, inj.Log)
+	inj.SetRecorder(d.hp.FlightRecorder())
+	inj.Arm()
+
+	// Workload (commits land in the ring), then an incremental stable
+	// collection and an uncommitted transaction left in flight.
+	for i := 0; i < 40; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	d.hp.Checkpoint()
+	d.hp.StartStableCollection()
+	d.hp.StepStable()
+	_ = d.hp.Begin() // in flight at the crash
+
+	d.hp.Crash() // plan applies the torn page write and torn log tail
+
+	// The journal survives the crash (the model of battery-backed
+	// recorder hardware) and replays the dead run's timeline.
+	evs, _, err := obs.ReadLatest(jdev)
+	if err != nil {
+		t.Fatalf("reading the journal after the crash: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty flight recording after a crash")
+	}
+
+	kinds := map[obs.EventKind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	// In-flight tx and GC state: begins, commits, the stable-GC flip and
+	// the checkpoint must all be on the recording.
+	for _, want := range []obs.EventKind{obs.EvTxBegin, obs.EvTxCommit, obs.EvGCFlip, obs.EvCheckpoint} {
+		if kinds[want] == 0 {
+			t.Errorf("recording has no %s events", want)
+		}
+	}
+
+	// The last events must include the injected crash-time faults and end
+	// with the crash marker.
+	tornPage, tornForce := false, false
+	const tailLen = 8
+	tail := evs
+	if len(tail) > tailLen {
+		tail = tail[len(tail)-tailLen:]
+	}
+	for _, ev := range tail {
+		if ev.Kind == obs.EvFault {
+			switch ev.A {
+			case obs.FaultTornPage:
+				tornPage = true
+			case obs.FaultTornForce:
+				tornForce = true
+			}
+		}
+	}
+	if !tornPage || !tornForce {
+		t.Errorf("tail lacks the injected faults (torn-page=%v torn-force=%v):\n%s",
+			tornPage, tornForce, obs.FormatTail(evs, tailLen))
+	}
+	if last := evs[len(evs)-1]; last.Kind != obs.EvCrash {
+		t.Errorf("last event is %s, want %s:\n%s", last.Kind, obs.EvCrash, obs.FormatTail(evs, tailLen))
+	}
+
+	// Causality: sequence numbers are strictly increasing and tx events
+	// carry their transaction IDs.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence numbers not strictly increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	for _, ev := range evs {
+		if ev.Kind == obs.EvTxCommit && ev.Tx == 0 {
+			t.Error("commit event with no transaction ID")
+			break
+		}
+	}
+
+	// Recovery over the crashed devices appends a new boot; the journal
+	// then reads as the recovered run, with the recovery marker aboard.
+	disk, logDev := d.hp.Devices()
+	hp, err := core.Recover(cfg, disk, logDev)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer hp.Close()
+	evs2, _, err := obs.ReadLatest(jdev)
+	if err != nil {
+		t.Fatalf("reading the journal after recovery: %v", err)
+	}
+	found := false
+	for _, ev := range evs2 {
+		if ev.Kind == obs.EvRecovery {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("post-recovery boot has no %s event:\n%s", obs.EvRecovery, obs.FormatEvents(evs2))
+	}
+}
+
+// TestChaosSeedDumpDecodes runs a real chaos seed end to end and asserts
+// the exported dump (what shchaos -blackbox writes) is shtrace-decodable
+// and non-trivial.
+func TestChaosSeedDumpDecodes(t *testing.T) {
+	res := RunSeedWithPlan(Scenario{Steps: 30, Crashes: 3, MidGC: true},
+		faultfs.Plan{Seed: 11, TornPage: true, TornForce: true})
+	if res.Failed() {
+		t.Fatalf("seed violated: %s", res.Failure)
+	}
+	if len(res.Dump) == 0 {
+		t.Fatal("chaos seed produced no flight-recorder dump")
+	}
+	boot, evs, err := DecodeChaosDump(t, res.Dump)
+	if err != nil {
+		t.Fatalf("dump does not decode: %v", err)
+	}
+	if boot == 0 || len(evs) == 0 {
+		t.Fatalf("decoded dump is empty (boot=%d, %d events)", boot, len(evs))
+	}
+	// The decoded timeline renders (what shtrace prints).
+	if out := obs.FormatEvents(evs); !strings.Contains(out, "seq=") {
+		t.Errorf("timeline rendering looks wrong:\n%s", out)
+	}
+}
+
+// DecodeChaosDump decodes a chaos dump exactly as cmd/shtrace does.
+func DecodeChaosDump(t *testing.T, dump []byte) (int64, []obs.Event, error) {
+	t.Helper()
+	boot, evs, err := obs.DecodeDump(dump)
+	return boot, evs, err
+}

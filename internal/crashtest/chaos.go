@@ -33,7 +33,9 @@ import (
 	"stableheap/internal/core"
 	"stableheap/internal/faultfs"
 	"stableheap/internal/histcheck"
+	"stableheap/internal/obs"
 	"stableheap/internal/storage"
+	"stableheap/internal/word"
 )
 
 // Verdict classifies one chaos round's outcome.
@@ -112,13 +114,18 @@ func (sc Scenario) withDefaults() Scenario {
 
 // ChaosConfig is the heap configuration chaos runs use: group commit off
 // (a returned Commit means the commit record was forced — the harness
-// relies on acked commits surviving any torn force) and one huge log
+// relies on acked commits surviving any torn force), one huge log
 // segment (truncation never reclaims, so RecoverFromLog's full-log
-// archive discipline holds and the media-repair path stays live).
+// archive discipline holds and the media-repair path stays live), and
+// the flight recorder on (the explorer shares one journal device across
+// a seed's crash/recover cycles, so every violation verdict carries the
+// decoded pre-crash timeline). The watchdog stays off: its ticker
+// goroutine would perturb the seed-deterministic schedule.
 func ChaosConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.LogSegBytes = 1 << 30
 	cfg.GroupCommitWindow = 0
+	cfg.FlightRecorder = true
 	return cfg.WithDefaults()
 }
 
@@ -135,6 +142,10 @@ type SeedResult struct {
 	// occurred). It embeds Plan.String(), so the failure is reproducible
 	// from the message alone.
 	Failure string
+	// Dump is the seed's complete flight-recorder journal — every frame
+	// every boot flushed, decodable with obs.DecodeDump or cmd/shtrace.
+	// Excluded from JSON reports (binary, potentially large).
+	Dump []byte `json:"-"`
 }
 
 // Failed reports whether the seed produced a Violation.
@@ -167,6 +178,14 @@ type chaosRun struct {
 	rng  *rand.Rand // flush-subset decisions (separate stream from Driver/Injector)
 	res  SeedResult
 	dead bool // devices unrecoverable or replaced; no further rounds
+
+	// jdev is the flight-recorder journal device, shared across the
+	// seed's crash/recover cycles (the model of battery-backed recorder
+	// hardware: it is not wrapped by the injector and survives Crash).
+	// timeline is the newest boot's decoded events as of the last crash —
+	// the pre-crash flight recording, attached to violation verdicts.
+	jdev     storage.LogDevice
+	timeline []obs.Event
 
 	// Concurrent-mutator state (Scenario.Mutators > 0): expected[w] is
 	// mutator w's last acknowledged committed counter value — the exact
@@ -204,14 +223,21 @@ func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
 		cfg.ConcurrentVGC = true
 		cfg.ConcVGCManualScan = true
 	}
+	// One journal device for the whole seed: each recovered heap appends
+	// its frames under a fresh boot id, so the accumulated dump holds the
+	// full multi-boot history and ReadLatest always yields the newest.
+	jdev := storage.NewLog(1 << 20)
+	cfg.FlightJournal = jdev
 	inj := faultfs.New(plan, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
 	r := &chaosRun{
-		sc:  sc,
-		d:   NewOn(cfg, plan.Seed, inj.Disk, inj.Log),
-		inj: inj,
-		rng: rand.New(rand.NewSource(plan.Seed ^ 0x5eed)),
-		res: SeedResult{Seed: plan.Seed, Plan: plan},
+		sc:   sc,
+		d:    NewOn(cfg, plan.Seed, inj.Disk, inj.Log),
+		inj:  inj,
+		rng:  rand.New(rand.NewSource(plan.Seed ^ 0x5eed)),
+		res:  SeedResult{Seed: plan.Seed, Plan: plan},
+		jdev: jdev,
 	}
+	inj.SetRecorder(r.d.hp.FlightRecorder())
 	inj.Arm()
 	for round := 0; round < sc.Crashes && !r.dead; round++ {
 		r.round(round)
@@ -220,7 +246,28 @@ func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
 		r.replRound()
 	}
 	r.res.Faults = inj.Stats()
+	r.res.Dump = journalBytes(jdev)
 	return r.res
+}
+
+// journalBytes concatenates every journal frame ever flushed (all boots).
+func journalBytes(dev storage.LogDevice) []byte {
+	var out []byte
+	dev.Scan(dev.TruncLSN(), false, func(_ word.LSN, data []byte) bool {
+		out = append(out, data...)
+		return true
+	})
+	return out
+}
+
+// violation records a Violation verdict with the pre-crash flight
+// recording attached: the last events the recorder captured before the
+// most recent crash, decoded into a timeline.
+func (r *chaosRun) violation(msg string) {
+	if len(r.timeline) > 0 {
+		msg += "\npre-crash flight recorder tail:\n" + obs.FormatTail(r.timeline, 12)
+	}
+	r.res.record(Violation, msg)
 }
 
 // guard runs fn, converting a typed device panic into its error (second
@@ -273,7 +320,17 @@ func (r *chaosRun) round(round int) {
 	}
 	r.d.hp.Crash() // applies the plan's torn page write and torn log tail
 	r.d.stats.Crashes++
+	r.captureTimeline()
 	r.recoverAndAudit(online)
+}
+
+// captureTimeline decodes the newest boot's flushed events — called
+// right after a crash, this is the flight recording of the run that just
+// died, ending in the injected fault and the crash marker.
+func (r *chaosRun) captureTimeline() {
+	if evs, _, err := obs.ReadLatest(r.jdev); err == nil && len(evs) > 0 {
+		r.timeline = evs
+	}
 }
 
 // workload runs the round's steps with faults armed. A typed fault
@@ -288,7 +345,7 @@ func (r *chaosRun) workload(round int) (online bool) {
 			return true
 		}
 		if stepErr != nil {
-			r.res.record(Violation, fmt.Sprintf("workload step %d: %v", i, stepErr))
+			r.violation(fmt.Sprintf("workload step %d: %v", i, stepErr))
 			r.dead = true
 			return true
 		}
@@ -356,7 +413,7 @@ func (r *chaosRun) mutatorSetup() error {
 		// The driver's in-doubt prepared transaction holds the root
 		// array; setup retries next round after resolution.
 	default:
-		r.res.record(Violation, fmt.Sprintf("mutator setup: %v", err))
+		r.violation(fmt.Sprintf("mutator setup: %v", err))
 		r.dead = true
 	}
 	return nil
@@ -476,7 +533,7 @@ func (r *chaosRun) concurrentBurst() (online bool) {
 
 	select {
 	case err := <-hardErrs:
-		r.res.record(Violation, fmt.Sprintf("concurrent burst: %v", err))
+		r.violation(fmt.Sprintf("concurrent burst: %v", err))
 		r.dead = true
 		return true
 	default:
@@ -491,7 +548,7 @@ func (r *chaosRun) concurrentBurst() (online bool) {
 	}
 
 	if err := histcheck.Check(rec.History()); err != nil {
-		r.res.record(Violation, fmt.Sprintf("concurrent burst history: %v", err))
+		r.violation(fmt.Sprintf("concurrent burst history: %v", err))
 		r.dead = true
 		return true
 	}
@@ -581,7 +638,7 @@ func (r *chaosRun) nurseryBurst(round int) (online bool) {
 			// The driver's in-doubt prepared transaction holds the root
 			// array; this chain keeps its previous acknowledged state.
 		default:
-			r.res.record(Violation, fmt.Sprintf("nursery burst chain %d: %v", w, err))
+			r.violation(fmt.Sprintf("nursery burst chain %d: %v", w, err))
 			r.dead = true
 			return true
 		}
@@ -737,13 +794,16 @@ func (r *chaosRun) recoverAndAudit(onlineAlready bool) {
 			r.mediaRepair(logDev)
 			return
 		}
-		r.res.record(Violation, fmt.Sprintf("recovery failed with an untyped error: %v", err))
+		r.violation(fmt.Sprintf("recovery failed with an untyped error: %v", err))
 		r.dead = true
 		return
 	}
 
 	r.d.hp = hp
 	r.d.stats.Recoveries++
+	// The recovered heap carries a fresh ring; re-point fault injections
+	// at it so the next crash's recording includes them.
+	r.inj.SetRecorder(hp.FlightRecorder())
 	auditErr, fault := guard(func() error {
 		if err := r.d.resolveInDoubt(hp); err != nil {
 			return err
@@ -762,7 +822,7 @@ func (r *chaosRun) recoverAndAudit(onlineAlready bool) {
 		// touched: detected at first use, exactly like production reads.
 		r.res.record(DetectedOnline, fault.Error())
 	case auditErr != nil:
-		r.res.record(Violation, fmt.Sprintf("recovery succeeded but the audit failed: %v", auditErr))
+		r.violation(fmt.Sprintf("recovery succeeded but the audit failed: %v", auditErr))
 		r.dead = true
 	case !onlineAlready:
 		r.res.record(Clean, "")
@@ -785,12 +845,13 @@ func (r *chaosRun) mediaRepair(logDev storage.LogDevice) {
 	hp, err := core.RecoverFromLog(r.d.cfg, logDev)
 	if err != nil {
 		if !errors.Is(err, storage.ErrCorrupt) && !errors.Is(err, storage.ErrIO) {
-			r.res.record(Violation, fmt.Sprintf("media recovery failed with an untyped error: %v", err))
+			r.violation(fmt.Sprintf("media recovery failed with an untyped error: %v", err))
 		}
 		return // detected: the log itself is rotten; nothing was admitted
 	}
 	r.d.hp = hp
 	r.d.stats.Recoveries++
+	r.inj.SetRecorder(hp.FlightRecorder())
 	auditErr, fault := guard(func() error {
 		if err := r.d.resolveInDoubt(hp); err != nil {
 			return err
@@ -807,7 +868,7 @@ func (r *chaosRun) mediaRepair(logDev storage.LogDevice) {
 	case fault != nil:
 		r.res.record(DetectedOnline, fault.Error())
 	case auditErr != nil:
-		r.res.record(Violation, fmt.Sprintf("media recovery succeeded but the audit failed: %v", auditErr))
+		r.violation(fmt.Sprintf("media recovery succeeded but the audit failed: %v", auditErr))
 	default:
 		r.res.record(Repaired, "")
 	}
@@ -829,9 +890,10 @@ func (r *chaosRun) replRound() {
 		r.res.record(DetectedOnline, fault.Error())
 		r.d.hp.Crash()
 		r.d.stats.Crashes++
+		r.captureTimeline()
 		r.recoverAndAudit(true)
 	case pErr != nil:
-		r.res.record(Violation, fmt.Sprintf("replicated failover: %v", pErr))
+		r.violation(fmt.Sprintf("replicated failover: %v", pErr))
 	default:
 		r.res.record(Clean, "")
 		r.dead = true // the promoted heap runs on unwrapped devices

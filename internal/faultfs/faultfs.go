@@ -37,6 +37,7 @@ import (
 	"sort"
 	"sync"
 
+	"stableheap/internal/obs"
 	"stableheap/internal/storage"
 	"stableheap/internal/word"
 )
@@ -114,10 +115,21 @@ type Injector struct {
 	Disk *Disk
 	Log  *Log
 
-	mu    sync.Mutex // guards rng, armed, stats (disk and log wrappers run under different latches)
+	mu    sync.Mutex // guards rng, armed, stats, rec (disk and log wrappers run under different latches)
 	rng   *rand.Rand
 	armed bool
 	stats Stats
+	rec   *obs.BlackBox // optional flight recorder; every injection lands as an EvFault
+}
+
+// SetRecorder attaches a flight recorder: every fault the injector
+// applies or detects from then on is recorded as an EvFault event, so a
+// post-crash black-box dump shows which fault preceded the crash.
+// Record is lock-free, so calls under in.mu are safe.
+func (in *Injector) SetRecorder(b *obs.BlackBox) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rec = b
 }
 
 // New wraps the devices with fault injection per plan. The wrappers start
@@ -163,10 +175,11 @@ func (in *Injector) Stats() Stats {
 }
 
 // noteChecksumFail counts a detected page-checksum mismatch.
-func (in *Injector) noteChecksumFail() {
+func (in *Injector) noteChecksumFail(pg word.PageID) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.stats.ChecksumFails++
+	in.rec.Record(obs.EvFault, 0, obs.FaultChecksum, uint64(pg))
 }
 
 // CorruptAtRest injects the plan's at-rest bit rot: PageFlips bit flips
@@ -187,12 +200,14 @@ func (in *Injector) CorruptAtRest() int {
 	for i := 0; i < in.Plan.PageFlips; i++ {
 		if in.Disk.flipOneBit() {
 			in.stats.PageFlips++
+			in.rec.Record(obs.EvFault, 0, obs.FaultPageRot, 0)
 			n++
 		}
 	}
 	for i := 0; i < in.Plan.LogFlips; i++ {
 		if in.Log.flipOneBit() {
 			in.stats.LogFlips++
+			in.rec.Record(obs.EvFault, 0, obs.FaultLogRot, 0)
 			n++
 		}
 	}
@@ -216,9 +231,11 @@ func (in *Injector) maybeIO(op string, pg word.PageID, lsn word.LSN) {
 	burst := 1 + in.rng.Intn(in.Plan.IOBurstMax)
 	if burst > in.Plan.RetryLimit {
 		in.stats.IOSurfaced++
+		in.rec.Record(obs.EvFault, 0, obs.FaultIOSurfaced, uint64(pg))
 		panic(&storage.DeviceIOError{Op: op, Page: pg, LSN: lsn})
 	}
 	in.stats.IORetried += burst
+	in.rec.Record(obs.EvFault, 0, obs.FaultIORetried, uint64(burst))
 }
 
 // tornCandidate is a page write eligible for tearing at the next crash:
@@ -255,7 +272,7 @@ func (d *Disk) ReadPage(id word.PageID) ([]byte, word.LSN, bool) {
 		return nil, lsn, false
 	}
 	if want, tracked := d.sums[id]; tracked && storage.PageChecksum(data, lsn) != want {
-		d.in.noteChecksumFail()
+		d.in.noteChecksumFail(id)
 		panic(&storage.CorruptPageError{Page: id, Reason: "page checksum mismatch"})
 	}
 	return data, lsn, true
@@ -396,6 +413,7 @@ func (l *Log) Crash() {
 	if l.in.armed && l.in.Plan.TornPage {
 		if l.in.Disk.applyTornWrite() {
 			l.in.stats.TornPages++
+			l.in.rec.Record(obs.EvFault, 0, obs.FaultTornPage, 0)
 		}
 	}
 	l.in.Disk.pending = make(map[word.PageID]tornCandidate)
@@ -408,6 +426,7 @@ func (l *Log) Crash() {
 				cut := stable + word.LSN(l.in.rng.Int63n(int64(end-stable+1)))
 				cl.CrashTorn(cut)
 				l.in.stats.TornForces++
+				l.in.rec.Record(obs.EvFault, 0, obs.FaultTornForce, uint64(cut))
 				return
 			}
 		}

@@ -4,12 +4,21 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Server is a live exposition endpoint: Prometheus-style text at /metrics,
-// the raw snapshot as JSON at /metrics.json, and the Chrome trace at
-// /trace. It holds no metric state itself — it re-evaluates the snapshot
-// function on every scrape.
+// the raw snapshot as JSON at /metrics.json, the Chrome trace at /trace,
+// and the Go profiler under /debug/pprof/ (the mux is private, so the
+// stdlib's DefaultServeMux registration does not reach it — the handlers
+// are wired explicitly). It holds no metric state itself — it re-evaluates
+// the snapshot function on every scrape.
+//
+// CPU profiles taken from /debug/pprof/profile attribute samples to
+// subsystems via runtime pprof labels: the concurrent volatile-GC scan
+// goroutine is labeled with its epoch, the group-commit flusher, watchdog
+// and stability-tracking commits with their subsystem, so collector work
+// separates from mutator work in the flame graph.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -39,6 +48,11 @@ func Serve(addr string, snap func() Snapshot, trace *Trace) (*Server, error) {
 		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
 		trace.WriteJSON(w)
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -49,6 +63,7 @@ func Serve(addr string, snap func() Snapshot, trace *Trace) (*Server, error) {
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/metrics.json">/metrics.json</a> — snapshot as JSON</li>
 <li><a href="/trace">/trace</a> — Chrome trace_event JSON (load in about://tracing or ui.perfetto.dev)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiler (CPU samples carry subsystem/epoch labels)</li>
 </ul>`))
 	})
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}

@@ -120,6 +120,18 @@ func (t *Trace) Len() int {
 	return len(t.events)
 }
 
+// Total returns how many events were ever recorded: retained plus
+// overwritten. Total - Dropped = Len, so the three together say whether
+// the ring is big enough for the run it watched.
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return uint64(len(t.events)) + t.dropped
+}
+
 // jsonEvent is the Chrome trace_event wire form. Timestamps and durations
 // are microseconds (the format's unit); sub-microsecond precision is kept
 // as fractions.

@@ -81,6 +81,8 @@ type Standby struct {
 	stopOnce sync.Once
 	stopped  chan struct{}
 
+	rec *obs.BlackBox // optional flight recorder; applyBatch records EvStandbyApply
+
 	connects      obs.Counter
 	reconnects    obs.Counter
 	applyBatches  obs.Counter
@@ -115,6 +117,15 @@ func NewStandby(cfg StandbyConfig, disk storage.PageStore, logDev storage.LogDev
 	s.applied.Store(uint64(logDev.EndLSN()))
 	s.appliedLSN.Set(int64(logDev.EndLSN()))
 	return s, nil
+}
+
+// SetRecorder attaches a flight recorder: every applied batch from then
+// on lands as an EvStandbyApply event (applied LSN, lag bytes), so a
+// post-mortem dump shows how far the replica trailed the primary.
+func (s *Standby) SetRecorder(b *obs.BlackBox) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = b
 }
 
 // Name returns the standby's stable identity.
@@ -190,11 +201,12 @@ func (s *Standby) RunConn(conn net.Conn) error {
 			return err
 		}
 		s.primaryStable.Store(uint64(stable))
-		if lag := int64(stable) - int64(applied); lag > 0 {
-			s.lagBytes.Set(lag)
-		} else {
-			s.lagBytes.Set(0)
+		lag := int64(stable) - int64(applied)
+		if lag < 0 {
+			lag = 0
 		}
+		s.lagBytes.Set(lag)
+		s.recordApply(applied, lag)
 		if err := writeMsg(conn, msgAck, ackPayload(applied)); err != nil {
 			return err
 		}
@@ -246,6 +258,15 @@ func (s *Standby) applyBatch(start word.LSN, data []byte) (word.LSN, error) {
 	s.applyRecords.Add(uint64(len(recs)))
 	s.applyBytes.Add(uint64(len(data)))
 	return applied, nil
+}
+
+// recordApply emits one EvStandbyApply into the attached flight recorder
+// (nil-safe: a no-op when none is attached).
+func (s *Standby) recordApply(applied word.LSN, lag int64) {
+	s.mu.Lock()
+	b := s.rec
+	s.mu.Unlock()
+	b.Record(obs.EvStandbyApply, 0, uint64(applied), uint64(lag))
 }
 
 // Run dials and serves sessions until Close or Promote, reconnecting

@@ -39,6 +39,7 @@ type Manager struct {
 	append obs.Histogram
 	force  obs.Histogram
 	tr     *obs.Trace
+	bb     *obs.BlackBox
 	// retain holds per-owner retention floors: Truncate never drops
 	// records at or above any floor. Replication connections register the
 	// LSN their standby still needs (see SetRetainFloor).
@@ -95,19 +96,23 @@ func (m *Manager) Force(lsn word.LSN) {
 	d := time.Since(start)
 	m.force.Observe(uint64(d))
 	m.tr.Complete("wal", "force", start, d)
+	m.bb.Record(obs.EvWALForce, 0, uint64(lsn), uint64(d))
 }
 
 // ForceAll forces the entire volatile tail.
 func (m *Manager) ForceAll() {
 	start := time.Now()
+	var end word.LSN
 	func() {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		m.dev.ForceAll()
+		end = m.dev.StableLSN()
 	}()
 	d := time.Since(start)
 	m.force.Observe(uint64(d))
 	m.tr.Complete("wal", "force-all", start, d)
+	m.bb.Record(obs.EvWALForce, 0, uint64(end), uint64(d))
 }
 
 // AppendHist snapshots the Append latency histogram (nanoseconds).
@@ -118,6 +123,10 @@ func (m *Manager) ForceHist() obs.HistSnapshot { return m.force.Snapshot() }
 
 // SetTrace wires an optional trace ring; nil disables tracing.
 func (m *Manager) SetTrace(t *obs.Trace) { m.tr = t }
+
+// SetRecorder wires an optional flight recorder: every force lands in the
+// black-box timeline with its LSN. Nil disables.
+func (m *Manager) SetRecorder(b *obs.BlackBox) { m.bb = b }
 
 // StableLSN returns the first LSN not guaranteed durable.
 func (m *Manager) StableLSN() word.LSN {
