@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	shbench all
+//	shbench [-dir path] all
 //	shbench e4 e7
 //	shbench list
-//	shbench json [path]    # machine-readable suite (default BENCH_6.json)
+//	shbench json [path]    # machine-readable suite (default BENCH_7.json)
+//
+// -dir sets the parent directory for the file-backed experiment's heap
+// directories (E21); default is the OS temp dir. Point it at a real disk
+// to measure spinning-rust or NVMe fsyncs instead of tmpfs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -19,7 +24,10 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	dir := flag.String("dir", "", "parent directory for file-backed experiment heaps (default: OS temp dir)")
+	flag.Parse()
+	bench.FileDir = *dir
+	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -36,7 +44,7 @@ func main() {
 		fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	case "json":
-		path := "BENCH_6.json"
+		path := "BENCH_7.json"
 		if len(args) > 1 {
 			path = args[1]
 		}
@@ -81,7 +89,8 @@ func list() {
   e16  extension: log-shipping failover time vs replication lag
   e18  extension: multi-core transaction-path scaling
   e19  extension: nursery + mostly-concurrent volatile GC pauses
-  e20  extension: flight recorder + watchdog overhead on the hot path`)
+  e20  extension: flight recorder + watchdog overhead on the hot path
+  e21  extension: file-backed heaps beyond the durable page cache`)
 }
 
 func usage() {

@@ -90,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shrink := fs.Bool("shrink", false, "greedily minimize the fault plan of each violating seed")
 	asJSON := fs.Bool("json", false, "print the verdict matrix and per-seed results as JSON")
 	blackbox := fs.String("blackbox", "", "write a seed's flight-recorder journal to this file (first violating seed, else the last seed; decode with shtrace)")
+	dir := fs.String("dir", "", "run every seed over real files under this directory (per-seed subdirs, removed after each seed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	sc := crashtest.Scenario{
 		Steps: *steps, Crashes: *crashes, FlushFrac: *flush,
-		MidGC: *midGC, Repl: *repl, Mutators: *mutators,
+		MidGC: *midGC, Repl: *repl, Mutators: *mutators, Dir: *dir,
 	}
 	switch *scenario {
 	case "default":

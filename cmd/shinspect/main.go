@@ -5,7 +5,13 @@
 // taxonomy of the paper (update/CLR, base/complete, V2SCopy/SFix,
 // flip/copy/scan/GCEnd, checkpoint) can be read off a real run.
 //
-// Usage: shinspect [-n maxRecords] [-json]
+// Usage: shinspect [-n maxRecords] [-json] [-dir path]
+//
+// With -dir the heap lives in real files under path: a fresh directory is
+// formatted and runs the scripted scenario before dumping; a directory
+// holding an earlier shinspect heap is recovered and dumped as-is — so
+// running shinspect -dir X twice is a durability round trip (create →
+// populate → close → reopen → audit) you can watch from the outside.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"stableheap"
+	"stableheap/internal/storage/filestore"
 	"stableheap/internal/wal"
 	"stableheap/internal/word"
 )
@@ -24,11 +31,36 @@ import (
 func main() {
 	maxRecords := flag.Int("n", 200, "maximum records to print")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON, one object per log record")
+	dir := flag.String("dir", "", "back the heap with real files under this directory")
 	flag.Parse()
 
 	cfg := stableheap.DefaultConfig()
 	cfg.StableWords = 4 * 1024
 	cfg.VolatileWords = 2 * 1024
+	cfg.Dir = *dir
+
+	if *dir != "" && filestore.IsFormatted(*dir) {
+		// Round trip: recover the earlier run's heap and audit its root
+		// before dumping what survived on disk.
+		h, err := stableheap.RecoverDir(cfg)
+		check(err)
+		tx := h.Begin()
+		ra, err := tx.Root(0)
+		check(err)
+		if ra == nil {
+			check(fmt.Errorf("reopened heap at %s has no root object", *dir))
+		}
+		v, err := tx.Data(ra, 0)
+		check(err)
+		check(tx.Abort())
+		if !*asJSON {
+			fmt.Printf("reopened heap at %s: root slot 0 data %d (audit ok)\n\n", *dir, v)
+		}
+		dump(h, *maxRecords, *asJSON)
+		h.Close()
+		return
+	}
+
 	h := stableheap.Open(cfg)
 
 	// Scripted scenario.
@@ -57,12 +89,26 @@ func main() {
 	}
 	h.Checkpoint()
 
-	if *asJSON {
+	dump(h, *maxRecords, *asJSON)
+	if *dir != "" {
+		h.Close() // persist: a second shinspect -dir run reopens this heap
+		if !*asJSON {
+			fmt.Printf("\nheap persisted at %s; run again with -dir to reopen and audit\n", *dir)
+		}
+	}
+}
+
+// dump prints the retained log records (from the truncation point, which
+// is 1 on a fresh heap) and device totals.
+func dump(h *stableheap.Heap, maxRecords int, asJSON bool) {
+	dev := h.Internal().Log().Device()
+	from := dev.TruncLSN()
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		n := 0
-		h.Internal().Log().Scan(1, false, func(lsn word.LSN, r wal.Record) bool {
+		h.Internal().Log().Scan(from, false, func(lsn word.LSN, r wal.Record) bool {
 			n++
-			if n > *maxRecords {
+			if n > maxRecords {
 				return false
 			}
 			if err := enc.Encode(jsonRecord{LSN: uint64(lsn), Type: typeName(r), Record: r}); err != nil {
@@ -75,16 +121,15 @@ func main() {
 
 	fmt.Println("log records (LSN order):")
 	n := 0
-	h.Internal().Log().Scan(1, false, func(lsn word.LSN, r wal.Record) bool {
+	h.Internal().Log().Scan(from, false, func(lsn word.LSN, r wal.Record) bool {
 		n++
-		if n > *maxRecords {
+		if n > maxRecords {
 			fmt.Println("  … (truncated; use -n to see more)")
 			return false
 		}
 		fmt.Printf("  %6d  %s\n", lsn, describe(r))
 		return true
 	})
-	dev := h.Internal().Log().Device()
 	fmt.Printf("\n%d records, %d bytes appended, %d bytes stable, %d synchronous forces\n",
 		dev.Stats().Appends, dev.Stats().BytesAppended, dev.Stats().BytesStable, dev.Stats().Forces)
 }

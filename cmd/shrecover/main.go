@@ -12,7 +12,11 @@
 //
 // Usage:
 //
-//	shrecover [-seed n] [-steps n] [-flush f] [-midgc] [-rounds n] [-repl] [-json]
+//	shrecover [-seed n] [-steps n] [-flush f] [-midgc] [-rounds n] [-repl] [-json] [-dir path]
+//
+// With -dir the heap runs over real files in a fresh subdirectory of
+// path (removed on exit): the same crash/recover/verify loop, but every
+// page write, log force and master update goes through the filestore.
 package main
 
 import (
@@ -61,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "redo workers (0 = min(GOMAXPROCS, 8), 1 = sequential)")
 	replicate := fs.Bool("repl", false, "fail over to a warm log-shipping standby instead of recovering in place")
 	asJSON := fs.Bool("json", false, "print per-round results and totals as JSON")
+	dir := fs.String("dir", "", "back the heap with real files in a fresh subdirectory of this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +88,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Barrier:         stableheap.Ellis,
 		Incremental:     true,
 		RecoveryWorkers: *workers,
+	}
+	if *dir != "" {
+		heapDir, err := os.MkdirTemp(*dir, "shrecover-")
+		if err != nil {
+			return fail("%v", err)
+		}
+		defer os.RemoveAll(heapDir)
+		cfg.Dir = heapDir
+		say("heap on real files at %s", heapDir)
 	}
 	d := crashtest.New(cfg, *seed)
 

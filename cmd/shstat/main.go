@@ -51,21 +51,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asProm := fs.Bool("prom", false, "print Prometheus text exposition")
 	tracePath := fs.String("trace", "", "write Chrome trace_event JSON to this file")
 	serveAddr := fs.String("serve", "", "serve /metrics, /metrics.json and /trace on this address and block")
+	dir := fs.String("dir", "", "back the heap with real files in a fresh subdirectory of this path (filestore_ metrics populate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := body(*ops, *accounts, *asJSON, *asProm, *tracePath, *serveAddr, stdout, stderr); err != nil {
+	if err := body(*ops, *accounts, *asJSON, *asProm, *tracePath, *serveAddr, *dir, stdout, stderr); err != nil {
 		fmt.Fprintf(stderr, "shstat: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func body(ops, accounts int, asJSON, asProm bool, tracePath, serveAddr string, stdout, stderr io.Writer) error {
+func body(ops, accounts int, asJSON, asProm bool, tracePath, serveAddr, dir string, stdout, stderr io.Writer) error {
 	cfg := stableheap.DefaultConfig()
 	cfg.StableWords = 64 * 1024
 	cfg.VolatileWords = 16 * 1024
 	cfg.GroupCommitWindow = 200 * time.Microsecond
+	if dir != "" {
+		heapDir, err := os.MkdirTemp(dir, "shstat-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(heapDir)
+		cfg.Dir = heapDir
+	}
 	// Run the volatile area the way a latency-sensitive deployment would:
 	// nursery on (the default) and full collections mostly-concurrent, so
 	// the vgc_nursery_* and vgc_conc_* metrics populate and the summary can

@@ -46,6 +46,10 @@ type JSONReport struct {
 	// (max volatile-GC pause and allocation throughput across baseline,
 	// nursery, nursery+concurrent).
 	Nursery *Table `json:"nursery,omitempty"`
+	// Filestore is the E21 file-backed storage table (heaps far beyond
+	// the bounded durable page cache, with real fsyncs, reopen and
+	// crash recovery over real files).
+	Filestore *Table `json:"filestore,omitempty"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -207,6 +211,8 @@ func WriteJSON(path string) error {
 	report.Pauses = &pauses
 	nursery := E19Nursery()
 	report.Nursery = &nursery
+	filestore := E21Filestore()
+	report.Filestore = &filestore
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

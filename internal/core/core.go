@@ -26,6 +26,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,18 @@ var (
 
 // Config sizes and parameterizes a stable heap.
 type Config struct {
+	// Dir, when set, backs the heap with real files under this directory
+	// (internal/storage/filestore) instead of the simulated in-memory
+	// devices: fsync-ordered page writes, a segmented on-disk log, and a
+	// bounded durable-layer page cache, so the heap both survives process
+	// exit and can grow far beyond RAM. Empty keeps the in-memory devices.
+	// Open formats a fresh directory and recovers an existing one; see
+	// OpenDir/RecoverDir for the error-returning entry points.
+	Dir string
+	// FileCachePages bounds the filestore's durable-layer page cache
+	// (default 256). Distinct from CachePages, which bounds the vm-level
+	// cache above it. Ignored when Dir is empty.
+	FileCachePages int
 	// PageSize in bytes (default 1024).
 	PageSize int
 	// StableWords is the size of each stable semispace in words
@@ -337,6 +350,11 @@ type Heap struct {
 	nurLo, nurHi       word.Addr
 
 	lastRecovery *recovery.Result
+
+	// store is the file-backed device pair when the heap was opened with
+	// Config.Dir (nil otherwise); Close closes it after the final
+	// checkpoint so the files are released with everything flushed.
+	store io.Closer
 }
 
 // Tx is an open transaction on a Heap.
@@ -346,9 +364,19 @@ type Tx struct {
 	err error // sticky failure (conflict): only Abort is allowed
 }
 
-// Open creates a freshly formatted stable heap on new simulated devices.
+// Open creates a stable heap on new simulated devices — or, when
+// Config.Dir is set, on real files there (formatting a fresh directory,
+// recovering an existing one), panicking on filesystem errors. Callers
+// that want the error use OpenDir.
 func Open(cfg Config) *Heap {
 	cfg = cfg.withDefaults()
+	if cfg.Dir != "" {
+		hp, err := OpenDir(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("core: open %s: %v", cfg.Dir, err))
+		}
+		return hp
+	}
 	return OpenOn(cfg, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
 }
 
@@ -423,6 +451,11 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 		hp.journal = obs.NewJournal(jd, hp.bb)
 	}
 	log.SetRecorder(hp.bb)
+	// A file-backed disk records its barriers and write-back batches in
+	// the same flight-recorder timeline as everything else.
+	if sr, ok := disk.(interface{ SetRecorder(*obs.BlackBox) }); ok {
+		sr.SetRecorder(hp.bb)
+	}
 
 	hp.ckpt = recovery.NewCheckpointer(log, mem, word.NilLSN)
 

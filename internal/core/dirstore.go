@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"stableheap/internal/storage/filestore"
+)
+
+// This file is the directory-backed lifecycle: the same heap, built over
+// internal/storage/filestore instead of the simulated devices. The
+// filestore's SetMaster is a real durability barrier (flush dirty cache,
+// fdatasync pages.dat, atomically replace master.dat), so the checkpoint
+// promotion protocol — which already orders SetMaster after the
+// checkpoint record is stable — carries over unchanged; the heap's only
+// new obligations are geometry plumbing and closing the files.
+
+func (c Config) fileOptions() filestore.Options {
+	return filestore.Options{
+		PageSize:     c.PageSize,
+		SegmentBytes: c.LogSegBytes,
+		CachePages:   c.FileCachePages,
+	}
+}
+
+// OpenDir opens a file-backed stable heap at cfg.Dir: a fresh directory
+// is formatted, an existing one is recovered (a cleanly closed heap
+// recovers from its final checkpoint; a killed one replays the log).
+func OpenDir(cfg Config) (*Heap, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("core: OpenDir with empty Config.Dir")
+	}
+	if filestore.IsFormatted(cfg.Dir) {
+		return RecoverDir(cfg)
+	}
+	// Deliberately before withDefaults: a zero PageSize/LogSegBytes means
+	// "the store decides" (its own defaults on a fresh directory), and the
+	// heap then adopts whatever geometry the files actually have.
+	s, err := filestore.Open(cfg.Dir, cfg.fileOptions())
+	if err != nil {
+		return nil, err
+	}
+	cfg.PageSize = s.Disk.PageSize()
+	cfg.LogSegBytes = s.Log.SegmentBytes()
+	hp := OpenOn(cfg, s.Disk, s.Log)
+	hp.store = s
+	return hp, nil
+}
+
+// RecoverDir rebuilds a file-backed stable heap from an existing
+// directory — the process-restart analog of Recover: reopen the files
+// (which redelivers any torn log tail as a repairable fragment), then run
+// ordinary crash recovery from the mastered checkpoint.
+func RecoverDir(cfg Config) (*Heap, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("core: RecoverDir with empty Config.Dir")
+	}
+	if !filestore.IsFormatted(cfg.Dir) {
+		return nil, fmt.Errorf("core: %s holds no formatted heap", cfg.Dir)
+	}
+	s, err := filestore.Open(cfg.Dir, cfg.fileOptions())
+	if err != nil {
+		return nil, err
+	}
+	// The persisted geometry wins over whatever the caller guessed:
+	// recovery must parse pages with the store's real page size.
+	cfg.PageSize = s.Disk.PageSize()
+	cfg.LogSegBytes = s.Log.SegmentBytes()
+	hp, err := Recover(cfg, s.Disk, s.Log)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	hp.store = s
+	return hp, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"stableheap/internal/word"
+)
+
+func dirCfg(dir string) Config {
+	c := smallCfg()
+	c.Dir = dir
+	c.FileCachePages = 16
+	return c
+}
+
+// TestDirRoundTrip is the create → populate → close → reopen → audit
+// smoke test: a cleanly closed file-backed heap must come back with all
+// committed state intact, through nothing but the directory.
+func TestDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	hp, err := OpenDir(dirCfg(dir))
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	buildList(t, hp, 0, 30, 100)
+	buildList(t, hp, 1, 10, 900)
+	hp.Close()
+
+	// Reopen is recovery: OpenDir sees the formatted directory.
+	hp2, err := OpenDir(dirCfg(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer hp2.Close()
+	vals := readList(t, hp2, 0)
+	if len(vals) != 30 {
+		t.Fatalf("list 0 has %d nodes after reopen", len(vals))
+	}
+	for i, v := range vals {
+		if v != uint64(100+i) {
+			t.Fatalf("list 0 node %d = %d", i, v)
+		}
+	}
+	if vals := readList(t, hp2, 1); len(vals) != 10 || vals[9] != 909 {
+		t.Fatalf("list 1 after reopen: %v", vals)
+	}
+	// The reopened heap is live, not read-only.
+	buildList(t, hp2, 2, 5, 50)
+	if vals := readList(t, hp2, 2); len(vals) != 5 {
+		t.Fatalf("post-reopen write: %v", vals)
+	}
+}
+
+// TestDirRecoverAfterKillPointlessClose reopens after an in-process
+// Crash(): committed state survives, uncommitted state does not.
+func TestDirRecoverAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	hp, err := OpenDir(dirCfg(dir))
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	buildList(t, hp, 0, 12, 7)
+	// Leave an uncommitted transaction hanging at the crash.
+	tr := hp.Begin()
+	if n, err := tr.Alloc(1, 1, 1); err == nil {
+		tr.SetData(n, 0, 424242)
+		tr.SetRoot(1, n)
+	}
+	hp.Crash()
+
+	hp2, err := RecoverDir(dirCfg(dir))
+	if err != nil {
+		t.Fatalf("RecoverDir: %v", err)
+	}
+	defer hp2.Close()
+	if vals := readList(t, hp2, 0); len(vals) != 12 || vals[0] != 7 {
+		t.Fatalf("committed list after crash recovery: %v", vals)
+	}
+	rtr := hp2.Begin()
+	defer rtr.Abort()
+	if n, err := rtr.Root(1); err != nil || n != nil {
+		t.Fatalf("uncommitted root survived: %v %v", n, err)
+	}
+}
+
+// TestDirLargerThanCache drives a stable heap whose footprint is far
+// beyond both caches (vm and filestore): everything must spill and
+// refetch through the slot file.
+func TestDirLargerThanCache(t *testing.T) {
+	dir := t.TempDir()
+	c := dirCfg(dir)
+	c.CachePages = 8      // vm cache: 8 pages
+	c.FileCachePages = 8  // durable cache: 8 pages of 256 B
+	c.StableWords = 32 * 1024
+	hp, err := OpenDir(c)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	const lists, nodes = 8, 100 // ~8*100*3 words ≫ 8 pages
+	for i := 0; i < lists; i++ {
+		buildList(t, hp, i, nodes, uint64(1000*i))
+	}
+	for i := 0; i < lists; i++ {
+		if vals := readList(t, hp, i); len(vals) != nodes || vals[0] != uint64(1000*i) {
+			t.Fatalf("list %d: %d nodes, first %v", i, len(vals), vals[0])
+		}
+	}
+	m := hp.Metrics()
+	if v := m.Counter("filestore_cache_evictions_total"); v == 0 {
+		t.Fatal("no durable-cache evictions under pressure")
+	}
+	hp.Close()
+
+	hp2, err := OpenDir(c)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer hp2.Close()
+	for i := 0; i < lists; i++ {
+		if vals := readList(t, hp2, i); len(vals) != nodes {
+			t.Fatalf("list %d lost nodes after reopen: %d", i, len(vals))
+		}
+	}
+}
+
+func TestOpenDelegatesToDir(t *testing.T) {
+	dir := t.TempDir()
+	c := dirCfg(dir)
+	hp := Open(c) // must transparently use the directory
+	buildList(t, hp, 0, 3, 1)
+	hp.Close()
+	hp2, err := RecoverDir(c)
+	if err != nil {
+		t.Fatalf("RecoverDir after Open: %v", err)
+	}
+	defer hp2.Close()
+	if vals := readList(t, hp2, 0); len(vals) != 3 {
+		t.Fatalf("Open-created heap not recoverable: %v", vals)
+	}
+}
+
+// TestRecoverDirGeometryFromFiles: recovery must use the persisted page
+// size, not the caller's guess.
+func TestRecoverDirGeometryFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	hp, err := OpenDir(dirCfg(dir)) // PageSize 256
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildList(t, hp, 0, 4, 11)
+	hp.Close()
+
+	c := dirCfg(dir)
+	c.PageSize = 0 // caller doesn't know; files do
+	hp2, err := RecoverDir(c)
+	if err != nil {
+		t.Fatalf("RecoverDir: %v", err)
+	}
+	defer hp2.Close()
+	if got := hp2.cfg.PageSize; got != 256 {
+		t.Fatalf("recovered page size %d, want 256", got)
+	}
+	if vals := readList(t, hp2, 0); len(vals) != 4 {
+		t.Fatalf("audit: %v", vals)
+	}
+	var _ word.LSN // keep the import for future assertions
+}

@@ -84,6 +84,12 @@ func (hp *Heap) Close() {
 	// is on its way out; it must not outlive the heap it scans.
 	hp.scanWG.Wait()
 	hp.journal.Flush()
+	// File-backed heaps: release the store last, once every layer above
+	// has flushed through it.
+	if hp.store != nil {
+		hp.store.Close()
+		hp.store = nil
+	}
 }
 
 // Crash simulates a system failure (§2.2.2): main memory, the volatile

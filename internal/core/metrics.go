@@ -157,6 +157,18 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	if hp.wd != nil {
 		s.SetCounter("obs_watchdog_trips_total", int64(hp.wd.Trips()))
 	}
+
+	// File-backed devices surface their durable-layer counters (cache
+	// hits/evictions, write-back batches, fsyncs, barriers) under a
+	// filestore_ prefix, distinct from the vm-level cache_ counters above.
+	type fileMetricser interface{ FileMetrics() map[string]int64 }
+	for _, dev := range []any{hp.disk, hp.logDev} {
+		if f, ok := dev.(fileMetricser); ok {
+			for k, v := range f.FileMetrics() {
+				s.SetCounter("filestore_"+k, v)
+			}
+		}
+	}
 	return s
 }
 

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -35,6 +37,7 @@ import (
 	"stableheap/internal/histcheck"
 	"stableheap/internal/obs"
 	"stableheap/internal/storage"
+	"stableheap/internal/storage/filestore"
 	"stableheap/internal/word"
 )
 
@@ -94,6 +97,15 @@ type Scenario struct {
 	// recovery audit verifies every acknowledged chain in full: promoted
 	// objects are atomic, discarded nursery contents stay dead.
 	Nursery bool
+	// Dir, when set, runs every seed over real files: a filestore opened
+	// at <Dir>/seed-<seed> replaces the in-memory devices under the fault
+	// injector, and is removed when the seed finishes. The injector wraps
+	// it unchanged — same plans, same scenarios, same verdict matrix —
+	// with background write-back disabled so fault schedules replay
+	// bit-identically. In-process crashes push completed writes to the OS
+	// (the process-kill crash model); true user-buffer loss is the
+	// kill-point harness's job (see killpoint_test.go).
+	Dir string
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -228,7 +240,27 @@ func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
 	// full multi-boot history and ReadLatest always yields the newest.
 	jdev := storage.NewLog(1 << 20)
 	cfg.FlightJournal = jdev
-	inj := faultfs.New(plan, storage.NewDisk(cfg.PageSize), storage.NewLog(cfg.LogSegBytes))
+	var disk storage.PageStore = storage.NewDisk(cfg.PageSize)
+	var logDev storage.LogDevice = storage.NewLog(cfg.LogSegBytes)
+	if sc.Dir != "" {
+		seedDir := filepath.Join(sc.Dir, fmt.Sprintf("seed-%d", plan.Seed))
+		fs, err := filestore.Open(seedDir, filestore.Options{
+			PageSize:     cfg.PageSize,
+			SegmentBytes: cfg.LogSegBytes,
+			NoWriteBack:  true, // determinism: no goroutine racing the fault schedule
+		})
+		if err != nil {
+			res := SeedResult{Seed: plan.Seed, Plan: plan}
+			res.record(Violation, fmt.Sprintf("filestore open: %v", err))
+			return res
+		}
+		defer func() {
+			fs.Close()
+			os.RemoveAll(seedDir)
+		}()
+		disk, logDev = fs.Disk, fs.Log
+	}
+	inj := faultfs.New(plan, disk, logDev)
 	r := &chaosRun{
 		sc:   sc,
 		d:    NewOn(cfg, plan.Seed, inj.Disk, inj.Log),

@@ -1,0 +1,272 @@
+package crashtest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"stableheap/internal/core"
+	"stableheap/internal/gc"
+)
+
+// The kill-point harness is the half of the file-backed crash model the
+// in-process chaos tests cannot reach: a real process exit without
+// fsync. In-process Crash() treats completed WritePage calls as durable
+// (they reached the OS page cache, which survives a kill); here the
+// child process dies with user-space state — the unforced log tail, the
+// dirty durable-layer cache — genuinely gone, and correctness rests
+// entirely on the real fsync ordering: commit forces fdatasync the log,
+// and SetMaster flushes + fdatasyncs pages before the master block names
+// a checkpoint.
+//
+// The child (TestKillPointChild, run via re-exec) increments a counter
+// object, one commit per op, fsyncing an acknowledgment line outside the
+// heap after each commit, checkpointing and truncating on fixed cadences,
+// and calls os.Exit at a parent-chosen op and position. The parent
+// recovers the directory and audits: the counter must hold exactly the
+// acknowledged value — plus at most one for kills landing between a
+// commit's force and its acknowledgment.
+
+const (
+	killExitCode = 7
+	envDir       = "SH_KILLPOINT_DIR"
+	envAcks      = "SH_KILLPOINT_ACKS"
+	envOp        = "SH_KILLPOINT_OP"
+	envMode      = "SH_KILLPOINT_MODE"
+)
+
+// Kill positions within an op.
+const (
+	killBeforeCommit = iota // top of the loop: nothing in flight
+	killAfterCommit         // after Commit returns, before the ack line
+	killAfterCheckpoint
+	numKillModes
+)
+
+func killCfg(dir string) core.Config {
+	return core.Config{
+		Dir:            dir,
+		FileCachePages: 8, // tiny: dirty durable-cache state at most kills
+		PageSize:       256,
+		StableWords:    8 * 1024,
+		VolatileWords:  4 * 1024,
+		LogSegBytes:    4 * 1024, // several segments per run: truncation + kills interact
+		Divided:        true,
+		Barrier:        gc.Ellis,
+		Incremental:    true,
+	}
+}
+
+// TestKillPointChild is the subprocess body; it skips unless re-exec'd.
+func TestKillPointChild(t *testing.T) {
+	dir := os.Getenv(envDir)
+	if dir == "" {
+		t.Skip("subprocess body")
+	}
+	killOp, _ := strconv.Atoi(os.Getenv(envOp))
+	mode, _ := strconv.Atoi(os.Getenv(envMode))
+
+	hp, err := core.OpenDir(killCfg(dir))
+	if err != nil {
+		t.Fatalf("child open: %v", err)
+	}
+	acks, err := os.OpenFile(os.Getenv(envAcks), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("child acks: %v", err)
+	}
+
+	// Boot: find (or create) the counter object in root slot 0.
+	v := readCounter(t, hp)
+	for op := 0; ; op++ {
+		if mode == killBeforeCommit && op == killOp {
+			os.Exit(killExitCode)
+		}
+		incCounter(t, hp, v+1)
+		v++
+		if mode == killAfterCommit && op == killOp {
+			os.Exit(killExitCode) // committed but never acknowledged
+		}
+		if _, err := fmt.Fprintf(acks, "%d\n", v); err != nil {
+			t.Fatalf("ack write: %v", err)
+		}
+		if err := acks.Sync(); err != nil {
+			t.Fatalf("ack sync: %v", err)
+		}
+		if op%7 == 6 {
+			hp.Checkpoint()
+			if mode == killAfterCheckpoint && op >= killOp {
+				os.Exit(killExitCode)
+			}
+		}
+		if op%13 == 12 {
+			hp.TruncateLog()
+		}
+	}
+}
+
+func readCounter(t *testing.T, hp *core.Heap) uint64 {
+	t.Helper()
+	tr := hp.Begin()
+	defer tr.Abort()
+	node, err := tr.Root(0)
+	if err != nil {
+		t.Fatalf("root: %v", err)
+	}
+	if node == nil {
+		return 0
+	}
+	// A fresh heap's root slot may hold the format-time root object,
+	// which has no data slots; the counter doesn't exist yet then.
+	v, err := tr.Data(node, 0)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// incCounter commits the counter at value v, plus a fresh churn object in
+// slot 1 so page traffic goes beyond the single counter page.
+func incCounter(t *testing.T, hp *core.Heap, v uint64) {
+	t.Helper()
+	tr := hp.Begin()
+	node, err := tr.Root(0)
+	if err != nil {
+		t.Fatalf("root: %v", err)
+	}
+	if node != nil {
+		if _, derr := tr.Data(node, 0); derr != nil {
+			node = nil // format-time root object, not our counter
+		}
+	}
+	if node == nil {
+		if node, err = tr.Alloc(1, 0, 1); err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if err := tr.SetRoot(0, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.SetData(node, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	churn, err := tr.Alloc(2, 0, 2)
+	if err != nil {
+		t.Fatalf("alloc churn: %v", err)
+	}
+	if err := tr.SetData(churn, 0, v*31); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetRoot(1, churn); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatalf("commit %d: %v", v, err)
+	}
+}
+
+func lastAck(t *testing.T, path string) uint64 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for _, line := range splitLines(raw) {
+		if n, err := strconv.ParseUint(line, 10, 64); err == nil {
+			last = n
+		}
+	}
+	return last
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			if i > start {
+				out = append(out, string(b[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// TestKillPointMatrix is the crash matrix: ≥20 seeds × {kill op, kill
+// position}, two kill/recover cycles per seed, full audit after each.
+func TestKillPointMatrix(t *testing.T) {
+	if os.Getenv(envDir) != "" {
+		t.Skip("inside subprocess")
+	}
+	seeds := 24
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := t.TempDir()
+			heapDir := filepath.Join(base, "heap")
+			acksPath := filepath.Join(base, "acks.txt")
+			for cycle := 0; cycle < 2; cycle++ {
+				killOp := 3 + (seed*5+cycle*11)%23
+				mode := (seed + cycle) % numKillModes
+				runChildToKill(t, heapDir, acksPath, killOp, mode)
+
+				acked := lastAck(t, acksPath)
+				hp, err := core.RecoverDir(killCfg(heapDir))
+				if err != nil {
+					t.Fatalf("cycle %d (op=%d mode=%d): recover: %v", cycle, killOp, mode, err)
+				}
+				v := readCounter(t, hp)
+				switch mode {
+				case killAfterCommit:
+					if v != acked && v != acked+1 {
+						t.Fatalf("cycle %d: counter %d, acked %d (want acked or acked+1)", cycle, v, acked)
+					}
+				default:
+					if v != acked {
+						t.Fatalf("cycle %d (op=%d mode=%d): counter %d != acked %d", cycle, killOp, mode, v, acked)
+					}
+				}
+				// The audit heap must be fully usable, not just readable.
+				incCounter(t, hp, v+1)
+				hp.Close()
+				// Close committed one more increment; the ack file doesn't
+				// know. Record it so the next cycle's audit balances.
+				f, err := os.OpenFile(acksPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(f, "%d\n", v+1)
+				f.Close()
+			}
+		})
+	}
+}
+
+// runChildToKill re-execs this test binary as the kill-point child and
+// requires it to die at the kill point (exit code killExitCode).
+func runChildToKill(t *testing.T, heapDir, acksPath string, killOp, mode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestKillPointChild$")
+	cmd.Env = append(os.Environ(),
+		envDir+"="+heapDir,
+		envAcks+"="+acksPath,
+		fmt.Sprintf("%s=%d", envOp, killOp),
+		fmt.Sprintf("%s=%d", envMode, mode),
+	)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != killExitCode {
+		t.Fatalf("child (op=%d mode=%d) did not die at the kill point: err=%v\n%s", killOp, mode, err, out)
+	}
+}

@@ -1,0 +1,27 @@
+package faultfs_test
+
+import (
+	"testing"
+
+	"stableheap/internal/faultfs"
+	"stableheap/internal/storage"
+	"stableheap/internal/storage/storagetest"
+)
+
+// A disarmed injector must be observably transparent: the wrapped devices
+// pass the exact same conformance suite as the bare ones. (Armed behavior
+// is covered by the injector's own tests and the chaos harness.)
+
+func TestWrappedDiskConformance(t *testing.T) {
+	storagetest.RunPageStore(t, func(t *testing.T, pageSize int) storage.PageStore {
+		in := faultfs.New(faultfs.Plan{}, storage.NewDisk(pageSize), storage.NewLog(storage.DefaultSegmentSize))
+		return in.Disk
+	})
+}
+
+func TestWrappedLogConformance(t *testing.T) {
+	storagetest.RunLogDevice(t, func(t *testing.T, segBytes int) storage.LogDevice {
+		in := faultfs.New(faultfs.Plan{}, storage.NewDisk(1024), storage.NewLog(segBytes))
+		return in.Log
+	})
+}

@@ -396,6 +396,7 @@ func (l *Log) ForceAll() {
 	l.inner.ForceAll()
 }
 
+func (l *Log) SegmentBytes() int          { return l.inner.SegmentBytes() }
 func (l *Log) StableLSN() word.LSN        { return l.inner.StableLSN() }
 func (l *Log) EndLSN() word.LSN           { return l.inner.EndLSN() }
 func (l *Log) TruncLSN() word.LSN         { return l.inner.TruncLSN() }

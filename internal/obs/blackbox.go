@@ -44,6 +44,8 @@ const (
 	EvCrash      // heap crash entered; a = 1 when flushed from a panic
 	EvRecovery   // recovery completed; a = records applied, b = records scanned
 	EvStandbyApply
+	EvFileBarrier   // filestore SetMaster barrier; a = pages flushed, b = barrier ns
+	EvFileWriteBack // filestore background write-back batch; a = pages pushed
 	evKindCount
 )
 
@@ -84,6 +86,10 @@ func (k EventKind) String() string {
 		return "recovery"
 	case EvStandbyApply:
 		return "standby-apply"
+	case EvFileBarrier:
+		return "file-barrier"
+	case EvFileWriteBack:
+		return "file-writeback"
 	default:
 		return fmt.Sprintf("ev-%d", uint16(k))
 	}
@@ -337,6 +343,10 @@ func (e Event) Describe() string {
 		return fmt.Sprintf("recovery applied=%d scanned=%d", e.A, e.B)
 	case EvStandbyApply:
 		return fmt.Sprintf("standby-apply lsn=%d lag-bytes=%d", e.A, e.B)
+	case EvFileBarrier:
+		return fmt.Sprintf("file-barrier flushed=%d dur=%v", e.A, time.Duration(e.B))
+	case EvFileWriteBack:
+		return fmt.Sprintf("file-writeback pages=%d", e.A)
 	default:
 		return fmt.Sprintf("%s a=%d b=%d", e.Kind, e.A, e.B)
 	}

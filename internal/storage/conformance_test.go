@@ -1,0 +1,24 @@
+package storage_test
+
+import (
+	"testing"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/storage/storagetest"
+)
+
+// The in-memory devices are the reference implementations; running the
+// conformance suite against them keeps the suite itself honest (a suite
+// bug shows up here, not as a phantom filestore failure).
+
+func TestDiskConformance(t *testing.T) {
+	storagetest.RunPageStore(t, func(t *testing.T, pageSize int) storage.PageStore {
+		return storage.NewDisk(pageSize)
+	})
+}
+
+func TestLogConformance(t *testing.T) {
+	storagetest.RunLogDevice(t, func(t *testing.T, segBytes int) storage.LogDevice {
+		return storage.NewLog(segBytes)
+	})
+}

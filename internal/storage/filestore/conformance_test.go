@@ -1,0 +1,41 @@
+package filestore_test
+
+import (
+	"testing"
+
+	"stableheap/internal/storage"
+	"stableheap/internal/storage/filestore"
+	"stableheap/internal/storage/storagetest"
+)
+
+// The file-backed devices must pass the identical conformance suite as
+// the in-memory reference — including the seeded random-op equivalence
+// driver, which compares every observable after every step. Write-back is
+// disabled so the only actors on the files are the test's own calls.
+
+func openStore(t *testing.T, pageSize, segBytes int) *filestore.Store {
+	t.Helper()
+	s, err := filestore.Open(t.TempDir(), filestore.Options{
+		PageSize:     pageSize,
+		SegmentBytes: segBytes,
+		CachePages:   8, // small on purpose: conformance must hold under eviction pressure
+		NoWriteBack:  true,
+	})
+	if err != nil {
+		t.Fatalf("filestore.Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFileDiskConformance(t *testing.T) {
+	storagetest.RunPageStore(t, func(t *testing.T, pageSize int) storage.PageStore {
+		return openStore(t, pageSize, storage.DefaultSegmentSize).Disk
+	})
+}
+
+func TestFileLogConformance(t *testing.T) {
+	storagetest.RunLogDevice(t, func(t *testing.T, segBytes int) storage.LogDevice {
+		return openStore(t, 1024, segBytes).Log
+	})
+}

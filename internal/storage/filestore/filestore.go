@@ -1,0 +1,193 @@
+// Package filestore is the file-backed implementation of the storage
+// device contracts (storage.PageStore, storage.LogDevice): real files,
+// real fsync ordering, crash-consistent durability. It is the first
+// backend where process exit is not equivalent to a crash — see the
+// layout comments in disk.go and log.go for the fsync ordering rules and
+// the crash model, and DESIGN.md §14 for the full design.
+//
+// A Store owns one directory:
+//
+//	<dir>/
+//	  master.dat   recovery anchor (atomic rename updates)
+//	  pages.dat    sparse slot file, one self-validating slot per page
+//	  log/         segmented record log + metadata
+//	  clones/      transient Clone() copies (twin recovery, base backups)
+//
+// The page store keeps a bounded clock cache over slots (Options.CachePages)
+// with dirty tracking and an optional background write-back goroutine, so
+// heaps 10–100x the cache budget stay usable with bounded memory.
+// internal/faultfs wraps both devices unchanged.
+package filestore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Options configures a Store. The zero value is usable: 1 KiB pages, the
+// default log segment size, a 256-page cache, write-back every 25ms.
+type Options struct {
+	// PageSize is the page size in bytes for a newly created store
+	// (default 1024). On reopen the persisted master block is
+	// authoritative: zero means "whatever the store has", and a non-zero
+	// mismatch is an error.
+	PageSize int
+	// SegmentBytes is the log segment granularity for a newly created
+	// store; on reopen the persisted log metadata is authoritative.
+	SegmentBytes int
+	// CachePages bounds the durable-layer page cache (default 256 pages).
+	CachePages int
+	// WriteBackEvery is the background write-back period (default 25ms).
+	WriteBackEvery time.Duration
+	// NoWriteBack disables the background write-back goroutine; dirty
+	// pages then reach the OS only via eviction, barriers and Close. The
+	// chaos harness sets it so fault plans replay bit-identically.
+	NoWriteBack bool
+}
+
+func (o Options) withDefaults() Options {
+	// PageSize and SegmentBytes deliberately keep their zero values here:
+	// zero means "persisted geometry if reopening, else the default", and
+	// only openDisk/openLog know which case applies.
+	if o.CachePages <= 0 {
+		o.CachePages = 256
+	}
+	if o.WriteBackEvery <= 0 {
+		o.WriteBackEvery = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Store is an open file-backed device pair rooted at one directory.
+type Store struct {
+	Dir  string
+	Disk *Disk
+	Log  *Log
+
+	stopWB chan struct{}
+	doneWB chan struct{}
+}
+
+// Open opens (or creates) a store at dir. Reopening an existing directory
+// re-parses the slot file and the log segments, delivering any torn log
+// tail as a repairable fragment.
+func Open(dir string, o Options) (*Store, error) {
+	o = o.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	fm := &fileMetrics{}
+	disk, err := openDisk(dir, o.PageSize, o.CachePages, fm)
+	if err != nil {
+		return nil, err
+	}
+	log, err := openLog(filepath.Join(dir, "log"), o.SegmentBytes, fm)
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	log.disk = disk // couple the crash hooks (see Log.Crash)
+	s := &Store{Dir: dir, Disk: disk, Log: log}
+	if !o.NoWriteBack {
+		s.stopWB = make(chan struct{})
+		s.doneWB = make(chan struct{})
+		go s.writeBackLoop(o.WriteBackEvery)
+	}
+	return s, nil
+}
+
+// IsFormatted reports whether dir holds an initialized store (a valid
+// master block with the Formatted bit): the "reopen, don't format" signal
+// for open/recover entry points.
+func IsFormatted(dir string) bool {
+	raw, err := os.ReadFile(filepath.Join(dir, "master.dat"))
+	if err != nil {
+		return false
+	}
+	m, err := decodeMaster(raw)
+	return err == nil && m.Formatted
+}
+
+func (s *Store) writeBackLoop(every time.Duration) {
+	defer close(s.doneWB)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopWB:
+			return
+		case <-t.C:
+			// Cap the batch so a barrier never waits long on the loop.
+			s.Disk.writeBackStep(64)
+		}
+	}
+}
+
+// Close stops write-back, forces the log tail, flushes the dirty cache
+// and fdatasyncs both files.
+func (s *Store) Close() error {
+	if s.stopWB != nil {
+		close(s.stopWB)
+		<-s.doneWB
+		s.stopWB = nil
+	}
+	err := s.Log.Close()
+	if derr := s.Disk.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// atomicWriteFile replaces path with data atomically: tmp + fsync +
+// rename + directory fsync, so a kill at any instant leaves either the
+// old file or the new one, never a torn mix.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
+}
+
+// copyFileRange copies the first size bytes of src (an open file) to a
+// new file at dst.
+func copyFileRange(src *os.File, dst string, size int64) error {
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if size > 0 {
+		if _, err := io.Copy(out, io.NewSectionReader(src, 0, size)); err != nil {
+			return fmt.Errorf("copy %s: %w", dst, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build linux
+
+package filestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes file data (and the size, when it changed) without
+// forcing an unrelated metadata write per force — the syscall the paper's
+// log-force cost model assumes.
+func fdatasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package filestore
+
+import "os"
+
+// fdatasync falls back to a full fsync where the cheaper data-only flush
+// is not available.
+func fdatasync(f *os.File) error { return f.Sync() }

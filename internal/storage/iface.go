@@ -59,6 +59,11 @@ type LogDevice interface {
 	// Crash discards the volatile tail (fault-injecting implementations
 	// may instead persist a torn byte prefix of it).
 	Crash()
+	// SegmentBytes returns the device's segment granularity in bytes: the
+	// unit Truncate frees at. Retention math (wal.Manager.Truncate, the
+	// replication ack-driven floor) rounds to this, so it must reflect the
+	// backend's real segment map, not an assumed default.
+	SegmentBytes() int
 	// Truncate discards log space below keep, at segment granularity.
 	Truncate(keep word.LSN)
 	// RepairTail rewinds the log to from: every record at or beyond it is

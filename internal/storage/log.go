@@ -105,6 +105,9 @@ func (l *Log) TruncLSN() word.LSN { return l.truncLSN }
 // IsStable reports whether the record at lsn is durable.
 func (l *Log) IsStable(lsn word.LSN) bool { return lsn < l.stableLSN }
 
+// SegmentBytes returns the segment granularity in bytes.
+func (l *Log) SegmentBytes() int { return l.segSize }
+
 // Crash discards the volatile tail: every record at or beyond StableLSN.
 func (l *Log) Crash() {
 	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].lsn >= l.stableLSN })

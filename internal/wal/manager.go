@@ -257,7 +257,16 @@ func (m *Manager) Truncate(keep word.LSN) {
 	if f := m.retainFloorLocked(); f != word.NilLSN && f < keep {
 		keep = f
 	}
-	if keep <= m.dev.TruncLSN() {
+	// Round down to the device's own segment boundary before deciding
+	// whether there is anything to free: the device only reclaims whole
+	// segments, and its segment map is backend-specific (the file-backed
+	// log reports its on-disk segmentation, not the in-memory default).
+	seg := word.LSN(m.dev.SegmentBytes())
+	if seg <= 0 {
+		seg = 1
+	}
+	boundary := (keep-1)/seg*seg + 1
+	if boundary <= m.dev.TruncLSN() {
 		return // nothing new to free (possibly floor-clamped to zero work)
 	}
 	m.dev.Truncate(keep)

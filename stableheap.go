@@ -113,9 +113,34 @@ type Heap struct {
 	inner *core.Heap
 }
 
-// Open creates and formats a fresh stable heap.
+// Open creates and formats a fresh stable heap. With Config.Dir set, the
+// heap lives in real files under that directory instead of simulated
+// devices (formatting a fresh directory, recovering an existing one);
+// see OpenDir for the error-returning form.
 func Open(cfg Config) *Heap {
 	return &Heap{inner: core.Open(cfg)}
+}
+
+// OpenDir opens a file-backed stable heap at cfg.Dir: a fresh directory
+// is formatted, an existing one is recovered.
+func OpenDir(cfg Config) (*Heap, error) {
+	inner, err := core.OpenDir(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{inner: inner}, nil
+}
+
+// RecoverDir rebuilds a file-backed stable heap from an existing
+// directory — the process-restart analog of Recover. Torn log tails left
+// by a kill are redelivered by the file layer and repaired by ordinary
+// crash recovery.
+func RecoverDir(cfg Config) (*Heap, error) {
+	inner, err := core.RecoverDir(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{inner: inner}, nil
 }
 
 // Recover rebuilds a stable heap from the devices surviving a crash:
