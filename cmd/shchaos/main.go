@@ -17,7 +17,7 @@
 // Usage:
 //
 //	shchaos [-seeds n | -seed n] [-steps n] [-crashes n] [-flush f]
-//	        [-midgc] [-repl] [-scenario default|concurrent|nursery]
+//	        [-midgc] [-repl] [-scenario default|concurrent|nursery|stable-conc]
 //	        [-mutators n] [-shrink] [-json] [-blackbox file]
 //
 // Every seed runs with the flight recorder on; -blackbox writes one
@@ -36,6 +36,12 @@
 // nursery-born objects, forces a minor collection with faults armed, and
 // crashes with a concurrent scan in flight; the post-crash audit replays
 // each acknowledged chain node by node.
+//
+// -scenario stable-conc runs the heap with the mostly-concurrent stable
+// collector: every round commits chains of objects, promotes them to the
+// stable area, flips it concurrently, paces the scan with faults armed and
+// usually crashes with the scan still in flight at a quantum boundary;
+// recovery resumes the scan and the audit replays each acknowledged chain.
 //
 // Exit status: 0 = no violations, 1 = violations found, 2 = bad usage.
 package main
@@ -85,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flush := fs.Float64("flush", 0.5, "fraction of resident pages flushed before each crash")
 	midGC := fs.Bool("midgc", false, "leave an incremental stable collection in flight at crashes")
 	repl := fs.Bool("repl", false, "end each seed with a primary/standby failover round")
-	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver), concurrent (adds goroutine mutator bursts) or nursery (generational + mostly-concurrent volatile GC under faults)")
+	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver), concurrent (adds goroutine mutator bursts), nursery (generational + mostly-concurrent volatile GC under faults) or stable-conc (mostly-concurrent stable GC, crashes mid-scan)")
 	mutators := fs.Int("mutators", 0, "concurrent mutator goroutines per burst (0 = scenario default)")
 	shrink := fs.Bool("shrink", false, "greedily minimize the fault plan of each violating seed")
 	asJSON := fs.Bool("json", false, "print the verdict matrix and per-seed results as JSON")
@@ -111,8 +117,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	case "nursery":
 		sc.Nursery = true
+	case "stable-conc":
+		sc.StableConc = true
 	default:
-		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default, concurrent or nursery)\n", *scenario)
+		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default, concurrent, nursery or stable-conc)\n", *scenario)
 		return 2
 	}
 

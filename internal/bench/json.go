@@ -50,6 +50,9 @@ type JSONReport struct {
 	// the bounded durable page cache, with real fsyncs, reopen and
 	// crash recovery over real files).
 	Filestore *Table `json:"filestore,omitempty"`
+	// StableConc is the E22 mostly-concurrent stable GC table (worst and
+	// p99 mutator stall, stop-the-world vs flip-only-stop collection).
+	StableConc *Table `json:"stable_conc,omitempty"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -213,6 +216,8 @@ func WriteJSON(path string) error {
 	report.Nursery = &nursery
 	filestore := E21Filestore()
 	report.Filestore = &filestore
+	stableConc := E22StableConc()
+	report.StableConc = &stableConc
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+
+	"stableheap/internal/obs"
+	"stableheap/internal/storage"
+	"stableheap/internal/word"
+)
+
+// The mostly-concurrent stable collection driver (Config.ConcurrentSGC).
+//
+// startStableGC performs the stop-the-world flip (gc.
+// StartConcurrentCollection: the logged space swap plus root, handle,
+// undo-value and volatile-slot translation) and hands the logged sweep to
+// a goroutine started here. The scanner runs one quantum at a time under
+// the gate held exclusively — the scan records keep appending from the
+// collector goroutine, which the WAL protocol permits because every step
+// is restartable. Mutators in between run shared behind two barriers:
+// stableLoad (transporting read barrier, logged copies serialized by
+// sgc.stransMu + the page shards) and the SATB gray stack fed by
+// writeWordAction. Any exclusive section that needs the collection gone
+// retires it inline via finishStableGCLocked.
+
+// csgcQuantumWords bounds the words scanned per collector-goroutine (or
+// commit-assist) quantum, matching the volatile scanner's pacing: small
+// enough that a mutator blocked on the gate waits microseconds, large
+// enough to amortize the gate handoff and the per-page scan records.
+const csgcQuantumWords = 256
+
+// startStableConcScan publishes the scan (csgcOn) and starts the collector
+// goroutine. Called with the stop latch held exclusively, right after the
+// concurrent flip; the gate is acquired here if this exclusive section
+// does not hold it yet, so the scanner cannot run before the section ends.
+func (hp *Heap) startStableConcScan() {
+	hp.csgcOn.Store(true)
+	if !hp.gateHeldExcl {
+		hp.gate.Lock()
+		hp.gateHeldExcl = true
+	}
+	if hp.cfg.ConcSGCManualScan {
+		return // paced explicitly via StepStableScan
+	}
+	hp.scanWG.Add(1)
+	go hp.stableScanLoop(hp.sgc.Epoch())
+}
+
+// StepStableScan advances an in-flight concurrent stable scan by one
+// quantum from the calling goroutine (Config.ConcSGCManualScan mode,
+// where no collector goroutine exists). It reports whether scan work
+// remains; the caller retires a drained scan with FinishStableScan, or
+// leaves it in flight (a crash mid-scan is a valid state — every step so
+// far is in the log, and recovery resumes the collection). A no-op
+// returning false when no scan is active.
+func (hp *Heap) StepStableScan() bool {
+	if !hp.csgcOn.Load() {
+		return false
+	}
+	hp.gate.Lock()
+	defer hp.gate.Unlock()
+	if !hp.sgc.ConcurrentActive() {
+		return false
+	}
+	hp.drainGrayLocked()
+	more := hp.sgc.ScanQuantum(csgcQuantumWords)
+	hp.bb.Record(obs.EvSGCQuantum, 0, hp.sgc.Epoch(), 0)
+	return more
+}
+
+// assistStableScan lets a mutator that just committed advance an in-flight
+// concurrent stable scan by one quantum (all latches already released) —
+// the same starvation insurance assistVolatileScan provides: with
+// GOMAXPROCS=1 a busy mutator starves the collector goroutine, and
+// without the assist every scan would be drained inline by the next
+// exclusive section. Manual pacing mode opts out.
+func (hp *Heap) assistStableScan() {
+	if !hp.csgcOn.Load() || hp.cfg.ConcSGCManualScan {
+		return
+	}
+	if hp.StepStableScan() {
+		return
+	}
+	// No scan work left: retire now instead of waiting for the collector
+	// goroutine — every stable load pays the read barrier until
+	// retirement, and the to-space reserve stays off limits.
+	hp.lockExclusive()
+	hp.finishStableGCLocked()
+	hp.unlockExclusive()
+}
+
+// stableScanLoop is the collector goroutine: it advances the logged sweep
+// in gate-sized quanta and then retires the collection. epoch identifies
+// the collection it serves — if an exclusive section finished it inline
+// (and possibly started a newer one), the loop exits without touching
+// anything.
+func (hp *Heap) stableScanLoop(epoch uint64) {
+	defer hp.scanWG.Done()
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("subsystem", "sgc-scan", "epoch", strconv.FormatUint(epoch, 10))))
+	// A device fault injected under the scanner (internal/faultfs)
+	// surfaces as a typed panic; the scan simply stops — the next mutator
+	// to need the collection finished will run into the fault in a
+	// context that can report it.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := storage.AsDeviceError(r); !ok {
+				panic(r)
+			}
+		}
+	}()
+	for {
+		more := func() bool {
+			hp.gate.Lock()
+			defer hp.gate.Unlock()
+			if !hp.sgc.ConcurrentActive() || hp.sgc.Epoch() != epoch {
+				return false
+			}
+			hp.drainGrayLocked()
+			more := hp.sgc.ScanQuantum(csgcQuantumWords)
+			hp.bb.Record(obs.EvSGCQuantum, 0, epoch, 0)
+			return more
+		}()
+		if !more {
+			break
+		}
+		runtime.Gosched()
+	}
+	hp.tryFinishStableConc(epoch)
+}
+
+// tryFinishStableConc retires the collection if it is still the one the
+// scanner was serving.
+func (hp *Heap) tryFinishStableConc(epoch uint64) {
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	if hp.sgc.ConcurrentActive() && hp.sgc.Epoch() == epoch {
+		hp.finishStableGCLocked()
+	}
+}
+
+// finishStableGCLocked drives the active stable collection (if any) to
+// completion inline. For a concurrent collection the gray stack drains
+// first — grayed targets push the copy pointer, and from-space must not
+// be discarded with live data behind an undrained gray — then the scan
+// runs to completion and the GCEnd work (write-back, discard) happens
+// here, all under the exclusive stop latch. unlockExclusive's syncCoarse
+// then stops routing loads through the read barrier and records the
+// finish event. Callers that previously called sgc.Finish directly go
+// through here so the concurrent flags cannot leak past the collection.
+func (hp *Heap) finishStableGCLocked() {
+	if hp.sgc.ConcurrentActive() {
+		hp.drainGrayLocked()
+	}
+	hp.sgc.Finish()
+}
+
+// abandonStableConcLocked forgets an in-flight concurrent stable scan
+// without touching memory — the crash path. The scan steps already taken
+// are in the log; recovery restores the interrupted collection from its
+// records.
+func (hp *Heap) abandonStableConcLocked() {
+	if !hp.sgc.ConcurrentActive() {
+		return
+	}
+	hp.grayMu.Lock()
+	hp.grayQ = nil
+	hp.grayMu.Unlock()
+	hp.sgc.AbandonConcurrentStable()
+	hp.csgcOn.Store(false)
+}
+
+// stableLoad is the concurrent stable read barrier: during a concurrent
+// stable scan every pointer load is transported out of from-space, so
+// mutators never observe — and never store — a stable from-space address
+// after the flip.
+func (hp *Heap) stableLoad(p word.Addr) word.Addr {
+	if p.IsNil() || !hp.csgcOn.Load() {
+		return p
+	}
+	return hp.sgc.TransportStable(p)
+}
+
+// lockShardsForCopy pins the writer shards striping the pages of
+// [to, to+sizeWords), in index order (deduplicated — several pages can
+// stripe to one shard), for a transport's logged copy. Mutator writers
+// hold exactly one shard and never wait on the transport mutex, so the
+// multi-shard acquisition cannot deadlock against them.
+func (hp *Heap) lockShardsForCopy(to word.Addr, sizeWords int) func() {
+	ps := uint64(hp.cfg.PageSize)
+	first := uint64(to) / ps
+	last := (uint64(to.Add(sizeWords)) - 1) / ps
+	n := uint64(len(hp.shards))
+	var idx []int
+	for pg := first; pg <= last && uint64(len(idx)) < n; pg++ {
+		i := int(pg % n)
+		dup := false
+		for _, j := range idx {
+			if j == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		hp.shards[i].Lock()
+	}
+	return func() {
+		for k := len(idx) - 1; k >= 0; k-- {
+			hp.shards[idx[k]].Unlock()
+		}
+	}
+}
+
+// FinishStableScan drains and retires an in-flight concurrent stable
+// scan inline (manual pacing mode). A no-op when none is active.
+func (hp *Heap) FinishStableScan() {
+	hp.lockExclusive()
+	defer hp.unlockExclusive()
+	if hp.sgc.ConcurrentActive() {
+		hp.finishStableGCLocked()
+	}
+}
+
+// StableScanActive reports whether a concurrent stable scan is in flight.
+func (hp *Heap) StableScanActive() bool {
+	hp.stop.RLock()
+	defer hp.stop.RUnlock()
+	return hp.csgcOn.Load()
+}

@@ -101,6 +101,25 @@ type Config struct {
 	// scan from the seed instead of the goroutine scheduler, so runs stay
 	// bit-identical. Meaningless without ConcurrentVGC.
 	ConcVGCManualScan bool
+	// ConcurrentSGC makes stable collections mostly-concurrent: the stop
+	// latch is held only for the flip (the logged space swap plus root,
+	// handle, undo-value and cross-area slot translation) while the
+	// WAL-logged sweep runs in quanta on a collector goroutine behind a
+	// transporting read barrier and a snapshot-at-the-beginning deletion
+	// barrier. The scan steps stay logged and restartable, so a crash at
+	// any quantum boundary recovers exactly like a crash mid-incremental
+	// collection — and recovery resumes the scan concurrently. Requires
+	// Incremental; the Ellis page protection is never armed in this mode
+	// (the read barrier replaces it). Newly stable objects evacuated
+	// while the scan runs allocate at the high end of to-space instead of
+	// forcing the collection to finish.
+	ConcurrentSGC bool
+	// ConcSGCManualScan suppresses the stable collector goroutine: an
+	// in-flight concurrent stable scan advances only through
+	// StepStableScan and the inline retirement points. Deterministic
+	// harnesses (chaos replay) pace the scan from the seed. Meaningless
+	// without ConcurrentSGC.
+	ConcSGCManualScan bool
 	// Divided enables the stable/volatile split of Chapter 5. When
 	// false, every object lives in the stable area and every update is
 	// logged (the Chapters 3–4 configuration, used as the E9 baseline).
@@ -279,20 +298,22 @@ type Heap struct {
 	coarse atomic.Bool
 
 	// The concurrent-collection gate (latch.go): while a mostly-
-	// concurrent volatile scan is in flight (cvgcOn), ordinary actions
-	// additionally hold gate shared and the collector goroutine runs its
-	// quanta under gate exclusive — so copying excludes mutators without
-	// ever taking the stop latch. cvgcOn only transitions with stop held
-	// exclusively. gateHeldExcl tracks whether the current exclusive
-	// section acquired the gate (single-writer under stop). scanWG joins
-	// the collector goroutine on Close/Crash.
+	// concurrent scan is in flight (cvgcOn for the volatile area, csgcOn
+	// for the stable area), ordinary actions additionally hold gate
+	// shared and the collector goroutine runs its quanta under gate
+	// exclusive — so copying excludes mutators without ever taking the
+	// stop latch. Both flags only transition with stop held exclusively.
+	// gateHeldExcl tracks whether the current exclusive section acquired
+	// the gate (single-writer under stop). scanWG joins the collector
+	// goroutines on Close/Crash.
 	gate         sync.RWMutex
 	gateHeldExcl bool
 	cvgcOn       atomic.Bool
+	csgcOn       atomic.Bool
 	scanWG       sync.WaitGroup
 
-	// grayQ is the snapshot-at-the-beginning gray stack: volatile
-	// pointer values overwritten during a concurrent scan. They are
+	// grayQ is the snapshot-at-the-beginning gray stack: pointer values
+	// (volatile or stable) overwritten during a concurrent scan. They are
 	// evacuated at the next exclusive section or scan quantum — always
 	// before any abort could restore them into a scanned object.
 	grayMu sync.Mutex
@@ -462,6 +483,7 @@ func build(cfg Config, disk storage.PageStore, logDev storage.LogDevice) *Heap {
 	hp.sgc.SetHooks(gc.Hooks{
 		ForEachRoot: hp.forEachStableRoot,
 		OnCopy:      hp.onCopy,
+		LockShards:  hp.lockShardsForCopy,
 	})
 	mem.SetTrapHandler(hp.sgc.Trap)
 
@@ -604,12 +626,15 @@ func (hp *Heap) onCopy(from, to word.Addr, sizeWords int) {
 	hi := from.Add(sizeWords)
 	hp.remMu.Lock()
 	// srem keys are stable-area slots, so a copy whose source lies in the
-	// volatile area can never overlap them; nrem keys are non-nursery
+	// volatile area can never overlap them; nrem keys are aged-volatile
 	// slots by construction (the write barrier filters nursery-internal
-	// stores), so nursery-sourced copies skip that scan too. Without the
-	// guards every evacuation pays an O(entries) sweep of both maps,
-	// which dominates full-collection pauses once the remembered sets
-	// carry a few hundred entries.
+	// stores, and stable slots holding nursery pointers live in srem), so
+	// only aged-volatile-sourced copies sweep that map — in particular
+	// stable evacuations, which a concurrent stable scan performs from
+	// the mutator's read barrier, skip both sweeps. Without the guards
+	// every evacuation pays an O(entries) sweep of both maps, which
+	// dominates collection pauses once the remembered sets carry a few
+	// hundred entries.
 	if len(hp.srem) > 0 && !hp.vgc.InArea(from) {
 		for slot := range hp.srem {
 			if slot >= from && slot < hi {
@@ -618,7 +643,7 @@ func (hp *Heap) onCopy(from, to word.Addr, sizeWords int) {
 			}
 		}
 	}
-	if len(hp.nrem) > 0 && !hp.inNursery(from) {
+	if len(hp.nrem) > 0 && hp.vgc.InArea(from) && !hp.inNursery(from) {
 		for slot := range hp.nrem {
 			if slot >= from && slot < hi {
 				delete(hp.nrem, slot)
@@ -795,15 +820,23 @@ func (hp *Heap) startStableGC() {
 	// scan (with live objects still in volatile from-space) must retire
 	// first.
 	hp.finishConcurrentLocked()
+	if hp.cfg.ConcurrentSGC && hp.cfg.Incremental {
+		hp.rootObj = hp.sgc.StartConcurrentCollection(hp.rootObj)
+		hp.bb.Record(obs.EvGCFlip, 0, uint64(hp.sgc.Stats().Collections), 1)
+		hp.startStableConcScan()
+		return
+	}
 	hp.rootObj = hp.sgc.StartCollection(hp.rootObj)
 	hp.bb.Record(obs.EvGCFlip, 0, uint64(hp.sgc.Stats().Collections), 0)
 }
 
 // stepStableGC advances an active incremental collection by one quantum
 // (called from heap operations: the paper's "the mutator calls the
-// collector to do some work", §3.2).
+// collector to do some work", §3.2). A concurrent collection is paced by
+// its collector goroutine and the commit assist instead — operations must
+// not scan from shared sections.
 func (hp *Heap) stepStableGC() {
-	if !hp.cfg.DisableOpPacing && hp.sgc.Active() {
+	if !hp.cfg.DisableOpPacing && hp.sgc.Active() && !hp.csgcOn.Load() {
 		hp.sgc.Step()
 	}
 }
@@ -824,10 +857,10 @@ func (hp *Heap) ensureStableSpace(needWords int) error {
 		return nil
 	}
 	if hp.sgc.Active() {
-		hp.sgc.Finish()
+		hp.finishStableGCLocked()
 	} else {
 		hp.startStableGC()
-		hp.sgc.Finish()
+		hp.finishStableGCLocked()
 	}
 	if hp.sgc.FreeWords() < needWords {
 		return ErrHeapFull
@@ -848,9 +881,13 @@ func (hp *Heap) collectVolatile() error {
 	if err := hp.ensureStableSpace(hp.lsWords()); err != nil {
 		return err
 	}
-	if hp.sgc.Active() {
-		// Policy: the stable area is quiescent during a volatile
-		// collection (moves allocate at the stable copy frontier).
+	if hp.sgc.Active() && !hp.sgc.ConcurrentActive() {
+		// Policy: a stop-the-world or incremental stable collection is
+		// quiescent during a volatile collection (moves allocate at the
+		// stable copy frontier). A *concurrent* stable collection keeps
+		// running: LS moves allocate at the high end of to-space, which
+		// the scan never visits, so finishing it here would reintroduce
+		// exactly the stall this mode removes.
 		hp.sgc.Finish()
 	}
 	if hp.cfg.ConcurrentVGC {
@@ -915,8 +952,12 @@ func (hp *Heap) collectNursery() error {
 				return err
 			}
 		}
-		if hp.sgc.Active() {
-			// Stable area quiescent during LS moves, as above.
+		if hp.sgc.Active() && !hp.sgc.ConcurrentActive() {
+			// A stop-the-world or incremental stable collection is
+			// quiescent during LS moves; a concurrent one keeps running
+			// (nursery survivors that are already LS members promote
+			// straight into to-space's high end without stalling on the
+			// scan).
 			hp.sgc.Finish()
 		}
 	}
@@ -1146,6 +1187,7 @@ func (t *Tx) Ptr(r *Ref, i int) (*Ref, error) {
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	p := word.Addr(hp.mem.ReadWord(slot))
 	p = hp.sgc.BarrierLoad(p) // Baker-mode transport
+	p = hp.stableLoad(p)      // mostly-concurrent stable transport
 	p = hp.volLoad(p)         // mostly-concurrent volatile transport
 	if hp.hist != nil {
 		hp.hist.Read(t.t.ID(), a)
@@ -1252,10 +1294,24 @@ func (t *Tx) SetData(r *Ref, j int, v uint64) error {
 }
 
 // writeWordAction dispatches a word store to the logged or unlogged path.
+// During a concurrent stable scan it is also the snapshot-at-the-beginning
+// deletion barrier for stable pointer slots: the overwritten value is
+// grayed before the update, so a from-space target deleted from an
+// unscanned (gray) object is still evacuated — and an abort restoring the
+// old value through the undo translation table lands on the evacuated
+// copy, never a from-space address.
 func (hp *Heap) writeWordAction(t *Tx, obj word.Addr, d heap.Descriptor, slot word.Addr, v uint64, isPtr bool) {
 	var buf [word.WordSize]byte
 	word.PutWord(buf[:], 0, v)
 	if hp.isStableObject(obj, d) {
+		if isPtr && hp.csgcOn.Load() {
+			if old := word.Addr(hp.mem.ReadWord(slot)); hp.sgc.ConcFromContains(old) {
+				hp.grayMu.Lock()
+				hp.grayQ = append(hp.grayQ, old)
+				hp.grayMu.Unlock()
+				hp.met.satbGray.Inc()
+			}
+		}
 		hp.txm.Update(t.t, obj, slot, buf[:], isPtr)
 	} else {
 		hp.txm.VolatileWrite(t.t, slot, buf[:], isPtr)
@@ -1335,6 +1391,7 @@ func (t *Tx) Root(i int) (*Ref, error) {
 	hp.mem.EnsureAccessible(slot, word.WordSize)
 	p := word.Addr(hp.mem.ReadWord(slot))
 	p = hp.sgc.BarrierLoad(p)
+	p = hp.stableLoad(p)
 	p = hp.volLoad(p)
 	if hp.hist != nil {
 		hp.hist.Read(t.t.ID(), hp.rootObj)
@@ -1503,6 +1560,7 @@ func (t *Tx) Commit() error {
 	hp.tr.Complete("tx", "commit", start, d)
 	hp.bb.Record(obs.EvTxCommit, uint64(t.t.ID()), uint64(d), 0)
 	hp.assistVolatileScan()
+	hp.assistStableScan()
 	return nil
 }
 
@@ -1567,6 +1625,7 @@ func (t *Tx) commitExclusive(start time.Time) error {
 	hp.tr.Complete("tx", "commit", start, d)
 	hp.bb.Record(obs.EvTxCommit, uint64(t.t.ID()), uint64(d), 0)
 	hp.assistVolatileScan()
+	hp.assistStableScan()
 	return nil
 }
 

@@ -23,11 +23,16 @@ import (
 // Each round uses a fresh heap and recorder so histories stay small and
 // a failure names its round and seed for replay. The configuration cycles
 // through latch shard counts {default, 1, 8}, an explicit nursery, the
-// mostly-concurrent volatile collector (alone and with 8 shards), and the
-// nursery-disabled legacy layout, so the generational write barrier, the
-// SATB deletion barrier and the read-barrier transport all run under the
-// checker. Workers mix in volatile allocation churn so minor collections
-// and concurrent scans actually fire mid-history.
+// mostly-concurrent volatile collector (alone and with 8 shards), the
+// mostly-concurrent stable collector (alone and combined with the volatile
+// one plus a nursery), and the nursery-disabled legacy layout, so the
+// generational write barrier, both SATB deletion barriers and both
+// read-barrier transports all run under the checker. Workers mix in
+// volatile allocation churn so minor collections and concurrent scans
+// actually fire mid-history; in the concurrent-stable rounds the driver
+// flips the stable area and runs volatile collections while the stable
+// scan is still in flight, so transactions span concurrent stable flips
+// and high-end evacuations mid-transaction.
 func TestConcurrentHistoriesSerializable(t *testing.T) {
 	rounds := 100
 	if testing.Short() {
@@ -46,7 +51,7 @@ func runHistoryRound(t *testing.T, round int) {
 	const initial = 100
 
 	cfg := concCfg()
-	switch round % 6 {
+	switch round % 8 {
 	case 1:
 		cfg.LatchShards = -1 // single shard: every logged write serialized
 	case 2:
@@ -58,6 +63,12 @@ func runHistoryRound(t *testing.T, round int) {
 	case 5:
 		cfg.ConcurrentVGC = true
 		cfg.LatchShards = 8
+	case 6:
+		cfg.ConcurrentSGC = true // stable scans on the collector goroutine
+	case 7:
+		cfg.ConcurrentSGC = true // both concurrent collectors + nursery
+		cfg.ConcurrentVGC = true
+		cfg.NurseryBytes = 2 << 10
 	}
 	hp := Open(cfg)
 	defer hp.Close()
@@ -121,7 +132,18 @@ func runHistoryRound(t *testing.T, round int) {
 	for running := true; running; {
 		if os.Getenv("HIST_NO_GC") == "" {
 			hp.StartStableCollection()
-			for hp.StepStable() {
+			if cfg.ConcurrentSGC {
+				// The flip leaves a concurrent scan in flight: run a
+				// volatile collection underneath it (newly stable objects
+				// evacuate into the scan's to-space high end), then retire
+				// it so the next iteration can flip again.
+				if _, err := hp.CollectVolatile(); err != nil {
+					t.Fatal(err)
+				}
+				hp.FinishStableScan()
+			} else {
+				for hp.StepStable() {
+				}
 			}
 			if _, err := hp.CollectVolatile(); err != nil {
 				t.Fatal(err)
@@ -171,6 +193,86 @@ func runHistoryRound(t *testing.T, round int) {
 	}
 	if sum != counters*initial {
 		t.Fatalf("round %d: counters sum to %d, want %d (lost or phantom transfer)", round, sum, counters*initial)
+	}
+}
+
+// TestHistRecorderFollowsConcurrentStableMoves pins the recorder's OnMove
+// rebasing for concurrent-stable-scan evacuations: a version installed at
+// an object's pre-flip address must be the version a later transaction
+// observes at the post-evacuation address, i.e. the wr-dependency edge
+// survives the move. Without the rebase the two addresses would be
+// distinct recorder variables and the edge would vanish.
+func TestHistRecorderFollowsConcurrentStableMoves(t *testing.T) {
+	cfg := concSGCCfg()
+	hp := Open(cfg)
+	defer hp.Close()
+
+	tr := hp.Begin()
+	c, err := tr.Alloc(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetData(c, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetRoot(0, c); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, tr)
+	if _, err := hp.CollectVolatile(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := histcheck.NewRecorder()
+	hp.SetHistoryRecorder(rec)
+
+	// Install a version at the pre-flip address.
+	trA := hp.Begin()
+	cA, err := trA.Root(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.SetData(cA, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	idA := trA.ID()
+	commit(t, trA)
+
+	// Evacuate it: flip concurrently and drive the scan to completion
+	// (the counter's OnMove fires from a gate-held scan quantum).
+	hp.StartStableCollection()
+	for hp.StepStableScan() {
+	}
+
+	// Observe it at the post-evacuation address, mid-collection.
+	trB := hp.Begin()
+	cB, err := trB.Root(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := trB.Data(cB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB := trB.ID()
+	commit(t, trB)
+	hp.FinishStableScan()
+
+	if v != 6 {
+		t.Fatalf("read %d through the moved object, want 6", v)
+	}
+	hist := rec.History()
+	found := false
+	for _, op := range hist.Ops {
+		if op.Tx == idB && op.Kind == histcheck.OpRead && op.FromTx == idA {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reader's dependency on the pre-move writer lost across the evacuation:\n%v", hist)
+	}
+	if err := histcheck.Check(hist); err != nil {
+		t.Fatal(err)
 	}
 }
 

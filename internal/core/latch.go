@@ -38,22 +38,29 @@ import (
 //     observed coarse == false keeps that truth for its whole critical
 //     section.
 //
-//   - gate is the mostly-concurrent collection gate (Config.ConcurrentVGC).
-//     While a concurrent volatile scan is in flight (cvgcOn), ordinary
+//   - gate is the mostly-concurrent collection gate (Config.ConcurrentVGC
+//     and Config.ConcurrentSGC). While a concurrent scan is in flight
+//     (cvgcOn for the volatile area, csgcOn for the stable area), ordinary
 //     actions additionally hold gate shared and the collector goroutine
 //     runs each scan quantum under gate exclusive: copying excludes
 //     mutators one quantum at a time without ever taking the stop latch,
 //     which is exactly how the scan stays off the mutator's critical path.
-//     cvgcOn only transitions with stop held exclusively, so a shared
-//     holder's view of it is stable for its whole critical section.
+//     Both flags only transition with stop held exclusively, so a shared
+//     holder's view of them is stable for its whole critical section.
 //     Exclusive sections acquire the gate too (gateHeldExcl) — the
 //     collector goroutine must not run while the heap is stopped — and
 //     drain the SATB gray stack on entry, so aborts always see evacuated
-//     undo values.
+//     undo values. During a concurrent *stable* scan, coarse stays false:
+//     the collection is active but mutator actions keep running shared,
+//     which is the whole point.
 //
-// Lock order: stop → gate → {shard, vgc.transMu} → {ckpt.mu, vm.mu →
-// wal.mu, txm.mu → txm.undoMu, lock.mu, candMu, grayMu, remMu}. Subsystem
-// mutexes never call back into the latch.
+// Lock order: stop → gate → {sgc.stransMu → shard, vgc.transMu} →
+// {ckpt.mu, vm.mu → wal.mu, txm.mu → txm.undoMu, lock.mu, candMu, grayMu,
+// remMu}. Ordinary updates take their one shard directly; a stable
+// transport takes stransMu first, then the shards of the pages its logged
+// copy writes (no writer ever waits on stransMu while holding a shard, so
+// the nesting cannot deadlock). Subsystem mutexes never call back into
+// the latch.
 func (hp *Heap) rlock() (excl bool) {
 	for {
 		if hp.coarse.Load() {
@@ -67,9 +74,9 @@ func (hp *Heap) rlock() (excl bool) {
 			hp.stop.RUnlock()
 			continue
 		}
-		if hp.cvgcOn.Load() {
-			// cvgcOn cannot change while we hold stop shared, so the
-			// matching runlock releases the gate iff it is set here.
+		if hp.cvgcOn.Load() || hp.csgcOn.Load() {
+			// Neither flag can change while we hold stop shared, so the
+			// matching runlock releases the gate iff one is set here.
 			hp.gate.RLock()
 		}
 		return false
@@ -82,7 +89,7 @@ func (hp *Heap) runlock(excl bool) {
 		hp.unlockExclusive()
 		return
 	}
-	if hp.cvgcOn.Load() {
+	if hp.cvgcOn.Load() || hp.csgcOn.Load() {
 		hp.gate.RUnlock()
 	}
 	hp.stop.RUnlock()
@@ -104,7 +111,7 @@ func (hp *Heap) lockExclusive() {
 	// paid for draining every shared action.
 	hp.gate.Lock()
 	hp.gateHeldExcl = true
-	if hp.cvgcOn.Load() {
+	if hp.cvgcOn.Load() || hp.csgcOn.Load() {
 		hp.drainGrayLocked()
 	}
 	wait := time.Since(start)
@@ -134,7 +141,9 @@ func (hp *Heap) unlockExclusive() {
 
 // drainGrayLocked evacuates every grayed (SATB-overwritten) pointer
 // target. Callers hold the gate exclusively (via lockExclusive or the
-// collector goroutine), so no mutator races the copies.
+// collector goroutine), so no mutator races the copies. One queue serves
+// both areas: each entry is dispatched to whichever collector's from-space
+// contains it (the other's evacuate is a cheap range-check no-op).
 func (hp *Heap) drainGrayLocked() {
 	for {
 		hp.grayMu.Lock()
@@ -145,15 +154,25 @@ func (hp *Heap) drainGrayLocked() {
 			return
 		}
 		for _, p := range q {
-			hp.vgc.EvacuateGray(p)
+			if hp.vgc != nil {
+				hp.vgc.EvacuateGray(p)
+			}
+			hp.sgc.EvacuateConcGray(p)
 		}
 	}
 }
 
 // syncCoarse refreshes the collector-activity mirror. Callers hold the stop
 // latch exclusively (or run single-threaded, during build and recovery).
+// A concurrent stable collection keeps coarse false — mutator actions run
+// shared behind the gate and the read barrier — and this is also where a
+// retired concurrent collection stops routing loads through the barrier.
 func (hp *Heap) syncCoarse() {
-	hp.coarse.Store(hp.sgc.Active())
+	if hp.csgcOn.Load() && !hp.sgc.ConcurrentActive() {
+		hp.csgcOn.Store(false)
+		hp.bb.Record(obs.EvSGCFinish, 0, hp.sgc.Epoch(), 0)
+	}
+	hp.coarse.Store(hp.sgc.Active() && !hp.csgcOn.Load())
 }
 
 // shardOf returns the writer stripe for the page containing a.

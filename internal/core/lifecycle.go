@@ -28,14 +28,15 @@ func (hp *Heap) Checkpoint() word.LSN {
 
 func (hp *Heap) checkpointLocked() word.LSN {
 	cp := wal.CheckpointRec{
-		Txs:         hp.txm.TableEntries(),
-		StableCur:   hp.sgc.CurrentIndex(),
-		RootObj:     hp.rootObj,
-		StableAlloc: hp.sgc.Current().CopyPtr,
-		GC:          hp.sgc.State(),
-		VolatileLo:  hp.volLo,
-		VolatileHi:  hp.volatileEnd(),
-		NextTx:      hp.txm.NextTxID(),
+		Txs:             hp.txm.TableEntries(),
+		StableCur:       hp.sgc.CurrentIndex(),
+		RootObj:         hp.rootObj,
+		StableAlloc:     hp.sgc.Current().CopyPtr,
+		StableAllocHigh: hp.sgc.Current().AllocPtr,
+		GC:              hp.sgc.State(),
+		VolatileLo:      hp.volLo,
+		VolatileHi:      hp.volatileEnd(),
+		NextTx:          hp.txm.NextTxID(),
 	}
 	if hp.cfg.Divided {
 		cp.VolatileCur = hp.vgc.CurrentIndex()
@@ -74,7 +75,7 @@ func (hp *Heap) Close() {
 		hp.finishConcurrentLocked()
 		hp.txm.AbortAll()
 		if hp.sgc.Active() {
-			hp.sgc.Finish()
+			hp.finishStableGCLocked()
 		}
 		hp.mem.FlushAll()
 		hp.checkpointLocked()
@@ -104,10 +105,13 @@ func (hp *Heap) Crash() (storage.PageStore, storage.LogDevice) {
 	func() {
 		hp.lockExclusive()
 		defer hp.unlockExclusive()
-		// An in-flight concurrent scan simply vanishes: it was pure
-		// unlogged copying, the flip record is already in the log, and
-		// recovery treats the whole volatile area as dead.
+		// An in-flight concurrent volatile scan simply vanishes: it was
+		// pure unlogged copying, the flip record is already in the log,
+		// and recovery treats the whole volatile area as dead. A
+		// concurrent stable scan is abandoned too, but its steps are all
+		// in the log — recovery resumes that collection where it stopped.
 		hp.abandonConcurrentLocked()
+		hp.abandonStableConcLocked()
 		// CrashDevice applies any planned torn writes (internal/faultfs)
 		// and records them as EvFault events — so crash THEN stamp the
 		// EvCrash marker, and the flushed timeline ends with the injected
@@ -193,11 +197,20 @@ func recoverCommon(cfg Config, disk storage.PageStore, logDev storage.LogDevice,
 	}
 
 	// Restore the stable collector. When a collection was in progress it
-	// resumes incrementally; otherwise only the space choice and the
-	// allocation frontier are reinstated.
-	hp.sgc.Restore(cp.GC, cp.StableCur)
+	// resumes — concurrently again, if the configuration allows, so the
+	// remaining scan stays off the stop latch after recovery too;
+	// otherwise only the space choice and the allocation frontier are
+	// reinstated.
+	if cp.GC.Active && cfg.ConcurrentSGC && cfg.Incremental {
+		hp.sgc.RestoreConcurrent(cp.GC, cp.StableCur)
+	} else {
+		hp.sgc.Restore(cp.GC, cp.StableCur)
+	}
 	if !cp.GC.Active {
 		hp.sgc.SetAllocFrontier(cp.StableAlloc)
+		if cp.StableAllocHigh != 0 {
+			hp.sgc.SetAllocHighFrontier(cp.StableAllocHigh)
+		}
 		// The idle semispace's replayed pages are dead (it was a freed
 		// from-space); drop them.
 		idle := hp.sgc.CurrentIndex() ^ 1
@@ -238,6 +251,18 @@ func recoverCommon(cfg Config, disk storage.PageStore, logDev storage.LogDevice,
 	// the collector-activity mirror so the first concurrent actions route
 	// through the exclusive path (single-threaded here, no latch needed).
 	hp.syncCoarse()
+	if hp.sgc.ConcurrentActive() {
+		// The crash interrupted a concurrent stable scan and the restore
+		// above picked the collection back up mid-sweep (the recovered
+		// scan pointer). Re-arm the barriers and restart the collector
+		// goroutine — through the latch, so the goroutine's first quantum
+		// orders after everything recovery did. (ensureStableSpaceRecovered
+		// may instead have finished the collection inline; then this is
+		// skipped and syncCoarse above already republished coarse.)
+		hp.lockExclusive()
+		hp.startStableConcScan()
+		hp.unlockExclusive()
+	}
 	hp.bb.Record(obs.EvRecovery, 0, uint64(res.RedoApplied), uint64(res.RedoScanned))
 	hp.journal.Flush()
 	hp.startWatchdog()
@@ -330,7 +355,7 @@ func (hp *Heap) CollectStable() {
 	if !hp.sgc.Active() {
 		hp.startStableGC()
 	}
-	hp.sgc.Finish()
+	hp.finishStableGCLocked()
 }
 
 // StepStable advances an active stable collection by one quantum (the
@@ -340,6 +365,12 @@ func (hp *Heap) StepStable() bool {
 	defer hp.unlockExclusive()
 	if !hp.sgc.Active() {
 		return false
+	}
+	if hp.sgc.ConcurrentActive() {
+		// Grayed targets must be evacuated before from-space can be
+		// declared drained, and they push the copy pointer the step below
+		// compares against.
+		hp.drainGrayLocked()
 	}
 	return hp.sgc.Step()
 }
@@ -441,8 +472,13 @@ func (hp *Heap) Mem() *vm.Store { return hp.mem }
 // TxStats returns transaction-manager counters.
 func (hp *Heap) TxStats() tx.Stats { return hp.txm.Stats() }
 
-// GCStats returns stable-collector counters.
-func (hp *Heap) GCStats() gc.Stats { return hp.sgc.Stats() }
+// GCStats returns stable-collector counters. Taken under the shared latch
+// so a concurrent stable scan quantum never races the snapshot.
+func (hp *Heap) GCStats() gc.Stats {
+	excl := hp.rlock()
+	defer hp.runlock(excl)
+	return hp.sgc.Stats()
+}
 
 // VGCStats returns volatile-collector counters (zero when !Divided). Taken
 // under the shared latch so a concurrent scan quantum never races the

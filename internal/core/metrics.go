@@ -57,6 +57,13 @@ func (hp *Heap) Metrics() obs.Snapshot {
 	s.SetHist("gc_flip_ns", gs.Flip)
 	s.SetHist("gc_step_ns", gs.Step)
 	s.SetHist("gc_trap_ns", gs.Trap)
+	if hp.cfg.ConcurrentSGC {
+		s.SetCounter("gc_conc_collections_total", int64(gs.ConcCollections))
+		s.SetCounter("gc_conc_quanta_total", gs.ConcQuanta)
+		s.SetCounter("gc_conc_transports_total", gs.ConcTransports)
+		s.SetCounter("gc_conc_satb_gray_total", int64(hp.met.satbGray.Load()))
+		s.SetHist("gc_conc_quantum_ns", gs.Quantum)
+	}
 
 	if hp.vgc != nil {
 		vs := hp.vgc.Stats()

@@ -97,6 +97,17 @@ type Scenario struct {
 	// recovery audit verifies every acknowledged chain in full: promoted
 	// objects are atomic, discarded nursery contents stay dead.
 	Nursery bool
+	// StableConc runs the heap with the mostly-concurrent stable collector
+	// and adds a burst per round that commits chains of objects (root slots
+	// 28..31), promotes them to the stable area, flips the stable area
+	// concurrently (mutators keep running under the in-flight scan), paces
+	// the scan a seed-chosen number of quanta, commits an update through
+	// the transporting read barrier mid-scan, and abandons an uncommitted
+	// pointer overwrite that fires the SATB deletion barrier. Most rounds
+	// crash with the scan still in flight at a quantum boundary; recovery
+	// resumes the scan, and the audit replays every acknowledged chain node
+	// by node through whichever semispace the resumed scan left it in.
+	StableConc bool
 	// Dir, when set, runs every seed over real files: a filestore opened
 	// at <Dir>/seed-<seed> replaces the in-memory devices under the fault
 	// injector, and is removed when the seed finishes. The injector wraps
@@ -211,6 +222,13 @@ type chaosRun struct {
 	// the acknowledged nodes, in order.
 	nurBase [nurseryChains]uint64
 	nurLive [nurseryChains]bool
+
+	// Stable-conc-burst state (Scenario.StableConc): scBase[w] is chain w's
+	// last acknowledged value tag, scHead[w] the head node's expected value
+	// (it diverges from scBase[w] when a mid-scan update commits).
+	scBase [stableConcChains]uint64
+	scHead [stableConcChains]uint64
+	scLive [stableConcChains]bool
 }
 
 // RunSeed derives seed's fault plan and runs the scenario under it.
@@ -234,6 +252,14 @@ func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
 		cfg.NurseryBytes = 32 << 10
 		cfg.ConcurrentVGC = true
 		cfg.ConcVGCManualScan = true
+	}
+	if sc.StableConc {
+		// Same determinism argument as the nursery scenario: a collector
+		// goroutine would race the fault schedule, so the burst paces the
+		// stable scan itself with StepStableScan, a seed-chosen number of
+		// quanta per round, and most rounds crash with the scan in flight.
+		cfg.ConcurrentSGC = true
+		cfg.ConcSGCManualScan = true
 	}
 	// One journal device for the whole seed: each recovered heap appends
 	// its frames under a fresh boot id, so the accumulated dump holds the
@@ -327,6 +353,9 @@ func (r *chaosRun) round(round int) {
 	}
 	if r.sc.Nursery && !online && !r.dead {
 		online = r.nurseryBurst(round)
+	}
+	if r.sc.StableConc && !online && !r.dead {
+		online = r.stableConcBurst(round)
 	}
 	if r.dead {
 		return
@@ -776,6 +805,214 @@ func (r *chaosRun) auditNursery(hp *core.Heap) error {
 	return nil
 }
 
+// stableConcSlot0 is the first root slot the stable-conc burst owns
+// (driver: 0..7, mutators: 16..16+N-1, nursery: 24..27).
+const stableConcSlot0 = 28
+
+// stableConcChains is how many committed chains the stable-conc burst
+// maintains.
+const stableConcChains = 4
+
+// stableConcChainLen is the node count of each committed chain.
+const stableConcChainLen = 4
+
+// stableConcBurst exercises the mostly-concurrent stable collector with
+// faults armed: each round rebuilds committed chains (overwriting last
+// round's — stable garbage for the next flip), promotes them with a
+// volatile collection (high-end allocation when a scan is in flight),
+// flips the stable area concurrently, paces the scan a seed-chosen number
+// of quanta, commits an update through the in-flight scan, and abandons
+// an uncommitted pointer overwrite that fires the SATB deletion barrier.
+// Roughly every third round retires the scan so GCEnd and the space swap
+// also run under the fault plan; the rest crash mid-scan at a quantum
+// boundary, and recovery must resume the collection.
+func (r *chaosRun) stableConcBurst(round int) (online bool) {
+	hp := r.d.hp
+	// A scan resumed from the previous round's mid-scan crash may still be
+	// in flight: advance it a few quanta first, so the rebuild below runs
+	// against a part-scanned stable area and its reads cross the
+	// transporting read barrier.
+	if hp.StableScanActive() {
+		_, fault := guard(func() error {
+			for steps := r.rng.Intn(4); steps > 0; steps-- {
+				if !hp.StepStableScan() {
+					break
+				}
+			}
+			return nil
+		})
+		if fault != nil {
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		}
+	}
+	for w := 0; w < stableConcChains; w++ {
+		base := uint64(round)*1000 + uint64(w)*100 + 7
+		err, fault := guard(func() error {
+			tr := hp.Begin()
+			var head *core.Ref
+			for i := stableConcChainLen - 1; i >= 0; i-- {
+				n, err := tr.Alloc(4, 1, 1)
+				if err != nil {
+					tr.Abort()
+					return err
+				}
+				if err := tr.SetData(n, 0, base+uint64(i)); err != nil {
+					tr.Abort()
+					return err
+				}
+				if err := tr.SetPtr(n, 0, head); err != nil {
+					tr.Abort()
+					return err
+				}
+				head = n
+			}
+			if err := tr.SetRoot(stableConcSlot0+w, head); err != nil {
+				tr.Abort()
+				return err
+			}
+			return tr.Commit()
+		})
+		switch {
+		case fault != nil:
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		case err == nil:
+			r.scBase[w] = base
+			r.scHead[w] = base
+			r.scLive[w] = true
+		case errors.Is(err, core.ErrConflict):
+			// The driver's in-doubt prepared transaction holds the root
+			// array; this chain keeps its previous acknowledged state.
+		default:
+			r.violation(fmt.Sprintf("stable-conc burst chain %d: %v", w, err))
+			r.dead = true
+			return true
+		}
+	}
+	// Promote the fresh chains into the stable area, flip it concurrently
+	// (a no-op if the resumed scan is still running) and pace the scan a
+	// seed-chosen number of quanta so the round's crash lands at a
+	// deterministic quantum boundary.
+	finished := false
+	_, fault := guard(func() error {
+		if _, err := hp.CollectVolatile(); err != nil {
+			return err
+		}
+		hp.StartStableCollection()
+		for steps := r.rng.Intn(6); steps > 0; steps-- {
+			if !hp.StepStableScan() {
+				break
+			}
+		}
+		if r.rng.Intn(3) == 0 {
+			for hp.StepStableScan() {
+			}
+			hp.FinishStableScan()
+			finished = true
+		}
+		return nil
+	})
+	if fault != nil {
+		r.res.record(DetectedOnline, fault.Error())
+		return true
+	}
+	// A committed update through the (possibly) in-flight scan: the read
+	// transports the head to to-space if the scan hasn't reached it, and
+	// the acknowledged value must survive the crash either way.
+	if r.scLive[0] {
+		err, fault := guard(func() error {
+			tr := hp.Begin()
+			c, err := tr.Root(stableConcSlot0)
+			if err != nil {
+				tr.Abort()
+				return err
+			}
+			if err := tr.SetData(c, 0, r.scBase[0]+50); err != nil {
+				tr.Abort()
+				return err
+			}
+			return tr.Commit()
+		})
+		switch {
+		case fault != nil:
+			r.res.record(DetectedOnline, fault.Error())
+			return true
+		case err == nil:
+			r.scHead[0] = r.scBase[0] + 50
+		case errors.Is(err, core.ErrConflict):
+			// In-doubt conflict; the head keeps its previous value.
+		default:
+			r.violation(fmt.Sprintf("stable-conc burst update: %v", err))
+			r.dead = true
+			return true
+		}
+	}
+	// Abandon an uncommitted pointer overwrite mid-scan: severing chain 1's
+	// head link fires the SATB deletion barrier (the old target grays), one
+	// more paced quantum evacuates the gray, and recovery must undo the
+	// severing — the audit walks the full chain.
+	_, fault = guard(func() error {
+		tr := hp.Begin()
+		c, err := tr.Root(stableConcSlot0 + 1)
+		if err != nil || c == nil {
+			return nil // in-doubt conflict; leave nothing in flight
+		}
+		_ = tr.SetPtr(c, 0, nil)
+		if !finished {
+			hp.StepStableScan()
+		}
+		return nil // never committed, never aborted
+	})
+	if fault != nil {
+		r.res.record(DetectedOnline, fault.Error())
+		return true
+	}
+	return false
+}
+
+// auditStableConc verifies, post-recovery, that every acknowledged chain
+// reads back exactly as committed, through whichever semispace the resumed
+// scan left each node in: the transporting read barrier must hand back the
+// live copy, committed mid-scan updates must have survived, and the
+// abandoned severing must be undone.
+func (r *chaosRun) auditStableConc(hp *core.Heap) error {
+	tr := hp.Begin()
+	defer tr.Abort()
+	for w := 0; w < stableConcChains; w++ {
+		if !r.scLive[w] {
+			continue
+		}
+		c, err := tr.Root(stableConcSlot0 + w)
+		if err != nil {
+			return fmt.Errorf("stable-conc chain %d: reading root: %v", w, err)
+		}
+		for i := 0; i < stableConcChainLen; i++ {
+			if c == nil {
+				return fmt.Errorf("stable-conc chain %d: truncated at node %d after recovery (lost across the scan, or uncommitted severing survived)", w, i)
+			}
+			v, err := tr.Data(c, 0)
+			if err != nil {
+				return fmt.Errorf("stable-conc chain %d node %d: %v", w, i, err)
+			}
+			want := r.scBase[w] + uint64(i)
+			if i == 0 {
+				want = r.scHead[w]
+			}
+			if v != want {
+				return fmt.Errorf("stable-conc chain %d node %d: value %d, want %d (lost or phantom update across the concurrent scan)", w, i, v, want)
+			}
+			if c, err = tr.Ptr(c, 0); err != nil {
+				return fmt.Errorf("stable-conc chain %d node %d: next: %v", w, i, err)
+			}
+		}
+		if c != nil {
+			return fmt.Errorf("stable-conc chain %d: trailing node after recovery (uncommitted write survived)", w)
+		}
+	}
+	return nil
+}
+
 // auditMutators verifies, post-recovery, that every mutator counter holds
 // exactly its last acknowledged committed value: committed increments
 // survived the crash, the abandoned in-flight update did not.
@@ -846,7 +1083,10 @@ func (r *chaosRun) recoverAndAudit(onlineAlready bool) {
 		if err := r.auditMutators(hp); err != nil {
 			return err
 		}
-		return r.auditNursery(hp)
+		if err := r.auditNursery(hp); err != nil {
+			return err
+		}
+		return r.auditStableConc(hp)
 	})
 	switch {
 	case fault != nil:
@@ -894,7 +1134,10 @@ func (r *chaosRun) mediaRepair(logDev storage.LogDevice) {
 		if err := r.auditMutators(hp); err != nil {
 			return err
 		}
-		return r.auditNursery(hp)
+		if err := r.auditNursery(hp); err != nil {
+			return err
+		}
+		return r.auditStableConc(hp)
 	})
 	switch {
 	case fault != nil:

@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"syscall"
 	"testing"
 
 	"stableheap/internal/core"
@@ -36,6 +37,7 @@ const (
 	envAcks      = "SH_KILLPOINT_ACKS"
 	envOp        = "SH_KILLPOINT_OP"
 	envMode      = "SH_KILLPOINT_MODE"
+	envQuanta    = "SH_KILLPOINT_QUANTA"
 )
 
 // Kill positions within an op.
@@ -250,6 +252,189 @@ func TestKillPointMatrix(t *testing.T) {
 				f.Close()
 			}
 		})
+	}
+}
+
+// killScanCfg is killCfg with the mostly-concurrent stable collector on,
+// manually paced (the child steps the scan itself, so the kill lands at
+// an exact quantum boundary).
+func killScanCfg(dir string) core.Config {
+	cfg := killCfg(dir)
+	cfg.ConcurrentSGC = true
+	cfg.ConcSGCManualScan = true
+	return cfg
+}
+
+// scanChains / scanChainLen shape the stable-scan child's committed state.
+const (
+	scanChains   = 3
+	scanChainLen = 4
+)
+
+// TestKillPointStableScanChild is the subprocess body for the concurrent
+// stable-scan kill point; it skips unless re-exec'd. It commits chains of
+// objects (root slots 2..4), fsyncs an acknowledgment of the generation,
+// promotes the chains to the stable area, flips the stable area
+// concurrently, paces the scan a parent-chosen number of quanta and then
+// SIGKILLs itself with the scan in flight — the unforced log tail and the
+// dirty durable-layer cache die with the process, so recovery sees only
+// what fdatasync ordered, mid-scan.
+func TestKillPointStableScanChild(t *testing.T) {
+	dir := os.Getenv(envDir)
+	if dir == "" {
+		t.Skip("subprocess body")
+	}
+	quanta, _ := strconv.Atoi(os.Getenv(envQuanta))
+
+	hp, err := core.OpenDir(killScanCfg(dir))
+	if err != nil {
+		t.Fatalf("child open: %v", err)
+	}
+	acksPath := os.Getenv(envAcks)
+	gen := lastAck(t, acksPath) + 1
+
+	tr := hp.Begin()
+	for w := 0; w < scanChains; w++ {
+		var head *core.Ref
+		for i := scanChainLen - 1; i >= 0; i-- {
+			n, err := tr.Alloc(4, 1, 1)
+			if err != nil {
+				t.Fatalf("alloc: %v", err)
+			}
+			if err := tr.SetData(n, 0, gen*1000+uint64(w)*100+uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.SetPtr(n, 0, head); err != nil {
+				t.Fatal(err)
+			}
+			head = n
+		}
+		if err := tr.SetRoot(2+w, head); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatalf("commit gen %d: %v", gen, err)
+	}
+	acks, err := os.OpenFile(acksPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("child acks: %v", err)
+	}
+	if _, err := fmt.Fprintf(acks, "%d\n", gen); err != nil {
+		t.Fatalf("ack write: %v", err)
+	}
+	if err := acks.Sync(); err != nil {
+		t.Fatalf("ack sync: %v", err)
+	}
+
+	// Promote the chains, flip concurrently, pace the scan, die mid-scan.
+	if _, err := hp.CollectVolatile(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	hp.StartStableCollection()
+	for i := 0; i < quanta; i++ {
+		if !hp.StepStableScan() {
+			break
+		}
+	}
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	t.Fatal("unreachable: SIGKILL did not take")
+}
+
+// auditScanChains walks every chain the child acknowledged for generation
+// gen, through whichever semispace the resumed scan left each node in.
+func auditScanChains(t *testing.T, hp *core.Heap, gen uint64) {
+	t.Helper()
+	tr := hp.Begin()
+	defer tr.Abort()
+	for w := 0; w < scanChains; w++ {
+		c, err := tr.Root(2 + w)
+		if err != nil {
+			t.Fatalf("gen %d chain %d: root: %v", gen, w, err)
+		}
+		for i := 0; i < scanChainLen; i++ {
+			if c == nil {
+				t.Fatalf("gen %d chain %d: truncated at node %d", gen, w, i)
+			}
+			v, err := tr.Data(c, 0)
+			if err != nil {
+				t.Fatalf("gen %d chain %d node %d: %v", gen, w, i, err)
+			}
+			if want := gen*1000 + uint64(w)*100 + uint64(i); v != want {
+				t.Fatalf("gen %d chain %d node %d: value %d, want %d", gen, w, i, v, want)
+			}
+			if c, err = tr.Ptr(c, 0); err != nil {
+				t.Fatalf("gen %d chain %d node %d: next: %v", gen, w, i, err)
+			}
+		}
+		if c != nil {
+			t.Fatalf("gen %d chain %d: trailing node after recovery", gen, w)
+		}
+	}
+}
+
+// TestKillPointStableScan SIGKILLs a child mid-concurrent-stable-scan over
+// a real filestore, across a matrix of seeds and paced quantum counts.
+// After each kill the parent recovers the directory — the collection comes
+// back in flight at the exact quantum the child reached — audits every
+// acknowledged chain through the transporting read barrier, retires the
+// resumed scan, audits again, and hands the directory to the next cycle's
+// child, which flips the stable area afresh over the survivor objects.
+func TestKillPointStableScan(t *testing.T) {
+	if os.Getenv(envDir) != "" {
+		t.Skip("inside subprocess")
+	}
+	seeds := 8
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := t.TempDir()
+			heapDir := filepath.Join(base, "heap")
+			acksPath := filepath.Join(base, "acks.txt")
+			for cycle := 0; cycle < 2; cycle++ {
+				quanta := 1 + (seed*3+cycle*5)%7
+				runScanChildToKill(t, heapDir, acksPath, quanta)
+
+				gen := lastAck(t, acksPath)
+				if gen == 0 {
+					t.Fatalf("cycle %d: child died before acknowledging its commit", cycle)
+				}
+				hp, err := core.RecoverDir(killScanCfg(heapDir))
+				if err != nil {
+					t.Fatalf("cycle %d (quanta=%d): recover: %v", cycle, quanta, err)
+				}
+				auditScanChains(t, hp, gen)
+				for hp.StepStableScan() {
+				}
+				hp.FinishStableScan()
+				auditScanChains(t, hp, gen)
+				hp.Close()
+			}
+		})
+	}
+}
+
+// runScanChildToKill re-execs the stable-scan child and requires it to
+// die by its own SIGKILL.
+func runScanChildToKill(t *testing.T, heapDir, acksPath string, quanta int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestKillPointStableScanChild$")
+	cmd.Env = append(os.Environ(),
+		envDir+"="+heapDir,
+		envAcks+"="+acksPath,
+		fmt.Sprintf("%s=%d", envQuanta, quanta),
+	)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child (quanta=%d) did not die at the kill point: err=%v\n%s", quanta, err, out)
+	}
+	if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child (quanta=%d) exited without the SIGKILL: %v\n%s", quanta, err, out)
 	}
 }
 

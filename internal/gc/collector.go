@@ -20,6 +20,7 @@ package gc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"stableheap/internal/heap"
@@ -87,6 +88,13 @@ type Hooks struct {
 	// new addresses; the core rekeys locks, updates per-transaction undo
 	// translations, and rebases remembered-set entries.
 	OnCopy func(from, to word.Addr, sizeWords int)
+	// LockShards pins the writer shards covering the to-space pages of
+	// [to, to+sizeWords) for a transport's logged copy (concurrent mode
+	// only). A mutator update holds its page's shard across the
+	// {log append, memory write} pair; the transport must do the same, or
+	// a page could flush carrying the update's newer pageLSN but not the
+	// copy's bytes, and conditional redo would skip the copy record.
+	LockShards func(to word.Addr, sizeWords int) (unlock func())
 }
 
 // Stats counts collector work. The pause histograms (flip, scan step,
@@ -100,9 +108,16 @@ type Stats struct {
 	ScannedSlots int64
 	FillerWords  int64
 	GCEndFlushes int64 // to-space pages written back at collection ends
-	Flip         obs.HistSnapshot
-	Step         obs.HistSnapshot
-	Trap         obs.HistSnapshot
+	// Concurrent-mode work (Config.ConcurrentSGC in the core): scan
+	// quanta run on the collector goroutine, transports on mutator load
+	// paths.
+	ConcCollections int
+	ConcQuanta      int64
+	ConcTransports  int64
+	Flip            obs.HistSnapshot
+	Step            obs.HistSnapshot
+	Trap            obs.HistSnapshot
+	Quantum         obs.HistSnapshot
 }
 
 // Collector manages one area of the heap with two semispaces.
@@ -129,11 +144,22 @@ type Collector struct {
 	marked int
 	lot    *heap.LastObjTable
 
-	stats Stats
-	flipH obs.Histogram
-	stepH obs.Histogram
-	trapH obs.Histogram
-	tr    *obs.Trace
+	// Concurrent-mode state (concurrent_stable.go): the scan runs in
+	// quanta on a collector goroutine instead of under the stop latch.
+	// stransMu serializes mutator transports' logged copies against each
+	// other (the gate excludes them from scan quanta); concReserve is the
+	// to-space headroom kept free for copies still in flight.
+	concActive     bool
+	concReserve    int
+	concBaseCopied int64
+	stransMu       sync.Mutex
+
+	stats    Stats
+	flipH    obs.Histogram
+	stepH    obs.Histogram
+	trapH    obs.Histogram
+	quantumH obs.Histogram
+	tr       *obs.Trace
 }
 
 // New creates a collector for the area [lo, mid) ∪ [mid, hi) split into two
@@ -162,20 +188,29 @@ func (c *Collector) SetHooks(h Hooks) { c.hooks = h }
 func (c *Collector) Config() Config { return c.cfg }
 
 // Stats returns accumulated counters and pause-histogram snapshots.
+// stransMu keeps the read coherent against concurrent transports; every
+// other writer runs with the caller (who holds at least the shared stop
+// latch) excluded.
 func (c *Collector) Stats() Stats {
+	c.stransMu.Lock()
 	s := c.stats
+	c.stransMu.Unlock()
 	s.Flip = c.flipH.Snapshot()
 	s.Step = c.stepH.Snapshot()
 	s.Trap = c.trapH.Snapshot()
+	s.Quantum = c.quantumH.Snapshot()
 	return s
 }
 
 // ResetStats zeroes the counters and pause histograms.
 func (c *Collector) ResetStats() {
+	c.stransMu.Lock()
 	c.stats = Stats{}
+	c.stransMu.Unlock()
 	c.flipH.Reset()
 	c.stepH.Reset()
 	c.trapH.Reset()
+	c.quantumH.Reset()
 }
 
 // SetTrace wires an optional trace ring; nil disables tracing.
@@ -211,25 +246,49 @@ func (c *Collector) InArea(a word.Addr) bool {
 // collection and retries.
 func (c *Collector) Alloc(sizeWords int) (word.Addr, bool) {
 	if c.active {
+		if c.concActive && c.to.FreeWords()-sizeWords < c.concRemainingWords() {
+			return word.NilAddr, false
+		}
 		return c.to.AllocHigh(sizeWords)
 	}
 	return c.Current().AllocLow(sizeWords)
 }
 
-// AllocForMove reserves space at the low end of the current space for an
-// object evacuated from the volatile area (Ch. 5). It must not be called
-// during an active collection of this area.
+// AllocForMove reserves space for an object evacuated from the volatile
+// area (Ch. 5): at the low end of the current space between collections.
+// During a *concurrent* collection the move lands in the high-end mutator
+// region of to-space instead (Fig. 3.3): the scan never visits it, and
+// post-flip volatile objects cannot hold stable from-space pointers (the
+// flip translated every volatile slot), so the image needs no further
+// translation. The reserve keeps room for the copies still in flight. A
+// stop-the-world or incremental collection must be finished first, as
+// before.
 func (c *Collector) AllocForMove(sizeWords int) (word.Addr, bool) {
 	if c.active {
-		panic("gc: AllocForMove during active collection")
+		if !c.concActive {
+			panic("gc: AllocForMove during active collection")
+		}
+		if c.to.FreeWords()-sizeWords < c.concRemainingWords() {
+			return word.NilAddr, false
+		}
+		return c.to.AllocHigh(sizeWords)
 	}
 	return c.Current().AllocLow(sizeWords)
 }
 
-// FreeWords returns the free words in the allocation space.
+// FreeWords returns the free words in the allocation space. During a
+// concurrent collection the headroom reserved for in-flight copies is off
+// limits.
 func (c *Collector) FreeWords() int {
 	if c.active {
-		return c.to.FreeWords()
+		free := c.to.FreeWords()
+		if c.concActive {
+			free -= c.concRemainingWords()
+			if free < 0 {
+				free = 0
+			}
+		}
+		return free
 	}
 	return c.Current().FreeWords()
 }
@@ -248,6 +307,10 @@ func (c *Collector) toPageIndex(a word.Addr) int {
 // returned (the caller stores it and the flip record carries it). With
 // Config.Incremental false the collection also runs to completion here.
 func (c *Collector) StartCollection(rootObj word.Addr) word.Addr {
+	return c.startCollection(rootObj, false)
+}
+
+func (c *Collector) startCollection(rootObj word.Addr, concurrent bool) word.Addr {
 	if c.active {
 		panic("gc: flip during active collection")
 	}
@@ -264,6 +327,13 @@ func (c *Collector) StartCollection(rootObj word.Addr) word.Addr {
 	c.scanned = make([]bool, nPages)
 	c.lot = heap.NewLastObjTable(c.to.Lo, c.to.Hi, c.pageSize())
 	c.stats.Collections++
+	if concurrent {
+		// Record the reserve before the root copies below count against
+		// it: remaining-to-copy = reserve - (CopiedWords - base).
+		c.concReserve = spaceUsedWords(c.from)
+		c.concBaseCopied = c.stats.CopiedWords
+		c.stats.ConcCollections++
+	}
 
 	// The flip record precedes the root copy records so that recovery
 	// replays the space swap before the copies.
@@ -311,13 +381,18 @@ func (c *Collector) StartCollection(rootObj word.Addr) word.Addr {
 	}
 
 	// Arm the read barrier: protect all of to-space (Ellis). Baker mode
-	// needs no protection; the per-load check stands guard.
-	if c.cfg.Barrier == Ellis {
+	// needs no protection; the per-load check stands guard. In concurrent
+	// mode neither applies — the transporting read barrier
+	// (TransportStable) forwards every mutator load instead, and pages
+	// are never protected.
+	if concurrent {
+		c.concActive = true
+	} else if c.cfg.Barrier == Ellis {
 		for pg := c.to.Lo.Page(c.pageSize()); pg.Base(c.pageSize()) < c.to.Hi; pg++ {
 			c.mem.Protect(pg)
 		}
 	}
-	if !c.cfg.Incremental {
+	if !concurrent && !c.cfg.Incremental {
 		// Stop the world: the whole collection is this one pause.
 		c.Finish()
 	}
@@ -438,6 +513,7 @@ func (c *Collector) maybeFinish() {
 		}
 	}
 	c.active = false
+	c.concActive = false
 	c.from = nil
 	c.scanned = nil
 	c.lot = nil
@@ -639,9 +715,11 @@ func (c *Collector) sequentialScan(quantum int) {
 // BarrierLoad implements the Baker read barrier: the mutator loaded
 // pointer p; if it refers to from-space, transport the object and return
 // the to-space address. In Ellis mode loads never see from-space pointers
-// (the page trap rewrote them), so p is returned unchanged.
+// (the page trap rewrote them), so p is returned unchanged. During a
+// concurrent collection TransportStable stands guard instead (it
+// serializes the logged copy; an unserialized forward here would race).
 func (c *Collector) BarrierLoad(p word.Addr) word.Addr {
-	if c.cfg.Barrier != Baker || !c.active || p.IsNil() || !c.from.Contains(p) {
+	if c.cfg.Barrier != Baker || !c.active || c.concActive || p.IsNil() || !c.from.Contains(p) {
 		return p
 	}
 	return c.forward(p)
@@ -670,6 +748,20 @@ func (c *Collector) State() wal.GCState {
 // re-protected, so the interrupted collection simply continues after
 // recovery (§3.5.3: recovery never traverses the heap).
 func (c *Collector) Restore(st wal.GCState, cur int) {
+	c.restore(st, cur, false)
+}
+
+// RestoreConcurrent reinstates like Restore but resumes the interrupted
+// collection in concurrent mode: no page re-protection (the transporting
+// read barrier stands guard), and the caller puts the scan back on the
+// collector goroutine. The from-space occupancy snapshot is gone after a
+// crash, so the copy reserve assumes the worst case — everything not yet
+// copied.
+func (c *Collector) RestoreConcurrent(st wal.GCState, cur int) {
+	c.restore(st, cur, true)
+}
+
+func (c *Collector) restore(st wal.GCState, cur int, concurrent bool) {
 	c.cur = cur
 	c.epoch = st.Epoch
 	c.active = st.Active
@@ -689,6 +781,16 @@ func (c *Collector) Restore(st wal.GCState, cur int) {
 	c.scanned = append([]bool(nil), st.Scanned...)
 	c.lot = heap.NewLastObjTable(c.to.Lo, c.to.Hi, c.pageSize())
 	c.lot.Restore(st.LastObj)
+	if concurrent {
+		c.concReserve = word.BytesToWords(int(st.FromHi-st.FromLo)) -
+			word.BytesToWords(int(st.CopyPtr-st.ToLo))
+		if c.concReserve < 0 {
+			c.concReserve = 0
+		}
+		c.concBaseCopied = c.stats.CopiedWords
+		c.concActive = true
+		return
+	}
 	if c.cfg.Barrier == Ellis {
 		ps := word.Addr(c.pageSize())
 		for i, done := range c.scanned {
@@ -703,4 +805,12 @@ func (c *Collector) Restore(st wal.GCState, cur int) {
 // checkpoint) when no collection is active.
 func (c *Collector) SetAllocFrontier(copyPtr word.Addr) {
 	c.Current().CopyPtr = copyPtr
+}
+
+// SetAllocHighFrontier restores the descending high-end frontier of the
+// current space (from a checkpoint) when no collection is active: objects
+// moved in during a concurrent scan live at [AllocPtr, Hi) and must not be
+// allocated over.
+func (c *Collector) SetAllocHighFrontier(allocPtr word.Addr) {
+	c.Current().AllocPtr = allocPtr
 }

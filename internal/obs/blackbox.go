@@ -46,6 +46,8 @@ const (
 	EvStandbyApply
 	EvFileBarrier   // filestore SetMaster barrier; a = pages flushed, b = barrier ns
 	EvFileWriteBack // filestore background write-back batch; a = pages pushed
+	EvSGCQuantum    // one concurrent stable scan quantum ran; a = epoch
+	EvSGCFinish     // concurrent stable scan retired; a = epoch
 	evKindCount
 )
 
@@ -90,6 +92,10 @@ func (k EventKind) String() string {
 		return "file-barrier"
 	case EvFileWriteBack:
 		return "file-writeback"
+	case EvSGCQuantum:
+		return "sgc-quantum"
+	case EvSGCFinish:
+		return "sgc-finish"
 	default:
 		return fmt.Sprintf("ev-%d", uint16(k))
 	}

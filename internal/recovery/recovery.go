@@ -469,13 +469,25 @@ func (a *analysis) scan(log *wal.Manager) {
 			}
 		case wal.GCEndRec:
 			a.cp.StableAlloc = a.cp.GC.CopyPtr
+			// High-end objects (moved in during a concurrent scan) keep
+			// living above AllocPtr after the collection ends.
+			a.cp.StableAllocHigh = a.cp.GC.AllocPtr
 			a.cp.GC = wal.GCState{Active: false, Epoch: r.Epoch}
 		case wal.V2SCopyRec:
 			a.dirtyRange(r.To, len(r.Object), lsn)
 			size := word.BytesToWords(len(r.Object))
 			a.copies = append(a.copies, copyEntry{lsn: lsn, from: r.From, to: r.To, size: size})
 			delete(a.ls, r.From)
-			if end := r.To.Add(size); end > a.cp.StableAlloc {
+			if g := &a.cp.GC; g.Active && r.To >= g.ToLo && r.To < g.ToHi {
+				// During a concurrent stable collection, moves land at
+				// the high end of the active to-space (above the scan,
+				// outside the copy-pointer sweep): reconstruct the
+				// descending high-water mark, not the allocation
+				// frontier.
+				if r.To < g.AllocPtr {
+					g.AllocPtr = r.To
+				}
+			} else if end := r.To.Add(size); end > a.cp.StableAlloc {
 				a.cp.StableAlloc = end
 			}
 		case wal.SFixRec:

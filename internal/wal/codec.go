@@ -252,6 +252,7 @@ func encodeCheckpoint(e *enc, c CheckpointRec) {
 	e.u64(uint64(c.VolatileCur))
 	e.u64(uint64(c.RootObj))
 	e.u64(uint64(c.StableAlloc))
+	e.u64(uint64(c.StableAllocHigh))
 	g := c.GC
 	e.bool(g.Active)
 	e.u64(g.Epoch)
@@ -474,6 +475,7 @@ func (d *decoder) checkpoint() CheckpointRec {
 	c.VolatileCur = int(d.u64())
 	c.RootObj = word.Addr(d.u64())
 	c.StableAlloc = word.Addr(d.u64())
+	c.StableAllocHigh = word.Addr(d.u64())
 	c.GC.Active = d.bool()
 	c.GC.Epoch = d.u64()
 	c.GC.FlipLSN = word.LSN(d.u64())

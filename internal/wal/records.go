@@ -489,7 +489,13 @@ type CheckpointRec struct {
 	// StableAlloc is the allocation frontier in the current stable
 	// semispace when no collection is active.
 	StableAlloc word.Addr
-	GC          GCState
+	// StableAllocHigh is the descending high-end frontier of the current
+	// stable semispace: objects moved in during a concurrent stable scan
+	// land above it (never swept by the scan) and stay live after the
+	// collection ends, so the frontier must survive checkpoints or a
+	// recovered heap would allocate over them.
+	StableAllocHigh word.Addr
+	GC              GCState
 	// LS lists newly stable objects still living in the volatile area
 	// (the paper's LS set), as their volatile addresses.
 	LS []word.Addr
