@@ -1,0 +1,96 @@
+package stableheap_test
+
+import (
+	"testing"
+
+	"stableheap"
+)
+
+// TestClusterFacade drives the partitioned multi-heap through the public
+// API: single-partition and cross-partition commits, routing stability,
+// and the cross-partition pointer guard.
+func TestClusterFacade(t *testing.T) {
+	cfg := stableheap.ClusterConfig{Partitions: 4, Part: stableheap.DefaultConfig()}
+	cl, err := stableheap.OpenCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Partitions() != 4 {
+		t.Fatalf("partitions = %d, want 4", cl.Partitions())
+	}
+
+	// Two slots on distinct partitions.
+	slotA, slotB := 0, -1
+	for s := 1; s < 32; s++ {
+		if cl.PartitionOf(s) != cl.PartitionOf(slotA) {
+			slotB = s
+			break
+		}
+	}
+	if slotB < 0 {
+		t.Fatal("routing put every slot on one partition")
+	}
+
+	for _, s := range []int{slotA, slotB} {
+		tx := cl.Begin()
+		ref, err := tx.AllocFor(s, 1, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.SetData(ref, 0, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.SetRoot(s, ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cross-partition transfer: one atomic commit over two partitions.
+	tx := cl.Begin()
+	a, err := tx.Root(slotA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tx.Root(slotB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetData(a, 0, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetData(b, 0, 130); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetPtr(a, 0, b); err != stableheap.ErrCrossPartition {
+		t.Fatalf("cross-partition pointer: err = %v, want ErrCrossPartition", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := cl.Begin()
+	defer check.Abort()
+	for s, want := range map[int]uint64{slotA: 70, slotB: 130} {
+		ref, err := check.Root(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := check.Data(ref, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("slot %d = %d, want %d", s, v, want)
+		}
+	}
+	if got := cl.Metrics().Counter("shard_2pc_commits_total"); got != 1 {
+		t.Fatalf("2pc commits = %d, want 1", got)
+	}
+	if doubt := cl.InDoubt(); len(doubt) != 0 {
+		t.Fatalf("in-doubt branches on a live cluster: %v", doubt)
+	}
+}

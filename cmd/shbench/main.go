@@ -7,7 +7,7 @@
 //	shbench [-dir path] all
 //	shbench e4 e7
 //	shbench list
-//	shbench json [path]    # machine-readable suite (default BENCH_8.json)
+//	shbench json [path]    # machine-readable suite (default BENCH_9.json)
 //
 // -dir sets the parent directory for the file-backed experiment's heap
 // directories (E21); default is the OS temp dir. Point it at a real disk
@@ -44,7 +44,7 @@ func main() {
 		fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	case "json":
-		path := "BENCH_8.json"
+		path := "BENCH_9.json"
 		if len(args) > 1 {
 			path = args[1]
 		}
@@ -91,7 +91,8 @@ func list() {
   e19  extension: nursery + mostly-concurrent volatile GC pauses
   e20  extension: flight recorder + watchdog overhead on the hot path
   e21  extension: file-backed heaps beyond the durable page cache
-  e22  extension: mostly-concurrent stable GC stalls vs stop-the-world`)
+  e22  extension: mostly-concurrent stable GC stalls vs stop-the-world
+  e23  extension: partitioned multi-heap scaling and the cross-partition 2PC tax`)
 }
 
 func usage() {

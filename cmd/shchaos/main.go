@@ -91,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flush := fs.Float64("flush", 0.5, "fraction of resident pages flushed before each crash")
 	midGC := fs.Bool("midgc", false, "leave an incremental stable collection in flight at crashes")
 	repl := fs.Bool("repl", false, "end each seed with a primary/standby failover round")
-	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver), concurrent (adds goroutine mutator bursts), nursery (generational + mostly-concurrent volatile GC under faults) or stable-conc (mostly-concurrent stable GC, crashes mid-scan)")
+	scenario := fs.String("scenario", "default", "workload shape: default (single-threaded driver), concurrent (adds goroutine mutator bursts), nursery (generational + mostly-concurrent volatile GC under faults), stable-conc (mostly-concurrent stable GC, crashes mid-scan) or 2pc (partitioned multi-heap, crashes at every two-phase-commit protocol state)")
 	mutators := fs.Int("mutators", 0, "concurrent mutator goroutines per burst (0 = scenario default)")
 	shrink := fs.Bool("shrink", false, "greedily minimize the fault plan of each violating seed")
 	asJSON := fs.Bool("json", false, "print the verdict matrix and per-seed results as JSON")
@@ -119,8 +119,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.Nursery = true
 	case "stable-conc":
 		sc.StableConc = true
+	case "2pc":
+		sc.TwoPC = true
 	default:
-		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default, concurrent, nursery or stable-conc)\n", *scenario)
+		fmt.Fprintf(stderr, "shchaos: unknown -scenario %q (want default, concurrent, nursery, stable-conc or 2pc)\n", *scenario)
 		return 2
 	}
 

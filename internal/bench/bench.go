@@ -79,6 +79,7 @@ func All() []func() Table {
 		E10Barrier, E11Throughput, E12CrashMatrix,
 		E13GroupCommit, E14CopyContents, E15Truncation, E16Failover,
 		E18Scaling, E19Nursery, E20Recorder, E21Filestore, E22StableConc,
+		E23Shard,
 	}
 }
 
@@ -92,6 +93,7 @@ func ByID(id string) (func() Table, bool) {
 		"e13": E13GroupCommit, "e14": E14CopyContents, "e15": E15Truncation,
 		"e16": E16Failover, "e18": E18Scaling, "e19": E19Nursery,
 		"e20": E20Recorder, "e21": E21Filestore, "e22": E22StableConc,
+		"e23": E23Shard,
 	}
 	f, ok := m[strings.ToLower(id)]
 	return f, ok

@@ -53,6 +53,10 @@ type JSONReport struct {
 	// StableConc is the E22 mostly-concurrent stable GC table (worst and
 	// p99 mutator stall, stop-the-world vs flip-only-stop collection).
 	StableConc *Table `json:"stable_conc,omitempty"`
+	// Shard is the E23 partitioned multi-heap table (single-partition
+	// scaling with partition count, and the cross-partition 2PC tax at
+	// 5% and 20% transfer mixes).
+	Shard *Table `json:"shard,omitempty"`
 }
 
 // jsonKernels lists the benchmark kernels of the machine-readable suite:
@@ -218,6 +222,8 @@ func WriteJSON(path string) error {
 	report.Filestore = &filestore
 	stableConc := E22StableConc()
 	report.StableConc = &stableConc
+	shardTable := E23Shard()
+	report.Shard = &shardTable
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -332,6 +332,27 @@ func (hp *Heap) ResolveAbort(id word.TxID) error {
 	return nil
 }
 
+// ResolveWith resolves every in-doubt transaction by asking decide for its
+// fate — the participant side of presumed-abort two-phase commit recovery,
+// where decide consults the coordinator's decision log (internal/shard).
+// It returns how many transactions were committed and aborted.
+func (hp *Heap) ResolveWith(decide func(word.TxID) bool) (commits, aborts int, err error) {
+	for _, id := range hp.InDoubt() {
+		if decide(id) {
+			if err := hp.ResolveCommit(id); err != nil {
+				return commits, aborts, err
+			}
+			commits++
+		} else {
+			if err := hp.ResolveAbort(id); err != nil {
+				return commits, aborts, err
+			}
+			aborts++
+		}
+	}
+	return commits, aborts, nil
+}
+
 // --- introspection -------------------------------------------------------
 
 // Config returns the heap's configuration.

@@ -108,6 +108,13 @@ type Scenario struct {
 	// resumes the scan, and the audit replays every acknowledged chain node
 	// by node through whichever semispace the resumed scan left it in.
 	StableConc bool
+	// TwoPC switches the seed to the partitioned-heap protocol explorer
+	// (chaos2pc.go): instead of device-fault plans, each round freezes a
+	// cross-partition commit at a seed-chosen 2PC protocol state, crashes
+	// a seed-chosen subset (whole cluster, coordinator only, or one
+	// participant partition), recovers, and audits global atomicity.
+	// Honors Steps, Crashes and Dir; the other knobs don't apply.
+	TwoPC bool
 	// Dir, when set, runs every seed over real files: a filestore opened
 	// at <Dir>/seed-<seed> replaces the in-memory devices under the fault
 	// injector, and is removed when the seed finishes. The injector wraps
@@ -239,6 +246,9 @@ func RunSeed(sc Scenario, seed int64) SeedResult {
 // RunSeedWithPlan runs the scenario under an explicit plan (the shrinker
 // replays progressively weaker plans; -seed replay uses the derived one).
 func RunSeedWithPlan(sc Scenario, plan faultfs.Plan) SeedResult {
+	if sc.TwoPC {
+		return run2PCSeed(sc, plan)
+	}
 	sc = sc.withDefaults()
 	cfg := ChaosConfig()
 	if sc.Nursery {

@@ -11,6 +11,7 @@ import (
 
 	"stableheap/internal/core"
 	"stableheap/internal/gc"
+	"stableheap/internal/shard"
 )
 
 // The kill-point harness is the half of the file-backed crash model the
@@ -453,5 +454,298 @@ func runChildToKill(t *testing.T, heapDir, acksPath string, killOp, mode int) {
 	ee, ok := err.(*exec.ExitError)
 	if !ok || ee.ExitCode() != killExitCode {
 		t.Fatalf("child (op=%d mode=%d) did not die at the kill point: err=%v\n%s", killOp, mode, err, out)
+	}
+}
+
+// --- Coordinator kill points -------------------------------------------
+//
+// The 2PC analog of the kill-point matrix: a child process runs a
+// file-backed partitioned cluster (internal/shard) and SIGKILLs itself
+// mid-protocol — either with every branch force-prepared but no decision
+// logged (presumed abort must roll the global transaction back on every
+// partition), or right after the coordinator forced its commit decision
+// and before any participant branch committed (recovery must commit it on
+// every partition). The kill happens inside the crash hook on the
+// committing goroutine, so the unforced WAL tails and dirty durable-layer
+// caches die with the process and the audit rests on real fsync ordering:
+// participant prepares and the coordinator decision are the only durable
+// facts.
+
+const (
+	kill2PCModePrepare = 0 // all prepared, no decision → abort everywhere
+	kill2PCModeDecide  = 1 // decision forced, no fan-out → commit everywhere
+)
+
+func kill2PCCfg(dir string) shard.Config {
+	return shard.Config{
+		Partitions: 3,
+		Dir:        dir,
+		Part: core.Config{
+			FileCachePages: 8,
+			PageSize:       256,
+			StableWords:    8 * 1024,
+			VolatileWords:  4 * 1024,
+			LogSegBytes:    4 * 1024,
+			Divided:        true,
+			Barrier:        gc.Ellis,
+			Incremental:    true,
+		},
+	}
+}
+
+// kill2PCSlots picks two root slots on distinct partitions; routing is a
+// stable hash, so parent and child agree without coordination.
+func kill2PCSlots(cl *shard.Cluster) (int, int) {
+	a := 0
+	pa := cl.PartitionOf(a)
+	for slot := 1; slot < 32; slot++ {
+		if cl.PartitionOf(slot) != pa {
+			return a, slot
+		}
+	}
+	panic("no two slots on distinct partitions")
+}
+
+func read2PCSlot(t *testing.T, cl *shard.Cluster, slot int) (uint64, bool) {
+	t.Helper()
+	tx := cl.Begin()
+	defer tx.Abort()
+	ref, err := tx.Root(slot)
+	if err != nil {
+		t.Fatalf("root %d: %v", slot, err)
+	}
+	if ref.IsNil() {
+		return 0, false
+	}
+	v, err := tx.Data(ref, 0)
+	if err != nil {
+		return 0, false // format-time root object, not our counter
+	}
+	return v, true
+}
+
+func transfer2PC(cl *shard.Cluster, from, to int, amt uint64) error {
+	tx := cl.Begin()
+	fr, err := tx.Root(from)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	tr, err := tx.Root(to)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	fv, err := tx.Data(fr, 0)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	tv, err := tx.Data(tr, 0)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.SetData(fr, 0, fv-amt); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.SetData(tr, 0, tv+amt); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// lastAckPair returns the last acknowledged "a b" line (0,0 if none).
+func lastAckPair(t *testing.T, path string) (uint64, uint64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b uint64
+	for _, line := range splitLines(raw) {
+		var x, y uint64
+		if _, err := fmt.Sscanf(line, "%d %d", &x, &y); err == nil {
+			a, b = x, y
+		}
+	}
+	return a, b
+}
+
+// TestKillPointCoordinatorChild is the subprocess body; it skips unless
+// re-exec'd.
+func TestKillPointCoordinatorChild(t *testing.T) {
+	dir := os.Getenv(envDir)
+	if dir == "" {
+		t.Skip("subprocess body")
+	}
+	mode, _ := strconv.Atoi(os.Getenv(envMode))
+
+	cl, err := shard.Open(kill2PCCfg(dir))
+	if err != nil {
+		t.Fatalf("child open: %v", err)
+	}
+	slotA, slotB := kill2PCSlots(cl)
+	acks, err := os.OpenFile(os.Getenv(envAcks), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("child acks: %v", err)
+	}
+	ack := func(a, b uint64) {
+		if _, err := fmt.Fprintf(acks, "%d %d\n", a, b); err != nil {
+			t.Fatalf("ack write: %v", err)
+		}
+		if err := acks.Sync(); err != nil {
+			t.Fatalf("ack sync: %v", err)
+		}
+	}
+
+	// Boot: create the counters on first run.
+	va, okA := read2PCSlot(t, cl, slotA)
+	vb, okB := read2PCSlot(t, cl, slotB)
+	if !okA || !okB {
+		for _, s := range []int{slotA, slotB} {
+			tx := cl.Begin()
+			ref, err := tx.AllocFor(s, 1, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.SetData(ref, 0, 100); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.SetRoot(s, ref); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		va, vb = 100, 100
+		ack(va, vb)
+	}
+
+	// A few acknowledged cross-partition transfers, then the killed one.
+	for i := 0; i < 3; i++ {
+		if err := transfer2PC(cl, slotA, slotB, 1); err != nil {
+			t.Fatalf("acked transfer %d: %v", i, err)
+		}
+		va, vb = va-1, vb+1
+		ack(va, vb)
+	}
+
+	lastPart := cl.PartitionOf(slotA)
+	if p := cl.PartitionOf(slotB); p > lastPart {
+		lastPart = p
+	}
+	cl.SetCrashHook(func(pt shard.CrashPoint, part int) bool {
+		switch mode {
+		case kill2PCModePrepare:
+			// Die once every branch is force-prepared, decision unlogged.
+			if pt == shard.PointAfterPrepare && part == lastPart {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		case kill2PCModeDecide:
+			// Die between the forced decision and the first branch commit.
+			if pt == shard.PointAfterDecision {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+		return false
+	})
+	_ = transfer2PC(cl, slotA, slotB, 7)
+	t.Fatal("unreachable: SIGKILL did not take")
+}
+
+// TestKillPointCoordinator SIGKILLs the child at both coordinator kill
+// points over real files and audits the recovered cluster: with the
+// decision forced the transfer must be committed on every partition; with
+// only prepares durable, presumed abort must roll it back everywhere —
+// and in both cases recovery's resolution pass must leave zero in-doubt
+// branches.
+func TestKillPointCoordinator(t *testing.T) {
+	if os.Getenv(envDir) != "" {
+		t.Skip("inside subprocess")
+	}
+	for _, tc := range []struct {
+		name string
+		mode int
+	}{
+		{"prepare-no-decision", kill2PCModePrepare},
+		{"decision-before-fanout", kill2PCModeDecide},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			base := t.TempDir()
+			heapDir := filepath.Join(base, "cluster")
+			acksPath := filepath.Join(base, "acks.txt")
+			for cycle := 0; cycle < 2; cycle++ {
+				cmd := exec.Command(os.Args[0], "-test.run=^TestKillPointCoordinatorChild$")
+				cmd.Env = append(os.Environ(),
+					envDir+"="+heapDir,
+					envAcks+"="+acksPath,
+					fmt.Sprintf("%s=%d", envMode, tc.mode),
+				)
+				out, err := cmd.CombinedOutput()
+				ee, ok := err.(*exec.ExitError)
+				if !ok {
+					t.Fatalf("cycle %d: child did not die at the kill point: err=%v\n%s", cycle, err, out)
+				}
+				if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+					t.Fatalf("cycle %d: child exited without the SIGKILL: %v\n%s", cycle, err, out)
+				}
+
+				ackA, ackB := lastAckPair(t, acksPath)
+				cl, err := shard.Open(kill2PCCfg(heapDir)) // routes to RecoverDir
+				if err != nil {
+					t.Fatalf("cycle %d: recover: %v", cycle, err)
+				}
+				slotA, slotB := kill2PCSlots(cl)
+				va, okA := read2PCSlot(t, cl, slotA)
+				vb, okB := read2PCSlot(t, cl, slotB)
+				if !okA || !okB {
+					t.Fatalf("cycle %d: counters missing after recovery", cycle)
+				}
+				if doubt := cl.InDoubt(); len(doubt) != 0 {
+					t.Fatalf("cycle %d: in-doubt branches survive recovery: %v", cycle, doubt)
+				}
+				m := cl.Metrics()
+				switch tc.mode {
+				case kill2PCModeDecide:
+					if va != ackA-7 || vb != ackB+7 {
+						t.Fatalf("cycle %d: decided transfer not applied atomically: %d/%d, acked %d/%d", cycle, va, vb, ackA, ackB)
+					}
+					if m.Counter("shard_resolved_commits_total") == 0 {
+						t.Fatalf("cycle %d: no branch resolved commit (resolution pass skipped?)", cycle)
+					}
+				case kill2PCModePrepare:
+					if va != ackA || vb != ackB {
+						t.Fatalf("cycle %d: undecided transfer not rolled back: %d/%d, acked %d/%d", cycle, va, vb, ackA, ackB)
+					}
+					if m.Counter("shard_resolved_aborts_total") == 0 {
+						t.Fatalf("cycle %d: no branch resolved abort (presumed abort skipped?)", cycle)
+					}
+				}
+				if va+vb != ackA+ackB {
+					t.Fatalf("cycle %d: money not conserved: %d+%d vs %d+%d", cycle, va, vb, ackA, ackB)
+				}
+				// The recovered cluster must be fully usable: commit one
+				// more acknowledged transfer for the next cycle's child.
+				if err := transfer2PC(cl, slotA, slotB, 2); err != nil {
+					t.Fatalf("cycle %d: post-recovery transfer: %v", cycle, err)
+				}
+				cl.Close()
+				f, err := os.OpenFile(acksPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(f, "%d %d\n", va-2, vb+2)
+				f.Close()
+			}
+		})
 	}
 }

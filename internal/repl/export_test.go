@@ -1,0 +1,38 @@
+package repl
+
+import "time"
+
+// Bridges for the external test package. repl_test is external so it can
+// import the root stableheap facade (and workload, which depends on it)
+// without an import cycle: stableheap → internal/shard → repl.
+
+const (
+	MsgHello    = msgHello
+	MsgHelloAck = msgHelloAck
+	MsgFrames   = msgFrames
+	MsgAck      = msgAck
+)
+
+var (
+	KindName      = kindName
+	HelloPayload  = helloPayload
+	ParseHello    = parseHello
+	FramesPayload = framesPayload
+	ParseFrames   = parseFrames
+	AckPayload    = ackPayload
+	ParseAck      = parseAck
+)
+
+// SetReconnectBounds overrides the standby's reconnect backoff window.
+func (s *Standby) SetReconnectBounds(min, max time.Duration) {
+	s.cfg.ReconnectMin, s.cfg.ReconnectMax = min, max
+}
+
+// Reconnects returns the standby's reconnect count.
+func (s *Standby) Reconnects() uint64 { return s.reconnects.Load() }
+
+// Rejects returns the primary's rejected-handshake count.
+func (p *Primary) Rejects() uint64 { return p.rejects.Load() }
+
+// Stalls returns the primary's backpressure-stall count.
+func (p *Primary) Stalls() uint64 { return p.stalls.Load() }

@@ -1,4 +1,4 @@
-package repl
+package repl_test
 
 import (
 	"bytes"
@@ -11,6 +11,7 @@ import (
 	"stableheap"
 	"stableheap/internal/core"
 	"stableheap/internal/gc"
+	"stableheap/internal/repl"
 	"stableheap/internal/word"
 	"stableheap/internal/workload"
 )
@@ -29,22 +30,22 @@ func testConfig() core.Config {
 
 // newBankPrimary opens a heap with cfg, builds a bank, and wraps the
 // heap as a shipping source.
-func newBankPrimary(t *testing.T, cfg core.Config, pcfg PrimaryConfig) (*stableheap.Heap, *workload.Bank, *Primary) {
+func newBankPrimary(t *testing.T, cfg core.Config, pcfg repl.PrimaryConfig) (*stableheap.Heap, *workload.Bank, *repl.Primary) {
 	t.Helper()
 	h := stableheap.Open(cfg)
 	bank, err := workload.NewBank(h, 0, 16, 4, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return h, bank, NewPrimary(h.Internal(), pcfg)
+	return h, bank, repl.NewPrimary(h.Internal(), pcfg)
 }
 
 // attachStandby base-backups the primary and builds a warm standby with
 // the matching heap configuration.
-func attachStandby(t *testing.T, h *stableheap.Heap, name string) *Standby {
+func attachStandby(t *testing.T, h *stableheap.Heap, name string) *repl.Standby {
 	t.Helper()
 	disk, logDev := h.Internal().BaseBackup()
-	sb, err := NewStandby(StandbyConfig{Name: name, Heap: h.Internal().Config()}, disk, logDev)
+	sb, err := repl.NewStandby(repl.StandbyConfig{Name: name, Heap: h.Internal().Config()}, disk, logDev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func attachStandby(t *testing.T, h *stableheap.Heap, name string) *Standby {
 // connect wires a standby to a primary over an in-process pipe, running
 // both sides in goroutines. Returns the server-side conn (close it to
 // simulate a network fault).
-func connect(p *Primary, sb *Standby) net.Conn {
+func connect(p *repl.Primary, sb *repl.Standby) net.Conn {
 	server, client := net.Pipe()
 	go p.Serve(server)
 	go sb.RunConn(client)
@@ -72,7 +73,7 @@ func transferSome(t *testing.T, bank *workload.Bank, seed int64, n int) {
 
 // waitCaughtUp waits until the standby applied the primary's full stable
 // prefix.
-func waitCaughtUp(t *testing.T, h *stableheap.Heap, sb *Standby) {
+func waitCaughtUp(t *testing.T, h *stableheap.Heap, sb *repl.Standby) {
 	t.Helper()
 	if err := sb.WaitCaughtUp(h.Internal().LogStableLSN(), 5*time.Second); err != nil {
 		t.Fatal(err)
@@ -91,54 +92,54 @@ func bankTotal(t *testing.T, bank *workload.Bank, h *stableheap.Heap) uint64 {
 
 func TestProtoRoundtrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeMsg(&buf, msgHello, helloPayload(12345, "sb-1")); err != nil {
+	if err := repl.WriteMsg(&buf, repl.MsgHello, repl.HelloPayload(12345, "sb-1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeMsg(&buf, msgFrames, framesPayload(7, 99, []byte("framebytes"))); err != nil {
+	if err := repl.WriteMsg(&buf, repl.MsgFrames, repl.FramesPayload(7, 99, []byte("framebytes"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeMsg(&buf, msgAck, ackPayload(4242)); err != nil {
+	if err := repl.WriteMsg(&buf, repl.MsgAck, repl.AckPayload(4242)); err != nil {
 		t.Fatal(err)
 	}
 
-	kind, p, err := readMsg(&buf)
-	if err != nil || kind != msgHello {
-		t.Fatalf("readMsg: kind=%s err=%v", kindName(kind), err)
+	kind, p, err := repl.ReadMsg(&buf)
+	if err != nil || kind != repl.MsgHello {
+		t.Fatalf("repl.ReadMsg: kind=%s err=%v", repl.KindName(kind), err)
 	}
-	resume, name, err := parseHello(p)
+	resume, name, err := repl.ParseHello(p)
 	if err != nil || resume != 12345 || name != "sb-1" {
-		t.Fatalf("parseHello = (%d, %q, %v)", resume, name, err)
+		t.Fatalf("repl.ParseHello = (%d, %q, %v)", resume, name, err)
 	}
-	kind, p, _ = readMsg(&buf)
-	start, stable, frames, err := parseFrames(p)
-	if kind != msgFrames || err != nil || start != 7 || stable != 99 || string(frames) != "framebytes" {
+	kind, p, _ = repl.ReadMsg(&buf)
+	start, stable, frames, err := repl.ParseFrames(p)
+	if kind != repl.MsgFrames || err != nil || start != 7 || stable != 99 || string(frames) != "framebytes" {
 		t.Fatalf("FRAMES roundtrip = (%d, %d, %q, %v)", start, stable, frames, err)
 	}
-	kind, p, _ = readMsg(&buf)
-	applied, err := parseAck(p)
-	if kind != msgAck || err != nil || applied != 4242 {
+	kind, p, _ = repl.ReadMsg(&buf)
+	applied, err := repl.ParseAck(p)
+	if kind != repl.MsgAck || err != nil || applied != 4242 {
 		t.Fatalf("ACK roundtrip = (%d, %v)", applied, err)
 	}
 }
 
 func TestProtoRejectsCorruption(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeMsg(&buf, msgAck, ackPayload(7)); err != nil {
+	if err := repl.WriteMsg(&buf, repl.MsgAck, repl.AckPayload(7)); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
 	raw[len(raw)-1] ^= 0xff // flip a payload byte
-	if _, _, err := readMsg(bytes.NewReader(raw)); err == nil {
+	if _, _, err := repl.ReadMsg(bytes.NewReader(raw)); err == nil {
 		t.Fatal("corrupted payload passed the CRC check")
 	}
 	// A truncated stream is an error, not a hang or a zero message.
-	if _, _, err := readMsg(bytes.NewReader(raw[:5])); err == nil {
+	if _, _, err := repl.ReadMsg(bytes.NewReader(raw[:5])); err == nil {
 		t.Fatal("truncated header accepted")
 	}
 }
 
 func TestShipApplyAndSnapshotReads(t *testing.T) {
-	h, bank, p := newBankPrimary(t, testConfig(), PrimaryConfig{})
+	h, bank, p := newBankPrimary(t, testConfig(), repl.PrimaryConfig{})
 	transferSome(t, bank, 1, 40)
 
 	sb := attachStandby(t, h, "sb-snap")
@@ -172,7 +173,7 @@ func TestShipApplyAndSnapshotReads(t *testing.T) {
 }
 
 func TestPromoteAfterPrimaryCrash(t *testing.T) {
-	h, bank, p := newBankPrimary(t, testConfig(), PrimaryConfig{})
+	h, bank, p := newBankPrimary(t, testConfig(), repl.PrimaryConfig{})
 	sb := attachStandby(t, h, "sb-promote")
 	connect(p, sb)
 
@@ -199,11 +200,11 @@ func TestPromoteAfterPrimaryCrash(t *testing.T) {
 		t.Fatalf("post-promotion total = %d, want %d", got, 16*1000)
 	}
 	// The standby is spent.
-	if _, _, err := sb.ReadSnapshot(); !errors.Is(err, ErrPromoted) {
-		t.Fatalf("snapshot after promote: %v, want ErrPromoted", err)
+	if _, _, err := sb.ReadSnapshot(); !errors.Is(err, repl.ErrPromoted) {
+		t.Fatalf("snapshot after promote: %v, want repl.ErrPromoted", err)
 	}
-	if _, _, err := sb.Promote(); !errors.Is(err, ErrPromoted) {
-		t.Fatalf("double promote: %v, want ErrPromoted", err)
+	if _, _, err := sb.Promote(); !errors.Is(err, repl.ErrPromoted) {
+		t.Fatalf("double promote: %v, want repl.ErrPromoted", err)
 	}
 }
 
@@ -217,7 +218,7 @@ func TestPromoteMidIncrementalGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := NewPrimary(h.Internal(), PrimaryConfig{})
+	p := repl.NewPrimary(h.Internal(), repl.PrimaryConfig{})
 	sb := attachStandby(t, h, "sb-gc")
 	connect(p, sb)
 
@@ -258,7 +259,7 @@ func TestPromoteMidIncrementalGC(t *testing.T) {
 }
 
 func TestReconnectResumesFromAppliedLSN(t *testing.T) {
-	h, bank, p := newBankPrimary(t, testConfig(), PrimaryConfig{})
+	h, bank, p := newBankPrimary(t, testConfig(), repl.PrimaryConfig{})
 	sb := attachStandby(t, h, "sb-reconnect")
 	defer sb.Close()
 
@@ -269,9 +270,7 @@ func TestReconnectResumesFromAppliedLSN(t *testing.T) {
 		go p.Serve(server)
 		return client, nil
 	}
-	sbCfg := sb.cfg
-	sbCfg.ReconnectMin, sbCfg.ReconnectMax = time.Millisecond, 5*time.Millisecond
-	sb.cfg = sbCfg
+	sb.SetReconnectBounds(time.Millisecond, 5*time.Millisecond)
 	done := make(chan error, 1)
 	go func() { done <- sb.Run(dial) }()
 
@@ -287,7 +286,7 @@ func TestReconnectResumesFromAppliedLSN(t *testing.T) {
 	if sb.AppliedLSN() <= mark {
 		t.Fatalf("standby did not advance after reconnect: %d <= %d", sb.AppliedLSN(), mark)
 	}
-	if sb.reconnects.Load() == 0 {
+	if sb.Reconnects() == 0 {
 		t.Fatal("no reconnect was counted")
 	}
 	// The replica is still exact: snapshot sees the conserved total.
@@ -305,7 +304,7 @@ func TestReconnectResumesFromAppliedLSN(t *testing.T) {
 }
 
 func TestRetentionFloorProtectsDetachedStandby(t *testing.T) {
-	h, bank, p := newBankPrimary(t, testConfig(), PrimaryConfig{})
+	h, bank, p := newBankPrimary(t, testConfig(), repl.PrimaryConfig{})
 	sb := attachStandby(t, h, "sb-floor")
 	defer sb.Close()
 
@@ -341,7 +340,7 @@ func TestRetentionFloorProtectsDetachedStandby(t *testing.T) {
 }
 
 func TestForgottenStandbyRejectedAfterTruncation(t *testing.T) {
-	h, bank, p := newBankPrimary(t, testConfig(), PrimaryConfig{})
+	h, bank, p := newBankPrimary(t, testConfig(), repl.PrimaryConfig{})
 	sb := attachStandby(t, h, "sb-stale")
 	defer sb.Close()
 
@@ -374,10 +373,10 @@ func TestForgottenStandbyRejectedAfterTruncation(t *testing.T) {
 		return client, nil
 	}
 	err := sb.Run(dial)
-	if !errors.Is(err, ErrResumeTruncated) {
-		t.Fatalf("stale standby Run = %v, want ErrResumeTruncated", err)
+	if !errors.Is(err, repl.ErrResumeTruncated) {
+		t.Fatalf("stale standby Run = %v, want repl.ErrResumeTruncated", err)
 	}
-	if p.rejects.Load() == 0 {
+	if p.Rejects() == 0 {
 		t.Fatal("primary did not count the rejected handshake")
 	}
 }
@@ -388,7 +387,7 @@ func TestForgottenStandbyRejectedAfterTruncation(t *testing.T) {
 // an ack arrives.
 func TestBackpressureBoundsUnackedBytes(t *testing.T) {
 	const maxUnacked = 4096
-	_, bank, p := newBankPrimary(t, testConfig(), PrimaryConfig{MaxUnackedBytes: maxUnacked, BatchBytes: 1024})
+	_, bank, p := newBankPrimary(t, testConfig(), repl.PrimaryConfig{MaxUnackedBytes: maxUnacked, BatchBytes: 1024})
 	transferSome(t, bank, 50, 200) // plenty of stable log to ship
 
 	server, client := net.Pipe()
@@ -397,25 +396,25 @@ func TestBackpressureBoundsUnackedBytes(t *testing.T) {
 	go func() { serveDone <- p.Serve(server) }()
 
 	resume := word.LSN(1)
-	if err := writeMsg(client, msgHello, helloPayload(resume, "slowpoke")); err != nil {
+	if err := repl.WriteMsg(client, repl.MsgHello, repl.HelloPayload(resume, "slowpoke")); err != nil {
 		t.Fatal(err)
 	}
-	if kind, _, err := readMsg(client); err != nil || kind != msgHelloAck {
-		t.Fatalf("handshake: kind=%s err=%v", kindName(kind), err)
+	if kind, _, err := repl.ReadMsg(client); err != nil || kind != repl.MsgHelloAck {
+		t.Fatalf("handshake: kind=%s err=%v", repl.KindName(kind), err)
 	}
 
 	// Drain frames without acking; the stream must dry up at the bound.
 	received := word.LSN(0)
 	for {
 		client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
-		kind, payload, err := readMsg(client)
+		kind, payload, err := repl.ReadMsg(client)
 		if err != nil {
 			break // stalled: no more frames without an ack
 		}
-		if kind != msgFrames {
-			t.Fatalf("expected FRAMES, got %s", kindName(kind))
+		if kind != repl.MsgFrames {
+			t.Fatalf("expected FRAMES, got %s", repl.KindName(kind))
 		}
-		start, _, frames, err := parseFrames(payload)
+		start, _, frames, err := repl.ParseFrames(payload)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -425,18 +424,18 @@ func TestBackpressureBoundsUnackedBytes(t *testing.T) {
 	if got := int(received - resume); got > maxUnacked+1024 {
 		t.Fatalf("shipped %d unacked bytes, bound is %d (+1 batch)", got, maxUnacked)
 	}
-	if p.stalls.Load() == 0 {
+	if p.Stalls() == 0 {
 		t.Fatal("no backpressure stall was counted")
 	}
 
 	// One ack releases the stall and shipping resumes.
-	if err := writeMsg(client, msgAck, ackPayload(received)); err != nil {
+	if err := repl.WriteMsg(client, repl.MsgAck, repl.AckPayload(received)); err != nil {
 		t.Fatal(err)
 	}
 	client.SetReadDeadline(time.Now().Add(time.Second))
-	kind, _, err := readMsg(client)
-	if err != nil || kind != msgFrames {
-		t.Fatalf("no frames after ack: kind=%s err=%v", kindName(kind), err)
+	kind, _, err := repl.ReadMsg(client)
+	if err != nil || kind != repl.MsgFrames {
+		t.Fatalf("no frames after ack: kind=%s err=%v", repl.KindName(kind), err)
 	}
 	client.Close()
 	<-serveDone

@@ -1,0 +1,72 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"stableheap/internal/word"
+)
+
+// This file extends the replication wire protocol with the two message
+// kinds of cross-partition two-phase commit resolution (internal/shard):
+// a recovering partition asks the coordinator for the fate of an in-doubt
+// prepared branch, and the coordinator answers from its decision log
+// (presumed abort: no durable commit decision means abort). The messages
+// share the [u8 kind][u32 len][u32 crc][payload] framing of the shipping
+// protocol, so resolution runs over the same kind of byte stream —
+// net.Pipe in-process today, TCP when partitions move to separate hosts.
+
+// 2PC resolution message kinds.
+const (
+	// MsgResolveQuery asks for the outcome of one in-doubt branch.
+	MsgResolveQuery byte = 5
+	// MsgResolveVerdict answers with the branch's global outcome.
+	MsgResolveVerdict byte = 6
+)
+
+// WriteMsg frames and writes one protocol message (exported surface of
+// the shipping protocol's framing, for the 2PC coordination channel).
+func WriteMsg(w io.Writer, kind byte, payload []byte) error {
+	return writeMsg(w, kind, payload)
+}
+
+// ReadMsg reads and validates one protocol message.
+func ReadMsg(r io.Reader) (byte, []byte, error) {
+	return readMsg(r)
+}
+
+// RESOLVE_QUERY payload: [u32 partition][u64 branch txid].
+func ResolveQueryPayload(part uint32, id word.TxID) []byte {
+	p := make([]byte, 12)
+	binary.LittleEndian.PutUint32(p[0:4], part)
+	binary.LittleEndian.PutUint64(p[4:12], uint64(id))
+	return p
+}
+
+// ParseResolveQuery decodes a RESOLVE_QUERY payload.
+func ParseResolveQuery(p []byte) (uint32, word.TxID, error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("repl: RESOLVE_QUERY payload is %d bytes, want 12", len(p))
+	}
+	return binary.LittleEndian.Uint32(p[0:4]), word.TxID(binary.LittleEndian.Uint64(p[4:12])), nil
+}
+
+// RESOLVE_VERDICT payload: [u8 commit][u64 gid]. gid is 0 when the branch
+// is unknown to the coordinator (presumed abort).
+func ResolveVerdictPayload(commit bool, gid uint64) []byte {
+	p := make([]byte, 9)
+	if commit {
+		p[0] = 1
+	}
+	binary.LittleEndian.PutUint64(p[1:9], gid)
+	return p
+}
+
+// ParseResolveVerdict decodes a RESOLVE_VERDICT payload.
+func ParseResolveVerdict(p []byte) (bool, uint64, error) {
+	if len(p) != 9 {
+		return false, 0, fmt.Errorf("repl: RESOLVE_VERDICT payload is %d bytes, want 9", len(p))
+	}
+	return p[0] != 0, binary.LittleEndian.Uint64(p[1:9]), nil
+}

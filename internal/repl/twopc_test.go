@@ -1,0 +1,80 @@
+package repl
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"stableheap/internal/word"
+)
+
+func TestResolvePayloadRoundTrip(t *testing.T) {
+	part, id, err := ParseResolveQuery(ResolveQueryPayload(3, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part != 3 || id != 77 {
+		t.Fatalf("query round trip: got (%d, %d)", part, id)
+	}
+	for _, commit := range []bool{true, false} {
+		c, gid, err := ParseResolveVerdict(ResolveVerdictPayload(commit, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != commit || gid != 9 {
+			t.Fatalf("verdict round trip: got (%v, %d)", c, gid)
+		}
+	}
+	if _, _, err := ParseResolveQuery([]byte{1}); err == nil {
+		t.Fatal("short query payload must be rejected")
+	}
+	if _, _, err := ParseResolveVerdict(nil); err == nil {
+		t.Fatal("short verdict payload must be rejected")
+	}
+}
+
+// TestResolveOverPipe runs one query/verdict exchange over a real duplex
+// byte stream, CRC framing included — the shape the shard resolver uses.
+func TestResolveOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	done := make(chan error, 1)
+	go func() {
+		kind, payload, err := ReadMsg(server)
+		if err != nil {
+			done <- err
+			return
+		}
+		if kind != MsgResolveQuery {
+			done <- bytes.ErrTooLarge // any sentinel: wrong kind
+			return
+		}
+		part, id, err := ParseResolveQuery(payload)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- WriteMsg(server, MsgResolveVerdict, ResolveVerdictPayload(part == 1 && id == 42, 5))
+	}()
+	if err := WriteMsg(client, MsgResolveQuery, ResolveQueryPayload(1, word.TxID(42))); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := ReadMsg(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != MsgResolveVerdict {
+		t.Fatalf("got kind %d, want RESOLVE_VERDICT", kind)
+	}
+	commit, gid, err := ParseResolveVerdict(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !commit || gid != 5 {
+		t.Fatalf("verdict (%v, %d), want (true, 5)", commit, gid)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"stableheap/internal/repl"
+	"stableheap/internal/storage"
+	"stableheap/internal/wal"
+	"stableheap/internal/word"
+)
+
+// Coordinator owns the cluster's two-phase-commit decision log: a
+// LogDevice (in-memory, or a filestore log under <dir>/coord) holding
+// wal-encoded TwoPCBegin / TwoPCDecide / TwoPCEnd records. The protocol is
+// presumed abort:
+//
+//   - BEGIN is appended unforced — losing it in a crash costs nothing;
+//   - a COMMIT decision is FORCED before any participant branch commits
+//     (the single point of no return);
+//   - ABORT decisions are unforced audit trail: an in-doubt branch with no
+//     durable commit decision resolves to abort, record or not;
+//   - END is appended unforced once every branch applied the decision, so
+//     a future truncation pass can bound the log.
+//
+// Resolution queries arrive as repl-framed messages over any byte stream
+// (ServeResolve) — net.Pipe in-process, a TCP connection when partitions
+// move out of process — keeping the recovery protocol network-ready.
+type Coordinator struct {
+	mu  sync.Mutex
+	log storage.LogDevice
+	// commits maps a prepared branch (partition, local txid) to the gid of
+	// its durable commit decision. Presumed abort: absence means abort.
+	commits map[wal.TwoPCParticipant]uint64
+	decided map[uint64]bool // gid → decided-commit (for End bookkeeping)
+	ended   map[uint64]bool
+	nextGID uint64
+}
+
+// newCoordinator wraps a fresh (empty) decision log.
+func newCoordinator(log storage.LogDevice) *Coordinator {
+	return &Coordinator{
+		log:     log,
+		commits: make(map[wal.TwoPCParticipant]uint64),
+		decided: make(map[uint64]bool),
+		ended:   make(map[uint64]bool),
+		nextGID: 1,
+	}
+}
+
+// recoverCoordinator rebuilds the decision state from a surviving log:
+// only durable records remain after a device crash, and a reopened file
+// log may end in a torn fragment, which is repaired away exactly like a
+// torn WAL tail (the interrupted append was never acknowledged).
+func recoverCoordinator(log storage.LogDevice) *Coordinator {
+	c := newCoordinator(log)
+	var repair word.LSN
+	torn := false
+	log.Scan(log.TruncLSN(), false, func(lsn word.LSN, data []byte) bool {
+		rec, err := wal.Decode(data)
+		if err != nil {
+			repair, torn = lsn, true
+			return false
+		}
+		switch r := rec.(type) {
+		case wal.TwoPCBeginRec:
+			if r.GID >= c.nextGID {
+				c.nextGID = r.GID + 1
+			}
+		case wal.TwoPCDecideRec:
+			if r.GID >= c.nextGID {
+				c.nextGID = r.GID + 1
+			}
+			c.decided[r.GID] = r.Commit
+			if r.Commit {
+				for _, p := range r.Parts {
+					c.commits[p] = r.GID
+				}
+			}
+		case wal.TwoPCEndRec:
+			c.ended[r.GID] = true
+		}
+		return true
+	})
+	if torn {
+		log.RepairTail(repair)
+	}
+	return c
+}
+
+// begin assigns a gid and logs the participant set (unforced).
+func (c *Coordinator) begin(parts []wal.TwoPCParticipant) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gid := c.nextGID
+	c.nextGID++
+	c.log.Append(wal.Encode(wal.TwoPCBeginRec{GID: gid, Parts: parts}))
+	return gid
+}
+
+// decideCommit forces the commit decision: after this returns, the global
+// transaction is committed no matter who crashes.
+func (c *Coordinator) decideCommit(gid uint64, parts []wal.TwoPCParticipant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lsn := c.log.Append(wal.Encode(wal.TwoPCDecideRec{GID: gid, Commit: true, Parts: parts}))
+	c.log.Force(lsn)
+	c.decided[gid] = true
+	for _, p := range parts {
+		c.commits[p] = gid
+	}
+}
+
+// decideAbort appends the abort decision unforced (audit trail only —
+// presumed abort makes the record redundant for correctness).
+func (c *Coordinator) decideAbort(gid uint64, parts []wal.TwoPCParticipant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log.Append(wal.Encode(wal.TwoPCDecideRec{GID: gid, Commit: false, Parts: parts}))
+	c.decided[gid] = false
+}
+
+// end records that every participant applied the decision.
+func (c *Coordinator) end(gid uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ended[gid] {
+		return
+	}
+	c.log.Append(wal.Encode(wal.TwoPCEndRec{GID: gid}))
+	c.ended[gid] = true
+}
+
+// endAllDecided appends END for every decided-but-unended gid; the
+// post-recovery resolve pass calls it once all live branches are settled.
+func (c *Coordinator) endAllDecided() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for gid := range c.decided {
+		if !c.ended[gid] {
+			c.log.Append(wal.Encode(wal.TwoPCEndRec{GID: gid}))
+			c.ended[gid] = true
+		}
+	}
+}
+
+// outcome answers the presumed-abort question for one branch.
+func (c *Coordinator) outcome(part uint32, id word.TxID) (commit bool, gid uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gid, ok := c.commits[wal.TwoPCParticipant{Part: part, TxID: id}]
+	return ok, gid
+}
+
+// Log exposes the decision log device (introspection, crash harnesses).
+func (c *Coordinator) Log() storage.LogDevice {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log
+}
+
+// ServeResolve answers RESOLVE_QUERY messages on conn until EOF — the
+// coordinator side of the recovery protocol. One goroutine per connection.
+func (c *Coordinator) ServeResolve(conn io.ReadWriter) error {
+	for {
+		kind, payload, err := repl.ReadMsg(conn)
+		if err != nil {
+			if err == io.EOF || err == io.ErrClosedPipe {
+				return nil
+			}
+			return err
+		}
+		if kind != repl.MsgResolveQuery {
+			return fmt.Errorf("shard: unexpected message kind %d on resolve channel", kind)
+		}
+		part, id, err := repl.ParseResolveQuery(payload)
+		if err != nil {
+			return err
+		}
+		commit, gid := c.outcome(part, id)
+		if err := repl.WriteMsg(conn, repl.MsgResolveVerdict, repl.ResolveVerdictPayload(commit, gid)); err != nil {
+			return err
+		}
+	}
+}
+
+// queryResolve is the participant side: one framed query/verdict exchange.
+func queryResolve(conn io.ReadWriter, part uint32, id word.TxID) (bool, error) {
+	if err := repl.WriteMsg(conn, repl.MsgResolveQuery, repl.ResolveQueryPayload(part, id)); err != nil {
+		return false, err
+	}
+	kind, payload, err := repl.ReadMsg(conn)
+	if err != nil {
+		return false, err
+	}
+	if kind != repl.MsgResolveVerdict {
+		return false, fmt.Errorf("shard: unexpected message kind %d, want RESOLVE_VERDICT", kind)
+	}
+	commit, _, err := repl.ParseResolveVerdict(payload)
+	return commit, err
+}
+
+// resolvePipe runs fn with a live resolve channel to the coordinator: the
+// client end of an in-process duplex pipe whose server end is drained by
+// ServeResolve. Closing the client shuts the server goroutine down.
+func (c *Coordinator) resolvePipe(fn func(conn io.ReadWriter) error) error {
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- c.ServeResolve(server)
+		server.Close()
+	}()
+	err := fn(client)
+	client.Close()
+	if serr := <-done; err == nil && serr != nil {
+		err = serr
+	}
+	return err
+}

@@ -222,8 +222,25 @@ func encodeBody(e *enc, r Record) {
 		e.u64(rec.Delta)
 	case PrepareRec:
 		encodeTxHdr(e, rec.TxHdr)
+	case TwoPCBeginRec:
+		e.u64(rec.GID)
+		encodeParticipants(e, rec.Parts)
+	case TwoPCDecideRec:
+		e.u64(rec.GID)
+		e.bool(rec.Commit)
+		encodeParticipants(e, rec.Parts)
+	case TwoPCEndRec:
+		e.u64(rec.GID)
 	default:
 		panic(fmt.Sprintf("wal: cannot encode %T", r))
+	}
+}
+
+func encodeParticipants(e *enc, parts []TwoPCParticipant) {
+	e.u64(uint64(len(parts)))
+	for _, p := range parts {
+		e.u64(uint64(p.Part))
+		e.u64(uint64(p.TxID))
 	}
 }
 
@@ -353,6 +370,12 @@ func Decode(frame []byte) (Record, error) {
 		r = LogicalRec{TxHdr: d.txHdr(), Addr: word.Addr(d.u64()), Obj: word.Addr(d.u64()), Delta: d.u64()}
 	case TPrepare:
 		r = PrepareRec{TxHdr: d.txHdr()}
+	case TTwoPCBegin:
+		r = TwoPCBeginRec{GID: d.u64(), Parts: d.participants()}
+	case TTwoPCDecide:
+		r = TwoPCDecideRec{GID: d.u64(), Commit: d.bool(), Parts: d.participants()}
+	case TTwoPCEnd:
+		r = TwoPCEndRec{GID: d.u64()}
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", t)
 	}
@@ -445,6 +468,22 @@ func (d *decoder) addrs() []word.Addr {
 	out := make([]word.Addr, 0, n)
 	for i := uint64(0); i < n; i++ {
 		out = append(out, word.Addr(d.u64()))
+	}
+	return out
+}
+
+func (d *decoder) participants() []TwoPCParticipant {
+	n := d.u64()
+	if d.err != nil || n > uint64(len(d.buf)-d.off)/16 {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]TwoPCParticipant, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, TwoPCParticipant{Part: uint32(d.u64()), TxID: word.TxID(d.u64())})
 	}
 	return out
 }

@@ -54,32 +54,38 @@ const (
 	TCheckpoint
 	TLogical
 	TPrepare
+	TTwoPCBegin
+	TTwoPCDecide
+	TTwoPCEnd
 	maxType
 )
 
 var typeNames = [...]string{
-	TInvalid:    "invalid",
-	TBegin:      "begin",
-	TUpdate:     "update",
-	TCLR:        "clr",
-	TAlloc:      "alloc",
-	TCommit:     "commit",
-	TAbort:      "abort",
-	TEnd:        "end",
-	TFlip:       "flip",
-	TCopy:       "copy",
-	TScan:       "scan",
-	TGCEnd:      "gcend",
-	TBase:       "base",
-	TComplete:   "complete",
-	TV2SCopy:    "v2scopy",
-	TSFix:       "sfix",
-	TVFlip:      "vflip",
-	TPageFetch:  "pagefetch",
-	TEndWrite:   "endwrite",
-	TCheckpoint: "checkpoint",
-	TLogical:    "logical",
-	TPrepare:    "prepare",
+	TInvalid:     "invalid",
+	TBegin:       "begin",
+	TUpdate:      "update",
+	TCLR:         "clr",
+	TAlloc:       "alloc",
+	TCommit:      "commit",
+	TAbort:       "abort",
+	TEnd:         "end",
+	TFlip:        "flip",
+	TCopy:        "copy",
+	TScan:        "scan",
+	TGCEnd:       "gcend",
+	TBase:        "base",
+	TComplete:    "complete",
+	TV2SCopy:     "v2scopy",
+	TSFix:        "sfix",
+	TVFlip:       "vflip",
+	TPageFetch:   "pagefetch",
+	TEndWrite:    "endwrite",
+	TCheckpoint:  "checkpoint",
+	TLogical:     "logical",
+	TPrepare:     "prepare",
+	TTwoPCBegin:  "2pc-begin",
+	TTwoPCDecide: "2pc-decide",
+	TTwoPCEnd:    "2pc-end",
 }
 
 // String returns the record type's short name.
@@ -221,6 +227,55 @@ type PrepareRec struct {
 
 // Type implements Record.
 func (PrepareRec) Type() Type { return TPrepare }
+
+// TwoPCParticipant names one branch of a global (cross-partition)
+// transaction: the partition index and the branch's local transaction id
+// in that partition's heap.
+type TwoPCParticipant struct {
+	Part uint32
+	TxID word.TxID
+}
+
+// TwoPCBeginRec is the coordinator side of two-phase commit: global
+// transaction GID spans Parts, whose branches are about to prepare. The
+// record is appended to the coordinator's decision log but NOT forced —
+// under presumed abort, losing it costs nothing (no decision record means
+// abort).
+type TwoPCBeginRec struct {
+	sysRec
+	GID   uint64
+	Parts []TwoPCParticipant
+}
+
+// Type implements Record.
+func (TwoPCBeginRec) Type() Type { return TTwoPCBegin }
+
+// TwoPCDecideRec is the coordinator's commit/abort decision for global
+// transaction GID. A commit decision is FORCED before any participant
+// branch commits — it is the single point of no return; after a crash,
+// every prepared branch named in a durable commit decision resolves to
+// commit, and every other in-doubt branch resolves to abort (presumed
+// abort). Abort decisions are appended unforced purely as an audit trail.
+type TwoPCDecideRec struct {
+	sysRec
+	GID    uint64
+	Commit bool
+	Parts  []TwoPCParticipant
+}
+
+// Type implements Record.
+func (TwoPCDecideRec) Type() Type { return TTwoPCDecide }
+
+// TwoPCEndRec records that every participant of GID has applied the
+// decision: the coordinator may forget the global transaction and the
+// decision log below the oldest unended decision can be truncated.
+type TwoPCEndRec struct {
+	sysRec
+	GID uint64
+}
+
+// Type implements Record.
+func (TwoPCEndRec) Type() Type { return TTwoPCEnd }
 
 // CommitRec commits a transaction; the log is forced through it.
 type CommitRec struct {

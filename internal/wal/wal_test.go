@@ -89,6 +89,11 @@ func TestRoundTripAllTypes(t *testing.T) {
 		VFlipRec{Epoch: 2, Moved: 9},
 		LogicalRec{TxHdr: TxHdr{TxID: 4, PrevLSN: 51}, Addr: 0x2040, Obj: 0x2000, Delta: ^uint64(4)},
 		PrepareRec{TxHdr{TxID: 4, PrevLSN: 52}},
+		TwoPCBeginRec{GID: 3, Parts: []TwoPCParticipant{{Part: 0, TxID: 11}, {Part: 2, TxID: 7}}},
+		TwoPCBeginRec{GID: 4},
+		TwoPCDecideRec{GID: 3, Commit: true, Parts: []TwoPCParticipant{{Part: 0, TxID: 11}, {Part: 2, TxID: 7}}},
+		TwoPCDecideRec{GID: 4, Commit: false},
+		TwoPCEndRec{GID: 3},
 		PageFetchRec{Page: 88},
 		EndWriteRec{Page: 88, PageLSN: 123},
 		CheckpointRec{
